@@ -1,0 +1,120 @@
+// Benchmarks regenerating the BlendHouse paper's evaluation: one
+// testing.B benchmark per table and figure of Section V. Each
+// iteration runs the full experiment (data generation, system loads,
+// measured query series) and reports the same rows cmd/bhbench
+// prints; per-op time is the end-to-end experiment cost.
+//
+// Run a single artifact:
+//
+//	go test -bench=BenchmarkTable4 -benchtime=1x
+//
+// or everything (slow — the full evaluation):
+//
+//	go test -bench=. -benchtime=1x
+package blendhouse_test
+
+import (
+	"testing"
+
+	"blendhouse/internal/bench"
+)
+
+// runExperiment executes a registered experiment b.N times, logging
+// the report once.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := bench.Get(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	cfg := bench.Config{Queries: 20}
+	for i := 0; i < b.N; i++ {
+		rep, err := e.Run(cfg)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+		}
+	}
+}
+
+// BenchmarkFig7AutoIndex regenerates Figure 7: IVF search time vs N
+// for different K_IVF values (auto-index motivation).
+func BenchmarkFig7AutoIndex(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkTable4LoadTime regenerates Table IV: load time of
+// BlendHouse vs Milvus-like vs pgvector-like.
+func BenchmarkTable4LoadTime(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkFig9QPS regenerates Figure 9: QPS at recall@0.99 across
+// systems and workloads.
+func BenchmarkFig9QPS(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10RecallQPS regenerates Figure 10: recall-vs-QPS curves.
+func BenchmarkFig10RecallQPS(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11CacheMiss regenerates Figure 11: local vs serving vs
+// brute-force latency.
+func BenchmarkFig11CacheMiss(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12MixedWorkload regenerates Figure 12: read/write
+// interference.
+func BenchmarkFig12MixedWorkload(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkTable5IndexLoad regenerates Table V: load time per index
+// type.
+func BenchmarkTable5IndexLoad(b *testing.B) { runExperiment(b, "table5") }
+
+// BenchmarkTable6IndexMemory regenerates Table VI: memory per index
+// type.
+func BenchmarkTable6IndexMemory(b *testing.B) { runExperiment(b, "table6") }
+
+// BenchmarkFig13IndexTypes regenerates Figure 13: recall vs QPS per
+// index type.
+func BenchmarkFig13IndexTypes(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14Updates regenerates Figure 14: update and compaction
+// impact.
+func BenchmarkFig14Updates(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkFig15CBO regenerates Figure 15: CBO on vs off.
+func BenchmarkFig15CBO(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkFig16Partitioning regenerates Figure 16: partitioning
+// strategies.
+func BenchmarkFig16Partitioning(b *testing.B) { runExperiment(b, "fig16") }
+
+// BenchmarkFig17WorkloadOpt regenerates Figure 17: workload-aware
+// optimization breakdown.
+func BenchmarkFig17WorkloadOpt(b *testing.B) { runExperiment(b, "fig17") }
+
+// BenchmarkTable7Production regenerates Table VII: production
+// workload latency/recall with and without partitioning.
+func BenchmarkTable7Production(b *testing.B) { runExperiment(b, "table7") }
+
+// BenchmarkFig18Elasticity regenerates Figure 18: QPS during VW
+// scale-up.
+func BenchmarkFig18Elasticity(b *testing.B) { runExperiment(b, "fig18") }
+
+// BenchmarkFig19Compaction regenerates Figure 19: segment count vs
+// QPS.
+func BenchmarkFig19Compaction(b *testing.B) { runExperiment(b, "fig19") }
+
+// Ablations beyond the paper's artifacts (see DESIGN.md §4).
+
+// BenchmarkAblIterator compares the native resumable HNSW iterator
+// with the generic restart-with-doubling wrapper.
+func BenchmarkAblIterator(b *testing.B) { runExperiment(b, "abl-iterator") }
+
+// BenchmarkAblHashring measures segment movement on scaling for
+// multi-probe consistent hashing vs modulo assignment.
+func BenchmarkAblHashring(b *testing.B) { runExperiment(b, "abl-hashring") }
+
+// BenchmarkAblDiskIndex explores future-work (1): on-disk Vamana beam
+// search vs full HNSW load for cold reads.
+func BenchmarkAblDiskIndex(b *testing.B) { runExperiment(b, "abl-diskindex") }
+
+// BenchmarkAblTuner explores future-work (2): offline auto-tuning vs
+// rule-based index parameters.
+func BenchmarkAblTuner(b *testing.B) { runExperiment(b, "abl-tuner") }

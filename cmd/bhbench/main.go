@@ -1,0 +1,77 @@
+// Command bhbench regenerates the tables and figures of the
+// BlendHouse paper's evaluation (Section V). Each experiment is
+// addressed by the paper's artifact id:
+//
+//	bhbench -list                 # show available experiments
+//	bhbench -exp table4           # reproduce Table IV
+//	bhbench -exp fig9,fig10       # several at once
+//	bhbench -exp all -scale 2     # everything, at 2x dataset scale
+//
+// Scales default to quick single-core settings; see DESIGN.md for the
+// dataset substitutions and EXPERIMENTS.md for paper-vs-measured
+// results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"blendhouse/internal/bench"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "", "comma-separated experiment ids, or 'all'")
+		scale    = flag.Float64("scale", 1, "dataset scale multiplier")
+		seed     = flag.Int64("seed", 42, "data generation seed")
+		queries  = flag.Int("queries", 40, "measured queries per point")
+		listFlag = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *listFlag || *expFlag == "" {
+		fmt.Println("available experiments:")
+		for _, e := range bench.All() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		if *expFlag == "" && !*listFlag {
+			fmt.Println("\nrun with -exp <id>[,<id>...] or -exp all")
+		}
+		return
+	}
+
+	var ids []string
+	if *expFlag == "all" {
+		for _, e := range bench.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*expFlag, ",")
+	}
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Queries: *queries}
+	failed := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, ok := bench.Get(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			failed++
+			continue
+		}
+		start := time.Now()
+		rep, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Print(rep.String())
+		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

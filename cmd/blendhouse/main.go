@@ -1,0 +1,202 @@
+// Command blendhouse is an interactive SQL shell (and one-shot SQL
+// runner) over a BlendHouse engine. State persists to a blob-store
+// directory, so tables survive restarts:
+//
+//	blendhouse -data ./bhdata                # interactive shell
+//	blendhouse -data ./bhdata -e "SELECT..." # one-shot statement
+//	blendhouse -data ./bhdata -f setup.sql   # run a script
+//
+// The dialect is the paper's (Example 1): CREATE TABLE with INDEX ...
+// TYPE HNSW('DIM=...'), PARTITION BY, CLUSTER BY ... INTO n BUCKETS;
+// INSERT ... VALUES / CSV INFILE; SELECT ... WHERE ... ORDER BY
+// L2Distance(col, [..]) LIMIT k [SETTINGS ef_search=..].
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"blendhouse/internal/cache"
+	"blendhouse/internal/core"
+	"blendhouse/internal/exec"
+	"blendhouse/internal/storage"
+)
+
+func main() {
+	var (
+		dataDir = flag.String("data", "./bhdata", "blob store directory")
+		oneShot = flag.String("e", "", "execute one statement and exit")
+		script  = flag.String("f", "", "execute statements from a file (semicolon-separated)")
+	)
+	flag.Parse()
+
+	store, err := storage.NewFSStore(*dataDir)
+	if err != nil {
+		fatal(err)
+	}
+	ccCfg := cache.DefaultColumnCacheConfig()
+	engine, err := core.New(core.Config{
+		Store:            store,
+		ColumnCache:      &ccCfg,
+		SemanticFraction: 0.5,
+		AutoIndex:        true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *oneShot != "":
+		if err := runStatement(engine, *oneShot); err != nil {
+			fatal(err)
+		}
+	case *script != "":
+		data, err := os.ReadFile(*script)
+		if err != nil {
+			fatal(err)
+		}
+		for _, stmt := range splitStatements(string(data)) {
+			fmt.Printf("> %s\n", firstLine(stmt))
+			if err := runStatement(engine, stmt); err != nil {
+				fatal(err)
+			}
+		}
+	default:
+		repl(engine)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}
+
+// repl reads semicolon-terminated statements interactively.
+func repl(engine *core.Engine) {
+	fmt.Println("BlendHouse shell — end statements with ';'; also: SHOW TABLES, DESCRIBE t, DELETE FROM t WHERE id IN (...), OPTIMIZE TABLE t; \\q quits")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var buf strings.Builder
+	fmt.Print("blendhouse> ")
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 {
+			switch trimmed {
+			case "\\q", "exit", "quit":
+				return
+			case "\\d":
+				for _, t := range engine.Tables() {
+					fmt.Println(" ", t)
+				}
+				fmt.Print("blendhouse> ")
+				continue
+			case "":
+				fmt.Print("blendhouse> ")
+				continue
+			}
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			if err := runStatement(engine, buf.String()); err != nil {
+				fmt.Println("error:", err)
+			}
+			buf.Reset()
+			fmt.Print("blendhouse> ")
+		} else {
+			fmt.Print("        ... ")
+		}
+	}
+}
+
+// runStatement executes one statement and prints the result table.
+func runStatement(engine *core.Engine, stmt string) error {
+	stmt = strings.TrimSpace(stmt)
+	if stmt == "" {
+		return nil
+	}
+	start := time.Now()
+	res, err := engine.Exec(stmt)
+	if err != nil {
+		return err
+	}
+	printResult(res)
+	fmt.Printf("(%d rows, %.3fs)\n", len(res.Rows), time.Since(start).Seconds())
+	return nil
+}
+
+func printResult(res *exec.Result) {
+	if len(res.Columns) == 0 {
+		return
+	}
+	widths := make([]int, len(res.Columns))
+	cells := make([][]string, len(res.Rows))
+	for i, h := range res.Columns {
+		widths[i] = len(h)
+	}
+	for ri, row := range res.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := formatValue(v)
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	printRow := func(cols []string) {
+		for i, c := range cols {
+			if i > 0 {
+				fmt.Print(" | ")
+			}
+			fmt.Printf("%-*s", widths[i], c)
+		}
+		fmt.Println()
+	}
+	printRow(res.Columns)
+	sep := make([]string, len(res.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range cells {
+		printRow(row)
+	}
+}
+
+func formatValue(v any) string {
+	switch x := v.(type) {
+	case []float32:
+		if len(x) > 4 {
+			return fmt.Sprintf("[%g %g ... +%d]", x[0], x[1], len(x)-2)
+		}
+		return fmt.Sprint(x)
+	case float64:
+		return fmt.Sprintf("%.6g", x)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+func splitStatements(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ";") {
+		if strings.TrimSpace(part) != "" {
+			out = append(out, part+";")
+		}
+	}
+	return out
+}
+
+func firstLine(s string) string {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i] + " ..."
+	}
+	return s
+}

@@ -1,0 +1,14 @@
+// Package blendhouse is a from-scratch Go reproduction of
+// "BlendHouse: A Cloud-Native Vector Database System in ByteHouse"
+// (ICDE 2025): a generalized vector database on a disaggregated
+// storage/compute architecture, with hybrid SQL queries, pluggable
+// vector indexes, cost-based plan selection, per-segment indexing over
+// an LSM engine, and the full benchmark harness regenerating every
+// table and figure of the paper's evaluation.
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// package map); runnable entry points are cmd/blendhouse (SQL shell),
+// cmd/bhbench (experiment runner), and the examples/ directory.
+// The root-level bench_test.go exposes one testing.B benchmark per
+// paper artifact.
+package blendhouse

@@ -1,0 +1,3 @@
+module blendhouse
+
+go 1.22

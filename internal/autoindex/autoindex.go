@@ -1,0 +1,210 @@
+// Package autoindex implements the automatic index-parameter
+// selection of paper §III-B ("Auto index"): per-segment indexes in an
+// LSM engine vary enormously in size across levels, and build
+// parameters — above all K_IVF, the number of coarse centroids — must
+// track the segment's row count N or search performance collapses
+// (paper Figure 7). Two mechanisms are provided, matching the paper:
+//
+//   - Rules: instant K_IVF/M/ef selection from N via the faiss
+//     guidelines (K ≈ 4·√N, ≥ ~39 training points per centroid),
+//     used on the ingestion path where latency matters.
+//   - Tuner: an offline sweep in the spirit of autofaiss, used by
+//     background compaction to refine parameters against a recall
+//     target using actual sample queries.
+package autoindex
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"blendhouse/internal/index"
+)
+
+// SelectIVFNlist returns the rule-based K_IVF for a segment of n rows:
+// 4·√N clamped so every centroid keeps at least minPointsPerCentroid
+// training points.
+func SelectIVFNlist(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	const minPointsPerCentroid = 39 // faiss guideline
+	k := int(4 * math.Sqrt(float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if maxK := n / minPointsPerCentroid; k > maxK {
+		k = maxK
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// SelectHNSWM returns the rule-based HNSW out-degree for n rows:
+// denser graphs for bigger segments, within hnswlib's recommended
+// 8–48 band.
+func SelectHNSWM(n int) int {
+	switch {
+	case n < 10_000:
+		return 8
+	case n < 100_000:
+		return 16
+	case n < 1_000_000:
+		return 24
+	default:
+		return 32
+	}
+}
+
+// Apply fills the size-dependent fields of p for an index of type t
+// over n rows, leaving explicitly set values untouched. It is the
+// ingestion-path rule engine.
+func Apply(t index.Type, n int, p index.BuildParams) index.BuildParams {
+	switch t {
+	case index.IVFFlat, index.IVFPQ, index.IVFPQFS:
+		if p.Nlist <= 0 {
+			p.Nlist = SelectIVFNlist(n)
+		}
+	case index.HNSW, index.HNSWSQ:
+		if p.M <= 0 {
+			p.M = SelectHNSWM(n)
+		}
+		if p.EfConstruction <= 0 {
+			p.EfConstruction = 10 * p.M
+		}
+	}
+	return p
+}
+
+// TunerConfig drives the offline sweep.
+type TunerConfig struct {
+	// Candidates lists parameter sets to evaluate. Empty selects a
+	// default ladder derived from the rule-based choice.
+	Candidates []index.BuildParams
+	// K is the top-k used in evaluation queries.
+	K int
+	// RecallTarget is the floor a candidate must reach to qualify.
+	RecallTarget float64
+	// SearchParams used during evaluation.
+	Search index.SearchParams
+}
+
+// TuneResult reports the winning candidate and its measurements.
+type TuneResult struct {
+	Params     index.BuildParams
+	Recall     float64
+	AvgLatency time.Duration
+	BuildTime  time.Duration
+	Evaluated  int
+}
+
+// Tune builds each candidate index over vectors, measures recall
+// (against the provided ground truth) and mean query latency on the
+// sample queries, and returns the fastest candidate meeting the recall
+// target — falling back to the highest-recall candidate when none
+// qualifies. It is deliberately brute force: it runs in background
+// compaction, not on the query path.
+func Tune(t index.Type, dim int, vectors []float32, queries [][]float32, truth [][]int64, cfg TunerConfig) (*TuneResult, error) {
+	n := len(vectors) / dim
+	if n == 0 || len(queries) == 0 || len(queries) != len(truth) {
+		return nil, fmt.Errorf("autoindex: need vectors, queries and aligned truth")
+	}
+	if cfg.K <= 0 {
+		cfg.K = 10
+	}
+	if cfg.RecallTarget <= 0 {
+		cfg.RecallTarget = 0.95
+	}
+	cands := cfg.Candidates
+	if len(cands) == 0 {
+		cands = defaultLadder(t, dim, n)
+	}
+	ids := make([]int64, n)
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	var best, fallback *TuneResult
+	for _, p := range cands {
+		p.Dim = dim
+		buildStart := time.Now()
+		ix, err := index.New(t, p)
+		if err != nil {
+			return nil, err
+		}
+		if ix.NeedsTrain() {
+			if err := ix.Train(vectors); err != nil {
+				return nil, err
+			}
+		}
+		if err := ix.AddWithIDs(vectors, ids); err != nil {
+			return nil, err
+		}
+		buildTime := time.Since(buildStart)
+
+		hits, total := 0, 0
+		qStart := time.Now()
+		for qi, q := range queries {
+			res, err := ix.SearchWithFilter(q, cfg.K, nil, cfg.Search)
+			if err != nil {
+				return nil, err
+			}
+			want := map[int64]bool{}
+			for _, id := range truth[qi] {
+				want[id] = true
+			}
+			total += len(truth[qi])
+			for _, c := range res {
+				if want[c.ID] {
+					hits++
+				}
+			}
+		}
+		lat := time.Since(qStart) / time.Duration(len(queries))
+		recall := 1.0
+		if total > 0 {
+			recall = float64(hits) / float64(total)
+		}
+		r := &TuneResult{Params: p, Recall: recall, AvgLatency: lat, BuildTime: buildTime, Evaluated: len(cands)}
+		if fallback == nil || recall > fallback.Recall {
+			fallback = r
+		}
+		if recall >= cfg.RecallTarget && (best == nil || lat < best.AvgLatency) {
+			best = r
+		}
+	}
+	if best == nil {
+		best = fallback
+	}
+	return best, nil
+}
+
+// defaultLadder proposes a small sweep bracketing the rule-based
+// choice.
+func defaultLadder(t index.Type, dim, n int) []index.BuildParams {
+	switch t {
+	case index.IVFFlat, index.IVFPQ, index.IVFPQFS:
+		base := SelectIVFNlist(n)
+		var out []index.BuildParams
+		for _, k := range []int{base / 4, base / 2, base, base * 2} {
+			if k < 1 {
+				continue
+			}
+			out = append(out, index.BuildParams{Dim: dim, Nlist: k})
+		}
+		return out
+	case index.HNSW, index.HNSWSQ:
+		base := SelectHNSWM(n)
+		var out []index.BuildParams
+		for _, m := range []int{base / 2, base, base * 2} {
+			if m < 4 {
+				continue
+			}
+			out = append(out, index.BuildParams{Dim: dim, M: m, EfConstruction: 10 * m})
+		}
+		return out
+	default:
+		return []index.BuildParams{{Dim: dim}}
+	}
+}

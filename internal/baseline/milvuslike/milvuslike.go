@@ -1,0 +1,269 @@
+// Package milvuslike is the in-process stand-in for Milvus 2.4.5 used
+// by the comparison benchmarks. It reproduces the architectural
+// properties the paper measures against:
+//
+//   - Staged (non-pipelined) ingestion: segments are flushed to
+//     storage first; a separate index stage then reads each segment
+//     back and builds its index — the write/build serialization (plus
+//     read-back I/O) behind Milvus's longer load times in Table IV.
+//     The asynchronous handoff between stages is modeled explicitly:
+//     each index task pays a scheduling delay (datanode→indexnode
+//     dispatch) and the client discovers readiness by polling, the
+//     same pipeline VectorDBBench's load timing includes via
+//     wait_index(). BlendHouse has neither stage: its index build is
+//     inline and pipelined with the segment write.
+//   - Per-segment HNSW with bitset pre-filtering as the only hybrid
+//     strategy, with Milvus's actual small-candidate-set fallback to
+//     brute force (which is why Milvus also does well at the paper's
+//     99%-filtered workload).
+//   - Proxy/coordinator request routing modeled as a fixed per-query
+//     overhead — Milvus queries traverse proxy and querynode hops that
+//     an embedded engine does not pay.
+package milvuslike
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"blendhouse/internal/bitset"
+	"blendhouse/internal/index"
+	"blendhouse/internal/index/hnsw"
+	"blendhouse/internal/storage"
+	"blendhouse/internal/vec"
+)
+
+// Config tunes the stand-in.
+type Config struct {
+	SegmentRows int // default 8192
+	// Index build parameters (HNSW).
+	M, EfConstruction int
+	Metric            vec.Metric
+	Seed              int64
+	// QueryOverhead models proxy+querynode routing (default 250µs).
+	QueryOverhead time.Duration
+	// BruteForceThreshold: if the filtered candidate set is below this
+	// fraction of a segment, scan it exactly instead of using the
+	// index (Milvus's small-set fallback).
+	BruteForceThreshold float64
+	// TaskScheduleDelay models the per-segment flush→index-task
+	// handoff of the staged pipeline (default 50ms).
+	TaskScheduleDelay time.Duration
+	// ReadyPollInterval models the client's index-readiness polling
+	// granularity; half of it is paid once at the end of the load
+	// (default 200ms).
+	ReadyPollInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.SegmentRows <= 0 {
+		c.SegmentRows = 8192
+	}
+	if c.M <= 0 {
+		c.M = 16
+	}
+	if c.EfConstruction <= 0 {
+		c.EfConstruction = 200
+	}
+	if c.QueryOverhead == 0 {
+		c.QueryOverhead = 250 * time.Microsecond
+	}
+	if c.BruteForceThreshold == 0 {
+		c.BruteForceThreshold = 0.05
+	}
+	if c.TaskScheduleDelay == 0 {
+		c.TaskScheduleDelay = 50 * time.Millisecond
+	}
+	if c.ReadyPollInterval == 0 {
+		c.ReadyPollInterval = 200 * time.Millisecond
+	}
+	return c
+}
+
+type segment struct {
+	idx   *hnsw.Index
+	raw   []float32 // sealed segments stay in memory, as in Milvus
+	base  int       // first global row id
+	count int
+}
+
+// Store is a loaded Milvus-like collection.
+type Store struct {
+	cfg   Config
+	store storage.BlobStore
+	dim   int
+	segs  []segment
+	attrs []int64
+	n     int
+}
+
+// New returns an empty collection writing flushes to store.
+func New(cfg Config, store storage.BlobStore) *Store {
+	return &Store{cfg: cfg.withDefaults(), store: store}
+}
+
+// Name implements baseline.VectorStore.
+func (s *Store) Name() string { return "Milvus-like" }
+
+// Load implements the staged ingestion: flush all segments, then
+// build indexes reading each segment back from storage.
+func (s *Store) Load(vectors []float32, dim int, attrs []int64) error {
+	if dim <= 0 || len(vectors)%dim != 0 {
+		return fmt.Errorf("milvuslike: bad vector payload")
+	}
+	n := len(vectors) / dim
+	if len(attrs) != n {
+		return fmt.Errorf("milvuslike: %d attrs for %d rows", len(attrs), n)
+	}
+	s.dim = dim
+	s.n = n
+	s.attrs = append([]int64(nil), attrs...)
+
+	// Stage 1: flush raw segments to storage.
+	type pending struct {
+		key   string
+		base  int
+		count int
+	}
+	var flushed []pending
+	for base := 0; base < n; base += s.cfg.SegmentRows {
+		end := base + s.cfg.SegmentRows
+		if end > n {
+			end = n
+		}
+		key := fmt.Sprintf("milvus/seg%06d.vec", len(flushed))
+		blob := encodeFloats(vectors[base*dim : end*dim])
+		if err := s.store.Put(key, blob); err != nil {
+			return fmt.Errorf("milvuslike: flushing segment: %w", err)
+		}
+		flushed = append(flushed, pending{key, base, end - base})
+	}
+	// Stage 2: the "index node" reads each flushed segment back and
+	// builds its index; only then is the segment searchable.
+	for _, pf := range flushed {
+		time.Sleep(s.cfg.TaskScheduleDelay) // flush → index-task handoff
+		blob, err := s.store.Get(pf.key)
+		if err != nil {
+			return fmt.Errorf("milvuslike: reading back segment: %w", err)
+		}
+		raw, err := decodeFloats(blob, pf.count*dim)
+		if err != nil {
+			return err
+		}
+		ix, err := hnsw.New(index.BuildParams{
+			Dim: dim, Metric: s.cfg.Metric, M: s.cfg.M,
+			EfConstruction: s.cfg.EfConstruction, Seed: s.cfg.Seed,
+		}.WithDefaults(), false)
+		if err != nil {
+			return err
+		}
+		ids := make([]int64, pf.count)
+		for i := range ids {
+			ids[i] = int64(pf.base + i)
+		}
+		if err := ix.AddWithIDs(raw, ids); err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		if err := ix.Save(&buf); err != nil {
+			return err
+		}
+		if err := s.store.Put(pf.key+".idx", buf.Bytes()); err != nil {
+			return err
+		}
+		s.segs = append(s.segs, segment{idx: ix, raw: raw, base: pf.base, count: pf.count})
+	}
+	// The client's readiness poll discovers completion half an
+	// interval late, in expectation.
+	time.Sleep(s.cfg.ReadyPollInterval / 2)
+	return nil
+}
+
+// Search implements filtered top-k with Milvus's strategy: bitset
+// pre-filter through the index, brute force when the candidate set is
+// tiny.
+func (s *Store) Search(q []float32, k int, attrLo, attrHi int64, p index.SearchParams) ([]int64, error) {
+	time.Sleep(s.cfg.QueryOverhead)
+	filtered := attrLo > int64(minInt64) || attrHi < int64(maxInt64)
+	var filter *bitset.Bitset
+	qualify := s.n
+	if filtered {
+		filter = bitset.New(s.n)
+		qualify = 0
+		for i, a := range s.attrs {
+			if a >= attrLo && a <= attrHi {
+				filter.Set(i)
+				qualify++
+			}
+		}
+	}
+	t := index.NewTopK(k)
+	if filtered && float64(qualify) < s.cfg.BruteForceThreshold*float64(s.n) {
+		// Small-set fallback: exact scan of qualifying rows.
+		for _, seg := range s.segs {
+			for i := 0; i < seg.count; i++ {
+				gid := seg.base + i
+				if !filter.Test(gid) {
+					continue
+				}
+				d := vec.Distance(s.cfg.Metric, q, seg.raw[i*s.dim:(i+1)*s.dim])
+				t.Push(index.Candidate{ID: int64(gid), Dist: d})
+			}
+		}
+	} else {
+		for _, seg := range s.segs {
+			res, err := seg.idx.SearchWithFilter(q, k, filter, p)
+			if err != nil {
+				return nil, err
+			}
+			for _, c := range res {
+				t.Push(c)
+			}
+		}
+	}
+	res := t.Results()
+	out := make([]int64, len(res))
+	for i, c := range res {
+		out[i] = c.ID
+	}
+	return out, nil
+}
+
+// MemoryBytes reports index plus sealed raw vectors (both resident in
+// Milvus query nodes).
+func (s *Store) MemoryBytes() int64 {
+	var n int64
+	for _, seg := range s.segs {
+		n += seg.idx.MemoryBytes() + int64(4*len(seg.raw))
+	}
+	return n
+}
+
+const (
+	minInt64 = -1 << 63
+	maxInt64 = 1<<63 - 1
+)
+
+func encodeFloats(fs []float32) []byte {
+	out := make([]byte, 4*len(fs))
+	for i, f := range fs {
+		binary.LittleEndian.PutUint32(out[4*i:], floatBits(f))
+	}
+	return out
+}
+
+func decodeFloats(b []byte, n int) ([]float32, error) {
+	if len(b) != 4*n {
+		return nil, fmt.Errorf("milvuslike: blob size %d, want %d", len(b), 4*n)
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = floatFrom(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out, nil
+}
+
+func floatBits(f float32) uint32 { return math.Float32bits(f) }
+func floatFrom(u uint32) float32 { return math.Float32frombits(u) }

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"blendhouse/internal/baseline"
+	"blendhouse/internal/bench/dataset"
+	"blendhouse/internal/index"
+)
+
+// Timing summarizes one measured query series.
+type Timing struct {
+	QPS     float64
+	Mean    time.Duration
+	P99     time.Duration
+	Queries int
+}
+
+// MeasureSerial runs fn for qi = 0..n-1 on one goroutine and reports
+// throughput and latency — the default on a single-core box, where
+// concurrency only adds scheduler noise.
+func MeasureSerial(n int, fn func(qi int) error) (Timing, error) {
+	lats := make([]time.Duration, 0, n)
+	start := time.Now()
+	for qi := 0; qi < n; qi++ {
+		qs := time.Now()
+		if err := fn(qi); err != nil {
+			return Timing{}, err
+		}
+		lats = append(lats, time.Since(qs))
+	}
+	return summarize(lats, time.Since(start)), nil
+}
+
+// MeasureConcurrent runs n queries across c goroutines (used by the
+// mixed-workload and elasticity experiments where overlap matters).
+func MeasureConcurrent(n, c int, fn func(qi int) error) (Timing, error) {
+	if c < 1 {
+		c = 1
+	}
+	var (
+		mu    sync.Mutex
+		lats  []time.Duration
+		first error
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for qi := 0; qi < n; qi++ {
+		next <- qi
+	}
+	close(next)
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for qi := range next {
+				qs := time.Now()
+				err := fn(qi)
+				d := time.Since(qs)
+				mu.Lock()
+				if err != nil && first == nil {
+					first = err
+				}
+				lats = append(lats, d)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return Timing{}, first
+	}
+	return summarize(lats, time.Since(start)), nil
+}
+
+func summarize(lats []time.Duration, wall time.Duration) Timing {
+	if len(lats) == 0 {
+		return Timing{}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var total time.Duration
+	for _, l := range lats {
+		total += l
+	}
+	p99 := lats[len(lats)*99/100]
+	if len(lats) < 100 {
+		p99 = lats[len(lats)-1]
+	}
+	return Timing{
+		QPS:     float64(len(lats)) / wall.Seconds(),
+		Mean:    total / time.Duration(len(lats)),
+		P99:     p99,
+		Queries: len(lats),
+	}
+}
+
+// SearchRecall runs every dataset query against the store with the
+// given filter bounds and parameters, returning recall@k vs the
+// oracle.
+func SearchRecall(s baseline.VectorStore, ds *dataset.Dataset, k int, lo, hi int64, keep func(i int) bool, p index.SearchParams) (float64, error) {
+	truth := ds.GroundTruth(datasetMetric, k, keep)
+	got := make([][]int64, ds.Queries.Rows())
+	for qi := range got {
+		ids, err := s.Search(ds.Queries.Row(qi), k, lo, hi, p)
+		if err != nil {
+			return 0, err
+		}
+		got[qi] = ids
+	}
+	return dataset.Recall(truth, got), nil
+}
+
+// TuneEfForRecall finds the smallest ef in the ladder reaching the
+// target recall, returning the ef and achieved recall (the paper's
+// "QPS at recall@0.99" methodology: tune accuracy first, then measure
+// throughput). Falls back to the largest ef when the target is
+// unreachable.
+func TuneEfForRecall(target float64, ladder []int, eval func(ef int) (float64, error)) (int, float64, error) {
+	if len(ladder) == 0 {
+		return 0, 0, fmt.Errorf("bench: empty ef ladder")
+	}
+	bestEf, bestRecall := ladder[len(ladder)-1], 0.0
+	for _, ef := range ladder {
+		r, err := eval(ef)
+		if err != nil {
+			return 0, 0, err
+		}
+		if r >= target {
+			return ef, r, nil
+		}
+		if r > bestRecall {
+			bestEf, bestRecall = ef, r
+		}
+	}
+	return bestEf, bestRecall, nil
+}

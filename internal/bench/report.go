@@ -1,0 +1,138 @@
+// Package bench is the benchmark harness that regenerates every table
+// and figure of the paper's evaluation (Section V). Each experiment is
+// a function from a Config (scale, seed) to a Report — a titled table
+// of rows matching what the paper plots — registered under the paper's
+// artifact id ("table4", "fig9", ...). The cmd/bhbench binary and the
+// root-level testing.B benchmarks both drive this package.
+//
+// Scales are reduced for a single-core box (see DESIGN.md §2): shapes
+// — who wins, by roughly what factor, where crossovers fall — are the
+// reproduction target, not absolute numbers.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report is one regenerated table/figure.
+type Report struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	// Notes records scale substitutions and the shape checks the
+	// experiment asserts.
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// Note appends a note line.
+func (r *Report) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	widths := make([]int, len(r.Headers))
+	for i, h := range r.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Headers)
+	sep := make([]string, len(r.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Config scales an experiment run.
+type Config struct {
+	// Scale multiplies dataset sizes (1 = quick single-core defaults).
+	Scale float64
+	// Seed drives all data generation.
+	Seed int64
+	// Queries caps the number of measured queries per point.
+	Queries int
+}
+
+// WithDefaults fills zero fields.
+func (c Config) WithDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Queries <= 0 {
+		c.Queries = 40
+	}
+	return c
+}
+
+func (c Config) n(base int) int {
+	n := int(float64(base) * c.Scale)
+	if n < 100 {
+		n = 100
+	}
+	return n
+}
+
+// Experiment is a registered experiment runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) (*Report, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(id, title string, run func(Config) (*Report, error)) {
+	registry[id] = Experiment{ID: id, Title: title, Run: run}
+}
+
+// Get returns an experiment by id.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every experiment sorted by id.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,306 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"blendhouse/internal/storage"
+)
+
+func TestLRUBasic(t *testing.T) {
+	c := NewLRU(100)
+	if !c.Put("a", 1, 40) || !c.Put("b", 2, 40) {
+		t.Fatal("puts within budget should succeed")
+	}
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("Get a = %v, %v", v, ok)
+	}
+	// "a" is now MRU; adding 40 more evicts "b".
+	c.Put("c", 3, 40)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should survive (recently used)")
+	}
+	if c.SizeBytes() != 80 {
+		t.Fatalf("size = %d", c.SizeBytes())
+	}
+}
+
+func TestLRURejectsOversized(t *testing.T) {
+	c := NewLRU(10)
+	if c.Put("big", 1, 11) {
+		t.Fatal("oversized entry must be rejected")
+	}
+	if c.Len() != 0 {
+		t.Fatal("rejected entry must not be stored")
+	}
+}
+
+func TestLRUReplaceAdjustsSize(t *testing.T) {
+	c := NewLRU(100)
+	c.Put("k", 1, 30)
+	c.Put("k", 2, 50)
+	if c.SizeBytes() != 50 || c.Len() != 1 {
+		t.Fatalf("size=%d len=%d", c.SizeBytes(), c.Len())
+	}
+	if v, _ := c.Get("k"); v.(int) != 2 {
+		t.Fatal("replace lost new value")
+	}
+}
+
+func TestLRUEvictCallback(t *testing.T) {
+	c := NewLRU(50)
+	var evicted []string
+	c.SetOnEvict(func(k string, _ any) { evicted = append(evicted, k) })
+	c.Put("a", 1, 30)
+	c.Put("b", 2, 30) // evicts a
+	if len(evicted) != 1 || evicted[0] != "a" {
+		t.Fatalf("evicted = %v", evicted)
+	}
+	c.Remove("b")
+	if len(evicted) != 1 {
+		t.Fatal("Remove must not trigger callback")
+	}
+}
+
+func TestLRUStats(t *testing.T) {
+	c := NewLRU(100)
+	c.Put("a", 1, 10)
+	c.Get("a")
+	c.Get("zz")
+	h, m := c.Stats()
+	if h != 1 || m != 1 {
+		t.Fatalf("stats = %d/%d", h, m)
+	}
+	if !c.Contains("a") {
+		t.Fatal("Contains false negative")
+	}
+	h2, m2 := c.Stats()
+	if h2 != h || m2 != m {
+		t.Fatal("Contains must not affect stats")
+	}
+}
+
+func TestLRUZeroCapacityStoresNothing(t *testing.T) {
+	c := NewLRU(0)
+	if c.Put("a", 1, 1) {
+		t.Fatal("zero-cap cache accepted an entry")
+	}
+}
+
+// --- hierarchical index cache ---------------------------------------------
+
+// fakeIndex is a stand-in searchable object.
+type fakeIndex struct{ payload string }
+
+func fakeLoader(blob []byte) (any, int64, error) {
+	return &fakeIndex{string(blob)}, int64(len(blob)), nil
+}
+
+func newHier(t *testing.T) (*IndexCache, *storage.MemStore, *storage.MemStore) {
+	t.Helper()
+	disk := storage.NewMemStore()
+	remote := storage.NewMemStore()
+	c := NewIndexCache(Config{MemBytes: 1 << 20, MetaBytes: 1 << 16, DiskBytes: 1 << 20}, disk, remote)
+	return c, disk, remote
+}
+
+func TestIndexCacheTierTraversal(t *testing.T) {
+	c, disk, remote := newHier(t)
+	remote.Put("idx1", []byte("graph-bytes"))
+
+	// First get: remote load, populates disk + mem.
+	v, err := c.Get("idx1", fakeLoader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(*fakeIndex).payload != "graph-bytes" {
+		t.Fatal("wrong payload")
+	}
+	if st := c.Stats(); st.RemoteLoads != 1 || st.MemHits != 0 || st.DiskHits != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if _, err := disk.Get("idx1"); err != nil {
+		t.Fatal("disk tier not populated")
+	}
+
+	// Second get: memory hit.
+	if _, err := c.Get("idx1", fakeLoader); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.MemHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Drop memory, keep disk: disk hit.
+	c.DropMem("idx1")
+	if _, err := c.Get("idx1", fakeLoader); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.DiskHits != 1 || st.RemoteLoads != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestIndexCacheMissingKey(t *testing.T) {
+	c, _, _ := newHier(t)
+	if _, err := c.Get("nope", fakeLoader); err == nil {
+		t.Fatal("missing key should error")
+	}
+	if st := c.Stats(); st.Failures != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestIndexCacheLoaderError(t *testing.T) {
+	c, _, remote := newHier(t)
+	remote.Put("bad", []byte("zzz"))
+	_, err := c.Get("bad", func([]byte) (any, int64, error) {
+		return nil, 0, fmt.Errorf("corrupt")
+	})
+	if err == nil {
+		t.Fatal("loader error should propagate")
+	}
+}
+
+func TestIndexCacheInvalidate(t *testing.T) {
+	c, disk, remote := newHier(t)
+	remote.Put("idx", []byte("x"))
+	if _, err := c.Get("idx", fakeLoader); err != nil {
+		t.Fatal(err)
+	}
+	c.Invalidate("idx")
+	if c.ContainsMem("idx") {
+		t.Fatal("mem entry survived invalidate")
+	}
+	if _, err := disk.Get("idx"); !storage.IsNotFound(err) {
+		t.Fatal("disk entry survived invalidate")
+	}
+}
+
+func TestIndexCachePreload(t *testing.T) {
+	c, _, remote := newHier(t)
+	remote.Put("a", []byte("1"))
+	remote.Put("b", []byte("2"))
+	errs := c.Preload([]string{"a", "b", "missing"}, func(string) IndexLoader { return fakeLoader })
+	if len(errs) != 1 {
+		t.Fatalf("errs = %v", errs)
+	}
+	if !c.ContainsMem("a") || !c.ContainsMem("b") {
+		t.Fatal("preload did not warm memory")
+	}
+}
+
+func TestIndexCacheWithoutDiskTier(t *testing.T) {
+	remote := storage.NewMemStore()
+	remote.Put("k", []byte("v"))
+	c := NewIndexCache(Config{MemBytes: 1 << 20}, nil, remote)
+	if _, err := c.Get("k", fakeLoader); err != nil {
+		t.Fatal(err)
+	}
+	c.DropMem("k")
+	if _, err := c.Get("k", fakeLoader); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.RemoteLoads != 2 {
+		t.Fatalf("want 2 remote loads without disk tier, got %+v", st)
+	}
+}
+
+// --- column cache -----------------------------------------------------------
+
+func colCacheFixture(t *testing.T) (*ColumnCache, *storage.SegmentReader, *storage.RemoteStore) {
+	t.Helper()
+	schema := &storage.Schema{Columns: []storage.ColumnDef{
+		{Name: "id", Type: storage.Int64Type},
+		{Name: "v", Type: storage.VectorType, Dim: 2},
+	}}
+	batch := storage.NewRowBatch(schema)
+	for i := 0; i < 64; i++ {
+		batch.Col("id").Ints = append(batch.Col("id").Ints, int64(i))
+		batch.Col("v").Vecs = append(batch.Col("v").Vecs, float32(i), float32(i))
+	}
+	rs := storage.NewRemoteStore(storage.NewMemStore(), storage.RemoteConfig{})
+	if _, err := storage.WriteSegment(rs, storage.SegmentMeta{Name: "s", Table: "t", Bucket: -1}, batch, 8); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := storage.OpenSegment(rs, schema, "t", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := NewColumnCache(ColumnCacheConfig{DataBytes: 1 << 20, MetaBytes: 1 << 16, RowLimit: 10})
+	return cc, rd, rs
+}
+
+func TestColumnCacheHitsAvoidRemoteReads(t *testing.T) {
+	cc, rd, rs := colCacheFixture(t)
+	before := rs.Snapshot().Gets
+	col, err := cc.ReadRows(rd, "id", []int{3, 5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Ints[0] != 3 || col.Ints[1] != 5 {
+		t.Fatalf("values = %v", col.Ints)
+	}
+	mid := rs.Snapshot().Gets
+	if mid == before {
+		t.Fatal("first read should hit remote")
+	}
+	// Same block again: served from cache, no new remote reads.
+	if _, err := cc.ReadRows(rd, "id", []int{4}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if after := rs.Snapshot().Gets; after != mid {
+		t.Fatalf("cached read went remote: %d -> %d", mid, after)
+	}
+}
+
+func TestColumnCacheRowLimitBypass(t *testing.T) {
+	cc, rd, _ := colCacheFixture(t)
+	rows := make([]int, 20)
+	for i := range rows {
+		rows[i] = i
+	}
+	if _, err := cc.ReadRows(rd, "id", rows, 20); err != nil { // 20 > RowLimit 10
+		t.Fatal(err)
+	}
+	if _, _, byp := cc.Stats(); byp != 1 {
+		t.Fatalf("bypasses = %d, want 1", byp)
+	}
+	// Bypassed read must not have populated the cache.
+	h, m, _ := cc.Stats()
+	if h != 0 || m != 0 {
+		t.Fatalf("cache touched during bypass: hits=%d misses=%d", h, m)
+	}
+}
+
+func TestColumnCacheCrossBlock(t *testing.T) {
+	cc, rd, _ := colCacheFixture(t)
+	col, err := cc.ReadRows(rd, "v", []int{0, 63, 8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Vector(1)[0] != 63 || col.Vector(2)[0] != 8 {
+		t.Fatalf("cross-block vectors wrong: %v", col.Vecs)
+	}
+	if _, err := cc.ReadRows(rd, "id", []int{64}, 1); err == nil {
+		t.Error("out-of-range row should fail")
+	}
+	if _, err := cc.ReadRows(rd, "nope", []int{0}, 1); err == nil {
+		t.Error("unknown column should fail")
+	}
+}
+
+func TestColumnCacheMetaSpace(t *testing.T) {
+	cc, rd, _ := colCacheFixture(t)
+	cc.PutMeta("t", "s", rd.Meta, 100)
+	if m, ok := cc.GetMeta("t", "s"); !ok || m.Name != "s" {
+		t.Fatal("meta space roundtrip failed")
+	}
+	cc.InvalidateSegment("t", "s")
+	if _, ok := cc.GetMeta("t", "s"); ok {
+		t.Fatal("meta survived invalidate")
+	}
+}

@@ -1,0 +1,181 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"blendhouse/internal/storage"
+)
+
+// IndexLoader deserializes an index blob into a searchable object.
+// The engine supplies a closure that constructs the right index type
+// for the segment and calls its Load method.
+type IndexLoader func(blob []byte) (any, int64, error)
+
+// HierStats counts where index lookups were satisfied, feeding the
+// cache-miss experiment (paper Fig 11) and the elasticity runs.
+type HierStats struct {
+	MemHits     int64
+	DiskHits    int64
+	RemoteLoads int64
+	Failures    int64
+}
+
+// IndexCache is the hierarchical vector-index cache of paper §II-D:
+// an in-memory tier for searchable indexes, a local-disk tier holding
+// raw blobs to avoid repeated remote reads, and the remote shared
+// store as the source of truth. Metadata (segment metas, small
+// per-index headers) lives in a separate memory space from index data
+// so the two access patterns don't evict each other.
+type IndexCache struct {
+	mem        *LRU // deserialized indexes, keyed by blob key
+	meta       *LRU // small metadata entries, separate space
+	disk       storage.BlobStore
+	diskBudget *LRU // tracks which keys are on local disk, size-aware
+	remote     storage.BlobStore
+
+	loadMu sync.Mutex // serializes remote loads of the same key (simple global single-flight)
+
+	memHits, diskHits, remoteLoads, failures atomic.Int64
+}
+
+// Config sizes the tiers. Zero disables a tier.
+type Config struct {
+	MemBytes  int64
+	MetaBytes int64
+	DiskBytes int64
+}
+
+// DefaultConfig suits a worker with a few GB of RAM.
+func DefaultConfig() Config {
+	return Config{MemBytes: 1 << 30, MetaBytes: 64 << 20, DiskBytes: 4 << 30}
+}
+
+// NewIndexCache builds the hierarchy. disk may be nil to run
+// memory-over-remote only.
+func NewIndexCache(cfg Config, disk, remote storage.BlobStore) *IndexCache {
+	c := &IndexCache{
+		mem:    NewLRU(cfg.MemBytes),
+		meta:   NewLRU(cfg.MetaBytes),
+		disk:   disk,
+		remote: remote,
+	}
+	if disk != nil {
+		c.diskBudget = NewLRU(cfg.DiskBytes)
+		c.diskBudget.SetOnEvict(func(key string, _ any) {
+			// Budget exceeded: drop the local copy; remote remains.
+			_ = disk.Delete(key)
+		})
+	}
+	return c
+}
+
+// Stats snapshots the tier counters.
+func (c *IndexCache) Stats() HierStats {
+	return HierStats{
+		MemHits:     c.memHits.Load(),
+		DiskHits:    c.diskHits.Load(),
+		RemoteLoads: c.remoteLoads.Load(),
+		Failures:    c.failures.Load(),
+	}
+}
+
+// ContainsMem reports whether key's index is resident in memory —
+// the scheduler uses this to detect cache misses without forcing a
+// load.
+func (c *IndexCache) ContainsMem(key string) bool {
+	return c.mem.Contains(key)
+}
+
+// Get returns the deserialized index for key, loading through the
+// tiers as needed: memory → local disk → remote. The loader runs at
+// most once per miss; its reported size drives memory accounting.
+func (c *IndexCache) Get(key string, loader IndexLoader) (any, error) {
+	if v, ok := c.mem.Get(key); ok {
+		c.memHits.Add(1)
+		return v, nil
+	}
+	c.loadMu.Lock()
+	defer c.loadMu.Unlock()
+	// Re-check under the load lock: another goroutine may have won.
+	if v, ok := c.mem.Get(key); ok {
+		c.memHits.Add(1)
+		return v, nil
+	}
+	blob, fromDisk, err := c.fetchBlob(key)
+	if err != nil {
+		c.failures.Add(1)
+		return nil, err
+	}
+	if fromDisk {
+		c.diskHits.Add(1)
+	} else {
+		c.remoteLoads.Add(1)
+	}
+	v, size, err := loader(blob)
+	if err != nil {
+		c.failures.Add(1)
+		return nil, fmt.Errorf("cache: deserializing %s: %w", key, err)
+	}
+	c.mem.Put(key, v, size)
+	return v, nil
+}
+
+// fetchBlob reads the raw index blob, preferring local disk, and
+// populates the disk tier on a remote read.
+func (c *IndexCache) fetchBlob(key string) (blob []byte, fromDisk bool, err error) {
+	if c.disk != nil {
+		if blob, err := c.disk.Get(key); err == nil {
+			return blob, true, nil
+		} else if !storage.IsNotFound(err) {
+			return nil, false, err
+		}
+	}
+	blob, err = c.remote.Get(key)
+	if err != nil {
+		return nil, false, err
+	}
+	if c.disk != nil {
+		if err := c.disk.Put(key, blob); err == nil {
+			c.diskBudget.Put(key, struct{}{}, int64(len(blob)))
+		}
+	}
+	return blob, false, nil
+}
+
+// Preload pulls keys through the hierarchy ahead of queries (the
+// cache-aware preload of paper §II-D). Errors are collected, not
+// fatal: preload is best-effort.
+func (c *IndexCache) Preload(keys []string, loader func(key string) IndexLoader) []error {
+	var errs []error
+	for _, k := range keys {
+		if _, err := c.Get(k, loader(k)); err != nil {
+			errs = append(errs, fmt.Errorf("preload %s: %w", k, err))
+		}
+	}
+	return errs
+}
+
+// Invalidate drops a key from memory and local disk (used when a
+// segment is compacted away).
+func (c *IndexCache) Invalidate(key string) {
+	c.mem.Remove(key)
+	if c.disk != nil {
+		_ = c.disk.Delete(key)
+		c.diskBudget.Remove(key)
+	}
+}
+
+// PutMeta / GetMeta manage the separate metadata space.
+func (c *IndexCache) PutMeta(key string, v any, size int64) { c.meta.Put(key, v, size) }
+
+// GetMeta returns a metadata entry.
+func (c *IndexCache) GetMeta(key string) (any, bool) { return c.meta.Get(key) }
+
+// DropMem removes only the in-memory entry, keeping the disk copy —
+// simulates a worker restart for the cache-miss experiments.
+func (c *IndexCache) DropMem(key string) { c.mem.Remove(key) }
+
+// PurgeMem empties the in-memory tier (worker restart simulation).
+func (c *IndexCache) PurgeMem() { c.mem.Purge() }

@@ -1,0 +1,151 @@
+// Package cache implements the caching tiers of BlendHouse's
+// disaggregated architecture (paper §II-D and §IV-C):
+//
+//   - a size-aware LRU building block,
+//   - the hierarchical vector-index cache (memory over local disk over
+//     remote shared storage) with separate metadata and data spaces so
+//     the two access patterns don't thrash each other,
+//   - the adaptive column cache with a row-limit admission control that
+//     keeps huge hybrid-query reads from evicting the hot set.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a byte-size-aware least-recently-used cache, safe for
+// concurrent use. Values are opaque; callers supply each entry's size.
+type LRU struct {
+	mu       sync.Mutex
+	capBytes int64
+	size     int64
+	ll       *list.List
+	items    map[string]*list.Element
+	onEvict  func(key string, value any)
+
+	hits, misses int64
+}
+
+type lruEntry struct {
+	key   string
+	value any
+	size  int64
+}
+
+// NewLRU returns a cache bounded to capBytes. capBytes <= 0 means the
+// cache stores nothing (every Get misses), which callers use to
+// disable a tier.
+func NewLRU(capBytes int64) *LRU {
+	return &LRU{capBytes: capBytes, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// SetOnEvict installs an eviction callback (e.g. deleting the local
+// disk copy when the disk tier's budget is exceeded).
+func (c *LRU) SetOnEvict(fn func(key string, value any)) {
+	c.mu.Lock()
+	c.onEvict = fn
+	c.mu.Unlock()
+}
+
+// Get returns the cached value and marks it most-recently-used.
+func (c *LRU) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*lruEntry).value, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Contains reports presence without touching recency or stats.
+func (c *LRU) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
+// Put inserts or replaces an entry and evicts LRU entries until the
+// budget holds. Entries larger than the whole budget are rejected
+// (returned false) rather than flushing the cache for one item.
+func (c *LRU) Put(key string, value any, size int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.capBytes {
+		return false
+	}
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*lruEntry)
+		c.size += size - e.size
+		e.value, e.size = value, size
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&lruEntry{key, value, size})
+		c.items[key] = el
+		c.size += size
+	}
+	for c.size > c.capBytes {
+		c.evictOldest()
+	}
+	return true
+}
+
+// Remove drops an entry without invoking the eviction callback.
+func (c *LRU) Remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*lruEntry)
+		c.ll.Remove(el)
+		delete(c.items, key)
+		c.size -= e.size
+	}
+}
+
+func (c *LRU) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*lruEntry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.size -= e.size
+	if c.onEvict != nil {
+		c.onEvict(e.key, e.value)
+	}
+}
+
+// Len returns the number of entries.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// SizeBytes returns the summed entry sizes.
+func (c *LRU) SizeBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}
+
+// Stats returns hit/miss counters.
+func (c *LRU) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Purge empties the cache without callbacks.
+func (c *LRU) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll = list.New()
+	c.items = map[string]*list.Element{}
+	c.size = 0
+}

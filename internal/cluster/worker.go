@@ -1,0 +1,204 @@
+// Package cluster implements the disaggregated compute layer of
+// BlendHouse (paper §II): virtual warehouses (VWs) of stateless
+// workers over shared remote storage, segment scheduling with
+// multi-probe consistent hashing, scheduler-side segment pruning
+// (scalar and semantic), the vector-search-serving RPC that papers
+// over index-cache misses during scaling, cache-aware preload, and
+// query-level fault tolerance.
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"blendhouse/internal/bitset"
+	"blendhouse/internal/cache"
+	"blendhouse/internal/index"
+	"blendhouse/internal/lsm"
+	"blendhouse/internal/storage"
+	"blendhouse/internal/vec"
+)
+
+// Worker is one stateless compute node: it owns only caches; all
+// durable state lives in the shared store. Killing a worker loses
+// nothing but cache warmth.
+type Worker struct {
+	ID    string
+	cache *cache.IndexCache
+	vw    *VW
+	// slots bounds concurrent segment scans — the worker's compute
+	// capacity. Scans block here when the worker is saturated, which
+	// is how adding workers raises VW throughput.
+	slots chan struct{}
+
+	alive atomic.Bool
+
+	// Counters for the benchmarks.
+	LocalSearches  atomic.Int64
+	ServedSearches atomic.Int64 // searches executed on behalf of another worker
+	BruteSearches  atomic.Int64
+}
+
+// newWorker wires a worker with its own local-disk tier (an isolated
+// MemStore standing in for the node's SSD) over the VW's shared
+// remote store.
+func newWorker(id string, vw *VW, cfg cache.Config, slots int) *Worker {
+	w := &Worker{
+		ID:    id,
+		vw:    vw,
+		cache: cache.NewIndexCache(cfg, storage.NewMemStore(), vw.remote),
+		slots: make(chan struct{}, slots),
+	}
+	w.alive.Store(true)
+	return w
+}
+
+// acquire blocks until the worker has a free compute slot and charges
+// the simulated per-scan service time, if configured.
+func (w *Worker) acquire() func() {
+	w.slots <- struct{}{}
+	if c := w.vw.cfg.SimulatedScanCost; c > 0 {
+		time.Sleep(c)
+	}
+	return func() { <-w.slots }
+}
+
+// chargePost charges the simulated per-segment post-processing time
+// on this worker's capacity (see VWConfig.SimulatedPostCost).
+func (w *Worker) chargePost() {
+	if c := w.vw.cfg.SimulatedPostCost; c > 0 {
+		w.slots <- struct{}{}
+		time.Sleep(c)
+		<-w.slots
+	}
+}
+
+// Alive reports whether the worker is serving.
+func (w *Worker) Alive() bool { return w.alive.Load() }
+
+// Fail simulates a crash: the worker stops serving and loses its
+// in-memory cache (the local disk tier survives, as a restarted pod's
+// volume would).
+func (w *Worker) Fail() {
+	w.alive.Store(false)
+	w.cache.PurgeMem()
+}
+
+// Recover brings a failed worker back (cold in-memory cache).
+func (w *Worker) Recover() { w.alive.Store(true) }
+
+// CacheStats exposes the hierarchical cache counters.
+func (w *Worker) CacheStats() cache.HierStats { return w.cache.Stats() }
+
+// HasIndexInMem reports whether the segment's index is resident —
+// the scheduler and the serving path consult this without triggering
+// a load.
+func (w *Worker) HasIndexInMem(table *lsm.Table, seg string) bool {
+	return w.cache.ContainsMem(table.IndexKeyOf(seg))
+}
+
+// SearchSegment runs an ANN scan over one segment on this worker,
+// loading the index through the hierarchical cache as needed. filter
+// is offset-indexed over the segment's rows; deleted rows must
+// already be cleared in it (or pass nil and handle deletes upstream).
+func (w *Worker) SearchSegment(table *lsm.Table, meta *storage.SegmentMeta, q []float32, k int, p index.SearchParams, filter *bitset.Bitset) ([]index.Candidate, error) {
+	if !w.Alive() {
+		return nil, fmt.Errorf("cluster: worker %s is down", w.ID)
+	}
+	release := w.acquire()
+	key := table.IndexKeyOf(meta.Name)
+	v, err := w.cache.Get(key, table.IndexLoaderFor(meta))
+	if err != nil {
+		release() // BruteForceSearch acquires its own slot
+		if storage.IsNotFound(err) {
+			// Segment has no index (e.g. table without INDEX clause):
+			// brute-force fallback.
+			return w.BruteForceSearch(table, meta, q, k, filter)
+		}
+		return nil, err
+	}
+	defer release()
+	ix := v.(index.Index)
+	w.LocalSearches.Add(1)
+	return ix.SearchWithFilter(q, k, filter, p)
+}
+
+// BruteForceSearch is the fallback of paper §II-D: read the vector
+// column from (remote) storage and compute exact distances. This is
+// what vector search serving exists to avoid.
+func (w *Worker) BruteForceSearch(table *lsm.Table, meta *storage.SegmentMeta, q []float32, k int, filter *bitset.Bitset) ([]index.Candidate, error) {
+	if !w.Alive() {
+		return nil, fmt.Errorf("cluster: worker %s is down", w.ID)
+	}
+	release := w.acquire()
+	defer release()
+	w.BruteSearches.Add(1)
+	rd := &storage.SegmentReader{Store: table.Store(), Meta: meta, Schema: table.Schema()}
+	vcolName := table.Options().IndexColumn
+	if vcolName == "" {
+		vcolName = table.Schema().VectorColumn().Name
+	}
+	col, err := rd.ReadColumn(vcolName)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: brute-force read of %s: %w", meta.Name, err)
+	}
+	metric := table.Options().IndexParams.Metric
+	t := index.NewTopK(k)
+	for r := 0; r < col.Len(); r++ {
+		if filter != nil && !filter.Test(r) {
+			continue
+		}
+		t.Push(index.Candidate{ID: int64(r), Dist: vec.Distance(metric, q, col.Vector(r))})
+	}
+	return t.Results(), nil
+}
+
+// RangeSegment runs a range scan over one segment.
+func (w *Worker) RangeSegment(table *lsm.Table, meta *storage.SegmentMeta, q []float32, radius float32, p index.SearchParams, filter *bitset.Bitset) ([]index.Candidate, error) {
+	if !w.Alive() {
+		return nil, fmt.Errorf("cluster: worker %s is down", w.ID)
+	}
+	release := w.acquire()
+	defer release()
+	key := table.IndexKeyOf(meta.Name)
+	v, err := w.cache.Get(key, table.IndexLoaderFor(meta))
+	if err != nil {
+		return nil, err
+	}
+	w.LocalSearches.Add(1)
+	return v.(index.Index).SearchWithRange(q, radius, filter, p)
+}
+
+// OpenIterator opens an incremental search over one segment's index.
+func (w *Worker) OpenIterator(table *lsm.Table, meta *storage.SegmentMeta, q []float32, initialK int, p index.SearchParams) (index.Iterator, error) {
+	if !w.Alive() {
+		return nil, fmt.Errorf("cluster: worker %s is down", w.ID)
+	}
+	key := table.IndexKeyOf(meta.Name)
+	v, err := w.cache.Get(key, table.IndexLoaderFor(meta))
+	if err != nil {
+		return nil, err
+	}
+	w.LocalSearches.Add(1)
+	return index.OpenIterator(v.(index.Index), q, initialK, p)
+}
+
+// Preload pulls the given segments' indexes through the cache tiers
+// (paper §II-D "Cache-aware vector index preload").
+func (w *Worker) Preload(table *lsm.Table, metas []*storage.SegmentMeta) []error {
+	var errs []error
+	for _, m := range metas {
+		key := table.IndexKeyOf(m.Name)
+		if _, err := w.cache.Get(key, table.IndexLoaderFor(m)); err != nil {
+			errs = append(errs, fmt.Errorf("preload %s: %w", m.Name, err))
+		}
+	}
+	return errs
+}
+
+// DropIndexFromMem evicts one segment's index from memory (test and
+// experiment hook for forcing cache misses).
+func (w *Worker) DropIndexFromMem(table *lsm.Table, seg string) {
+	w.cache.DropMem(table.IndexKeyOf(seg))
+}

@@ -1,0 +1,404 @@
+// Package core is BlendHouse's engine: it owns the table catalog over
+// the shared blob store, parses and executes the SQL dialect, and
+// wires the planner, executor, virtual warehouses and caches together
+// into the system described in the paper's Figure 1/2.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"blendhouse/internal/cache"
+	"blendhouse/internal/cluster"
+	"blendhouse/internal/exec"
+	"blendhouse/internal/index"
+	"blendhouse/internal/lsm"
+	"blendhouse/internal/plan"
+	"blendhouse/internal/sql"
+	"blendhouse/internal/storage"
+	"blendhouse/internal/vec"
+
+	// Register all pluggable index types with the virtual-index
+	// registry; the engine itself never names a concrete type.
+	_ "blendhouse/internal/index/diskann"
+	_ "blendhouse/internal/index/flat"
+	_ "blendhouse/internal/index/hnsw"
+	_ "blendhouse/internal/index/ivf"
+)
+
+// Config assembles an engine.
+type Config struct {
+	// Store is the shared (remote) blob store. Required.
+	Store storage.BlobStore
+	// VW optionally distributes vector search across a virtual
+	// warehouse; nil executes locally in-process.
+	VW *cluster.VW
+	// Planner toggles optimizer features (CBO, plan cache,
+	// short-circuit) for the ablation experiments.
+	Planner plan.PlannerConfig
+	// ColumnCache enables the adaptive column cache (READ_Opt); nil
+	// disables it.
+	ColumnCache *cache.ColumnCacheConfig
+	// SemanticFraction enables semantic segment pruning on clustered
+	// tables (0 disables; the paper's experiments use ~0.25).
+	SemanticFraction float64
+	// MinSegments floors the semantic cut.
+	MinSegments int
+	// SegmentRows caps ingest segment size (default 8192).
+	SegmentRows int
+	// PipelinedBuild toggles pipelined index construction (default
+	// true; the Table IV baselines turn it off).
+	PipelinedBuild *bool
+	// AutoIndex enables rule-based per-segment parameter selection.
+	AutoIndex bool
+	// TuneOnCompaction refines index parameters with the offline
+	// auto-tuner when compaction rebuilds merged segments.
+	TuneOnCompaction bool
+	// CompactionInterval > 0 starts a background compaction loop per
+	// table — the dedicated compaction VW of the paper's Figure 1,
+	// collapsed into a goroutine for the single-process deployment.
+	// Stop it with Engine.Close.
+	CompactionInterval time.Duration
+	Seed               int64
+}
+
+// Engine is a BlendHouse instance.
+type Engine struct {
+	cfg      Config
+	planner  *plan.Planner
+	colCache *cache.ColumnCache
+
+	mu     sync.RWMutex
+	tables map[string]*lsm.Table
+	execs  map[string]*exec.Executor
+
+	stopCompaction chan struct{}
+	closeOnce      sync.Once
+}
+
+// New builds an engine, reopening any tables already present in the
+// store's catalog namespace.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("core: Config.Store is required")
+	}
+	e := &Engine{
+		cfg:            cfg,
+		planner:        plan.NewPlanner(cfg.Planner),
+		tables:         map[string]*lsm.Table{},
+		execs:          map[string]*exec.Executor{},
+		stopCompaction: make(chan struct{}),
+	}
+	if cfg.ColumnCache != nil {
+		e.colCache = cache.NewColumnCache(*cfg.ColumnCache)
+	}
+	// Recover existing tables from manifests.
+	keys, err := cfg.Store.List("tables/")
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range keys {
+		if !strings.HasSuffix(k, "/manifest.json") {
+			continue
+		}
+		name := strings.TrimSuffix(strings.TrimPrefix(k, "tables/"), "/manifest.json")
+		if strings.Contains(name, "/") {
+			continue
+		}
+		t, err := lsm.Open(cfg.Store, name)
+		if err != nil {
+			return nil, fmt.Errorf("core: recovering table %q: %w", name, err)
+		}
+		e.registerTable(t)
+	}
+	return e, nil
+}
+
+func (e *Engine) registerTable(t *lsm.Table) {
+	e.mu.Lock()
+	e.tables[t.Name()] = t
+	frac := 0.0
+	if t.Options().ClusterBuckets > 0 {
+		frac = e.cfg.SemanticFraction
+	}
+	e.execs[t.Name()] = &exec.Executor{
+		Table: t, VW: e.cfg.VW, ColCache: e.colCache,
+		SemanticFraction: frac, MinSegments: e.cfg.MinSegments,
+	}
+	e.mu.Unlock()
+	if e.cfg.VW != nil {
+		e.cfg.VW.RegisterTable(t)
+	}
+	if e.cfg.CompactionInterval > 0 {
+		name := t.Name()
+		t.StartCompaction(lsm.CompactionPolicy{}, e.cfg.CompactionInterval, e.stopCompaction, nil)
+		// Compaction retires segments; drop stale local index handles
+		// periodically alongside it.
+		go func() {
+			ticker := time.NewTicker(e.cfg.CompactionInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-e.stopCompaction:
+					return
+				case <-ticker.C:
+					if ex := e.Executor(name); ex != nil {
+						ex.InvalidateLocalIndexes()
+					}
+				}
+			}
+		}()
+	}
+}
+
+// Close stops background compaction loops. Safe to call multiple
+// times; the engine remains usable for queries afterwards (only the
+// background work stops).
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() { close(e.stopCompaction) })
+}
+
+// Table returns a table handle, or nil.
+func (e *Engine) Table(name string) *lsm.Table {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.tables[name]
+}
+
+// Executor returns the table's executor (experiment hook).
+func (e *Engine) Executor(name string) *exec.Executor {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.execs[name]
+}
+
+// Planner exposes the planner (for plan-cache stats in benchmarks).
+func (e *Engine) Planner() *plan.Planner { return e.planner }
+
+// Tables lists table names.
+func (e *Engine) Tables() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.tables))
+	for n := range e.tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Exec parses and executes one SQL statement. DDL and DML return a
+// single status row; SELECT returns its result set.
+func (e *Engine) Exec(src string) (*exec.Result, error) {
+	st, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	switch s := st.(type) {
+	case *sql.CreateTable:
+		if err := e.createTable(s); err != nil {
+			return nil, err
+		}
+		return statusResult("OK: created table " + s.Name), nil
+	case *sql.DropTable:
+		if err := e.dropTable(s.Name); err != nil {
+			return nil, err
+		}
+		return statusResult("OK: dropped table " + s.Name), nil
+	case *sql.Insert:
+		n, err := e.insert(s)
+		if err != nil {
+			return nil, err
+		}
+		return statusResult(fmt.Sprintf("OK: inserted %d rows into %s", n, s.Table)), nil
+	case *sql.Select:
+		return e.query(s)
+	case *sql.ShowTables:
+		return e.showTables(), nil
+	case *sql.Describe:
+		return e.describe(s.Name)
+	case *sql.Delete:
+		return e.delete(s)
+	case *sql.Optimize:
+		return e.optimize(s.Name)
+	default:
+		return nil, fmt.Errorf("core: unsupported statement %T", st)
+	}
+}
+
+// showTables lists the catalog with live row/segment counts.
+func (e *Engine) showTables() *exec.Result {
+	res := &exec.Result{Columns: []string{"table", "rows", "segments", "index"}}
+	names := e.Tables()
+	sort.Strings(names)
+	for _, n := range names {
+		t := e.Table(n)
+		idx := "-"
+		if t.Options().IndexColumn != "" {
+			idx = fmt.Sprintf("%s(%s)", t.Options().IndexType, t.Options().IndexColumn)
+		}
+		res.Rows = append(res.Rows, []any{n, int64(t.Rows()), int64(t.SegmentCount()), idx})
+	}
+	return res
+}
+
+// describe renders a table's schema, index and partitioning.
+func (e *Engine) describe(name string) (*exec.Result, error) {
+	t := e.Table(name)
+	if t == nil {
+		return nil, fmt.Errorf("core: table %q does not exist", name)
+	}
+	res := &exec.Result{Columns: []string{"column", "type", "extra"}}
+	opts := t.Options()
+	for _, c := range t.Schema().Columns {
+		extra := ""
+		if c.Name == opts.IndexColumn {
+			extra = fmt.Sprintf("INDEX %s DIM=%d", opts.IndexType, c.Dim)
+		}
+		for _, pc := range opts.PartitionBy {
+			if pc == c.Name {
+				extra = strings.TrimSpace(extra + " PARTITION KEY")
+			}
+		}
+		if t.Schema().OrderBy == c.Name {
+			extra = strings.TrimSpace(extra + " ORDER BY")
+		}
+		res.Rows = append(res.Rows, []any{c.Name, c.Type.String(), extra})
+	}
+	if opts.ClusterBuckets > 0 {
+		res.Rows = append(res.Rows, []any{"(clustering)", "", fmt.Sprintf("CLUSTER BY %s INTO %d BUCKETS", opts.IndexColumn, opts.ClusterBuckets)})
+	}
+	return res, nil
+}
+
+// delete marks rows deleted by key (multi-version path: delete bitmap
+// now, physical removal at the next compaction).
+func (e *Engine) delete(d *sql.Delete) (*exec.Result, error) {
+	t := e.Table(d.Table)
+	if t == nil {
+		return nil, fmt.Errorf("core: table %q does not exist", d.Table)
+	}
+	n, err := t.DeleteByKey(d.Column, d.Keys)
+	if err != nil {
+		return nil, err
+	}
+	if ex := e.Executor(d.Table); ex != nil {
+		ex.InvalidateLocalIndexes()
+	}
+	return statusResult(fmt.Sprintf("OK: marked %d rows deleted in %s", n, d.Table)), nil
+}
+
+// optimize runs compaction to convergence (OPTIMIZE TABLE).
+func (e *Engine) optimize(name string) (*exec.Result, error) {
+	t := e.Table(name)
+	if t == nil {
+		return nil, fmt.Errorf("core: table %q does not exist", name)
+	}
+	merged, err := t.CompactAll(lsm.CompactionPolicy{MinSegments: 2})
+	if err != nil {
+		return nil, err
+	}
+	if ex := e.Executor(name); ex != nil {
+		ex.InvalidateLocalIndexes()
+	}
+	return statusResult(fmt.Sprintf("OK: compacted %d segments in %s (now %d)", merged, name, t.SegmentCount())), nil
+}
+
+func statusResult(msg string) *exec.Result {
+	return &exec.Result{Columns: []string{"status"}, Rows: [][]any{{msg}}}
+}
+
+// query plans and runs a SELECT.
+func (e *Engine) query(sel *sql.Select) (*exec.Result, error) {
+	t := e.Table(sel.Table)
+	if t == nil {
+		return nil, fmt.Errorf("core: table %q does not exist", sel.Table)
+	}
+	ph, err := e.planner.Plan(sel, t)
+	if err != nil {
+		return nil, err
+	}
+	return e.Executor(sel.Table).Run(ph)
+}
+
+// createTable maps the CREATE TABLE AST onto an LSM table.
+func (e *Engine) createTable(ct *sql.CreateTable) error {
+	if e.Table(ct.Name) != nil {
+		return fmt.Errorf("core: table %q already exists", ct.Name)
+	}
+	schema := &storage.Schema{OrderBy: ct.OrderBy}
+	for _, c := range ct.Columns {
+		typ, err := storage.ParseColumnType(c.TypeName)
+		if err != nil {
+			return err
+		}
+		schema.Columns = append(schema.Columns, storage.ColumnDef{Name: c.Name, Type: typ})
+	}
+	opts := lsm.Options{
+		Name: ct.Name, Schema: schema,
+		PartitionBy:      ct.PartitionBy,
+		ClusterBuckets:   ct.ClusterBuckets,
+		SegmentRows:      e.cfg.SegmentRows,
+		PipelinedBuild:   e.cfg.PipelinedBuild == nil || *e.cfg.PipelinedBuild,
+		AutoIndex:        e.cfg.AutoIndex,
+		TuneOnCompaction: e.cfg.TuneOnCompaction,
+		Seed:             e.cfg.Seed,
+	}
+	if len(ct.Indexes) > 1 {
+		return fmt.Errorf("core: at most one vector index per table (got %d)", len(ct.Indexes))
+	}
+	if len(ct.Indexes) == 1 {
+		idx := ct.Indexes[0]
+		params, err := index.ParseKV(0, vec.L2, idx.Params)
+		if err != nil {
+			return err
+		}
+		opts.IndexColumn = idx.Column
+		opts.IndexType = index.Type(idx.Kind)
+		opts.IndexParams = params
+		// The vector column's dimension comes from the index DIM.
+		for i := range schema.Columns {
+			if schema.Columns[i].Name == idx.Column {
+				if schema.Columns[i].Type != storage.VectorType {
+					return fmt.Errorf("core: INDEX %s is on non-vector column %q", idx.Name, idx.Column)
+				}
+				schema.Columns[i].Dim = params.Dim
+			}
+		}
+	}
+	for i := range schema.Columns {
+		if schema.Columns[i].Type == storage.VectorType && schema.Columns[i].Dim == 0 {
+			return fmt.Errorf("core: vector column %q needs an INDEX ... TYPE ...('DIM=n') to fix its dimension", schema.Columns[i].Name)
+		}
+	}
+	t, err := lsm.Create(e.cfg.Store, opts)
+	if err != nil {
+		return err
+	}
+	e.registerTable(t)
+	return nil
+}
+
+// dropTable removes the table from the catalog and deletes its blobs.
+func (e *Engine) dropTable(name string) error {
+	e.mu.Lock()
+	t, ok := e.tables[name]
+	delete(e.tables, name)
+	delete(e.execs, name)
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: table %q does not exist", name)
+	}
+	keys, err := e.cfg.Store.List("tables/" + t.Name() + "/")
+	if err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if err := e.cfg.Store.Delete(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}

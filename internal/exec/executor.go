@@ -1,0 +1,678 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"blendhouse/internal/bitset"
+	"blendhouse/internal/cache"
+	"blendhouse/internal/cluster"
+	"blendhouse/internal/index"
+	"blendhouse/internal/lsm"
+	"blendhouse/internal/plan"
+	"blendhouse/internal/storage"
+	"blendhouse/internal/vec"
+)
+
+// Executor runs physical plans against one table, either locally
+// (VW == nil, indexes cached in-process) or distributed across a
+// virtual warehouse.
+type Executor struct {
+	Table *lsm.Table
+	VW    *cluster.VW
+	// ColCache is the adaptive column cache (nil = direct reads).
+	ColCache *cache.ColumnCache
+	// SemanticFraction enables semantic segment pruning for vector
+	// queries on clustered tables: only this fraction of segments
+	// (nearest centroids first) is searched, widening adaptively when
+	// results come back short. 0 disables.
+	SemanticFraction float64
+	// MinSegments floors the semantic cut.
+	MinSegments int
+
+	localIdx sync.Map // segment name -> index.Index
+}
+
+// Result is a materialized query result.
+type Result struct {
+	Columns []string
+	Rows    [][]any
+}
+
+// hit is one ANN candidate qualified by segment.
+type hit struct {
+	meta   *storage.SegmentMeta
+	offset int
+	dist   float32
+}
+
+// Run executes a physical plan.
+func (e *Executor) Run(ph *plan.Physical) (*Result, error) {
+	lg := ph.Logical
+	preds, err := compilePredicates(e.Table.Schema(), lg.ScalarPreds)
+	if err != nil {
+		return nil, err
+	}
+	if !lg.IsVectorQuery() {
+		return e.runScalar(lg, preds)
+	}
+	k := lg.K
+	if k <= 0 {
+		k = 100
+	}
+	params := lg.Params.WithDefaults(k)
+
+	frac := e.SemanticFraction
+	for {
+		metas, prunedSemantically := e.pruneSegments(lg, preds, frac)
+		var hits []hit
+		var err error
+		if lg.Range != nil {
+			hits, err = e.runRange(lg, preds, metas, params)
+		} else {
+			switch ph.Strategy {
+			case plan.BruteForce:
+				hits, err = e.runBruteForce(lg, preds, metas, k)
+			case plan.PreFilter:
+				hits, err = e.runPreFilter(lg, preds, metas, k, params)
+			case plan.PostFilter:
+				hits, err = e.runPostFilter(lg, preds, metas, k, params)
+			default:
+				err = fmt.Errorf("exec: unknown strategy %v", ph.Strategy)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		// Adaptive semantic widening (paper §IV-B): if pruning cost us
+		// results, re-run over more segments.
+		if prunedSemantically && len(hits) < k && lg.Range == nil {
+			frac = frac * 2
+			if frac < 1 {
+				continue
+			}
+			frac = 1 // final pass over everything
+			metas, _ := e.pruneSegments(lg, preds, 0)
+			switch ph.Strategy {
+			case plan.BruteForce:
+				hits, err = e.runBruteForce(lg, preds, metas, k)
+			case plan.PreFilter:
+				hits, err = e.runPreFilter(lg, preds, metas, k, params)
+			case plan.PostFilter:
+				hits, err = e.runPostFilter(lg, preds, metas, k, params)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		sortHits(hits)
+		if lg.Range == nil && len(hits) > k {
+			hits = hits[:k]
+		}
+		return e.assemble(lg, hits)
+	}
+}
+
+func sortHits(hits []hit) {
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].dist != hits[j].dist {
+			return hits[i].dist < hits[j].dist
+		}
+		if hits[i].meta.Name != hits[j].meta.Name {
+			return hits[i].meta.Name < hits[j].meta.Name
+		}
+		return hits[i].offset < hits[j].offset
+	})
+}
+
+// pruneSegments applies partition, min/max and semantic pruning.
+func (e *Executor) pruneSegments(lg *plan.Logical, preds []compiledPred, semanticFrac float64) ([]*storage.SegmentMeta, bool) {
+	opts := cluster.PruneOptions{
+		IntRanges:   map[string][2]int64{},
+		FloatRanges: map[string][2]float64{},
+	}
+	tOpts := e.Table.Options()
+	for _, p := range preds {
+		if p.intRange != nil {
+			opts.IntRanges[p.col] = mergeInt(opts.IntRanges[p.col], *p.intRange)
+		}
+		if p.floatRange != nil {
+			opts.FloatRanges[p.col] = *p.floatRange
+		}
+		// Partition pruning for single-column string partitions.
+		if p.eqString != nil && len(tOpts.PartitionBy) == 1 && tOpts.PartitionBy[0] == p.col {
+			opts.Partitions = map[string]bool{*p.eqString: true}
+		}
+	}
+	if semanticFrac > 0 && semanticFrac < 1 && lg.Distance != nil {
+		opts.QueryVector = lg.Distance.Query
+		opts.SemanticFraction = semanticFrac
+		opts.MinSegments = e.MinSegments
+	}
+	all := e.Table.Segments()
+	kept := cluster.PruneSegments(e.Table, all, opts)
+	return kept, opts.SemanticFraction > 0 && len(kept) < len(all)
+}
+
+func mergeInt(existing [2]int64, nw [2]int64) [2]int64 {
+	if existing == ([2]int64{}) {
+		return nw
+	}
+	lo, hi := existing[0], existing[1]
+	if nw[0] > lo {
+		lo = nw[0]
+	}
+	if nw[1] < hi {
+		hi = nw[1]
+	}
+	return [2]int64{lo, hi}
+}
+
+// predicateBitset evaluates the scalar conjuncts over a whole segment
+// (the structured scan of plans A and B) and subtracts the delete
+// bitmap. Returns nil when the segment has neither predicates nor
+// deletes (= unfiltered).
+func (e *Executor) predicateBitset(meta *storage.SegmentMeta, preds []compiledPred) (*bitset.Bitset, error) {
+	del, err := e.Table.DeleteBitmap(meta.Name)
+	if err != nil {
+		return nil, err
+	}
+	if len(preds) == 0 && del == nil {
+		return nil, nil
+	}
+	bs := bitset.NewFull(meta.Rows)
+	if len(preds) > 0 {
+		rd, err := e.Table.Reader(meta.Name)
+		if err != nil {
+			return nil, err
+		}
+		cols := map[string]*storage.ColumnData{}
+		for _, p := range preds {
+			if _, ok := cols[p.col]; ok {
+				continue
+			}
+			var c *storage.ColumnData
+			if e.ColCache != nil {
+				c, err = e.ColCache.ReadColumn(rd, p.col)
+			} else {
+				c, err = rd.ReadColumn(p.col)
+			}
+			if err != nil {
+				return nil, err
+			}
+			cols[p.col] = c
+		}
+		for row := 0; row < meta.Rows; row++ {
+			for _, p := range preds {
+				if !p.eval(cols[p.col], row) {
+					bs.Clear(row)
+					break
+				}
+			}
+		}
+	}
+	if del != nil {
+		bs.AndNot(del)
+	}
+	return bs, nil
+}
+
+// segmentIndex loads a segment's index for single-node execution.
+func (e *Executor) segmentIndex(meta *storage.SegmentMeta) (index.Index, error) {
+	if v, ok := e.localIdx.Load(meta.Name); ok {
+		return v.(index.Index), nil
+	}
+	ix, err := e.Table.OpenIndex(meta.Name)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := e.localIdx.LoadOrStore(meta.Name, ix)
+	return actual.(index.Index), nil
+}
+
+// InvalidateLocalIndexes drops the single-node index cache (used after
+// compaction in long-running tests/benches).
+func (e *Executor) InvalidateLocalIndexes() {
+	e.localIdx = sync.Map{}
+}
+
+// --- plan A: brute force -----------------------------------------------------
+
+func (e *Executor) runBruteForce(lg *plan.Logical, preds []compiledPred, metas []*storage.SegmentMeta, k int) ([]hit, error) {
+	var all []hit
+	for _, m := range metas {
+		bs, err := e.predicateBitset(m, preds)
+		if err != nil {
+			return nil, err
+		}
+		var rows []int
+		if bs == nil {
+			rows = make([]int, m.Rows)
+			for i := range rows {
+				rows[i] = i
+			}
+		} else {
+			rows = bs.Ones()
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		rd, err := e.Table.Reader(m.Name)
+		if err != nil {
+			return nil, err
+		}
+		vcol, err := e.readRows(rd, lg.VectorColumn, rows, len(rows))
+		if err != nil {
+			return nil, err
+		}
+		t := index.NewTopK(k)
+		for i := range rows {
+			d := vec.Distance(lg.Metric, lg.Distance.Query, vcol.Vector(i))
+			t.Push(index.Candidate{ID: int64(rows[i]), Dist: d})
+		}
+		for _, c := range t.Results() {
+			all = append(all, hit{meta: m, offset: int(c.ID), dist: c.Dist})
+		}
+	}
+	return all, nil
+}
+
+// --- plan B: pre-filter --------------------------------------------------------
+
+func (e *Executor) runPreFilter(lg *plan.Logical, preds []compiledPred, metas []*storage.SegmentMeta, k int, params index.SearchParams) ([]hit, error) {
+	filters := map[string]*bitset.Bitset{}
+	searchable := metas[:0:0]
+	for _, m := range metas {
+		bs, err := e.predicateBitset(m, preds)
+		if err != nil {
+			return nil, err
+		}
+		if bs != nil && !bs.Any() {
+			continue // nothing qualifies in this segment
+		}
+		filters[m.Name] = bs
+		searchable = append(searchable, m)
+	}
+	if len(searchable) == 0 {
+		return nil, nil
+	}
+	if e.VW != nil {
+		cands, err := e.VW.Search(e.Table, searchable, lg.Distance.Query, k, cluster.SearchOptions{
+			Params: params, Filters: filters,
+		})
+		if err != nil {
+			return nil, err
+		}
+		byName := metaIndex(searchable)
+		out := make([]hit, len(cands))
+		for i, c := range cands {
+			out[i] = hit{meta: byName[c.Segment], offset: int(c.Offset), dist: c.Dist}
+		}
+		return out, nil
+	}
+	var all []hit
+	for _, m := range searchable {
+		ix, err := e.segmentIndex(m)
+		if err != nil {
+			return nil, err
+		}
+		cands, err := ix.SearchWithFilter(lg.Distance.Query, k, filters[m.Name], params)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range cands {
+			all = append(all, hit{meta: m, offset: int(c.ID), dist: c.Dist})
+		}
+	}
+	return all, nil
+}
+
+func metaIndex(metas []*storage.SegmentMeta) map[string]*storage.SegmentMeta {
+	out := make(map[string]*storage.SegmentMeta, len(metas))
+	for _, m := range metas {
+		out[m.Name] = m
+	}
+	return out
+}
+
+// --- plan C: post-filter --------------------------------------------------------
+
+// runPostFilter opens an incremental search per segment, filters each
+// candidate batch against the scalar predicates (reading only the
+// predicate columns of the candidate rows), and iterates until k
+// qualifying rows per segment or exhaustion — Figure 2's SearchIterator
+// + partial-top-k-before-filter pipeline.
+func (e *Executor) runPostFilter(lg *plan.Logical, preds []compiledPred, metas []*storage.SegmentMeta, k int, params index.SearchParams) ([]hit, error) {
+	var all []hit
+	for _, m := range metas {
+		hits, err := e.postFilterSegment(lg, preds, m, k, params)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, hits...)
+	}
+	return all, nil
+}
+
+func (e *Executor) postFilterSegment(lg *plan.Logical, preds []compiledPred, m *storage.SegmentMeta, k int, params index.SearchParams) ([]hit, error) {
+	var it index.Iterator
+	var err error
+	if e.VW != nil {
+		owner := e.VW.Worker(e.VW.Workers()[0])
+		// Iterators are stateful: run on the segment's assigned worker.
+		assign := e.VW.ScheduleSegments(e.Table, []*storage.SegmentMeta{m})
+		for wid := range assign {
+			owner = e.VW.Worker(wid)
+		}
+		if owner == nil {
+			return nil, fmt.Errorf("exec: no worker for segment %s", m.Name)
+		}
+		it, err = owner.OpenIterator(e.Table, m, lg.Distance.Query, k, params)
+	} else {
+		ix, ierr := e.segmentIndex(m)
+		if ierr != nil {
+			return nil, ierr
+		}
+		it, err = index.OpenIterator(ix, lg.Distance.Query, k, params)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+
+	del, err := e.Table.DeleteBitmap(m.Name)
+	if err != nil {
+		return nil, err
+	}
+	rd, err := e.Table.Reader(m.Name)
+	if err != nil {
+		return nil, err
+	}
+	var out []hit
+	batch := k
+	if batch < 16 {
+		batch = 16
+	}
+	for len(out) < k {
+		cands, err := it.Next(batch)
+		if err != nil {
+			return nil, err
+		}
+		if len(cands) == 0 {
+			break
+		}
+		// Evaluate predicates only on the candidate rows.
+		rows := make([]int, 0, len(cands))
+		kept := make([]index.Candidate, 0, len(cands))
+		for _, c := range cands {
+			if del != nil && del.Test(int(c.ID)) {
+				continue
+			}
+			rows = append(rows, int(c.ID))
+			kept = append(kept, c)
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		pass := make([]bool, len(rows))
+		for i := range pass {
+			pass[i] = true
+		}
+		for _, p := range preds {
+			col, err := e.readRows(rd, p.col, rows, len(rows))
+			if err != nil {
+				return nil, err
+			}
+			for i := range rows {
+				if pass[i] && !p.eval(col, i) {
+					pass[i] = false
+				}
+			}
+		}
+		for i, c := range kept {
+			if pass[i] {
+				out = append(out, hit{meta: m, offset: int(c.ID), dist: c.Dist})
+				if len(out) == k {
+					break
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// --- range search ---------------------------------------------------------------
+
+func (e *Executor) runRange(lg *plan.Logical, preds []compiledPred, metas []*storage.SegmentMeta, params index.SearchParams) ([]hit, error) {
+	radius := lg.Range.Radius
+	// Internal distances: IP is negated, L2 is squared — translate the
+	// user-facing radius into index space.
+	switch lg.Metric {
+	case vec.L2:
+		radius = radius * radius
+	case vec.InnerProduct:
+		radius = -radius
+	}
+	var all []hit
+	for _, m := range metas {
+		bs, err := e.predicateBitset(m, preds)
+		if err != nil {
+			return nil, err
+		}
+		if bs != nil && !bs.Any() {
+			continue
+		}
+		var cands []index.Candidate
+		if e.VW != nil {
+			owner := e.VW.Worker(e.ownerOf(m))
+			if owner == nil {
+				return nil, fmt.Errorf("exec: no worker for segment %s", m.Name)
+			}
+			cands, err = owner.RangeSegment(e.Table, m, lg.Distance.Query, radius, params, bs)
+		} else {
+			ix, ierr := e.segmentIndex(m)
+			if ierr != nil {
+				return nil, ierr
+			}
+			cands, err = ix.SearchWithRange(lg.Distance.Query, radius, bs, params)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range cands {
+			all = append(all, hit{meta: m, offset: int(c.ID), dist: c.Dist})
+		}
+	}
+	if lg.K > 0 && len(all) > lg.K {
+		sortHits(all)
+		all = all[:lg.K]
+	}
+	return all, nil
+}
+
+func (e *Executor) ownerOf(m *storage.SegmentMeta) string {
+	assign := e.VW.ScheduleSegments(e.Table, []*storage.SegmentMeta{m})
+	for wid := range assign {
+		return wid
+	}
+	return ""
+}
+
+// --- scalar-only queries ----------------------------------------------------------
+
+func (e *Executor) runScalar(lg *plan.Logical, preds []compiledPred) (*Result, error) {
+	metas, _ := e.pruneSegments(lg, preds, 0)
+	type scalarRow struct {
+		meta   *storage.SegmentMeta
+		offset int
+		sortV  float64
+		sortS  string
+	}
+	var rows []scalarRow
+	for _, m := range metas {
+		bs, err := e.predicateBitset(m, preds)
+		if err != nil {
+			return nil, err
+		}
+		var offsets []int
+		if bs == nil {
+			offsets = make([]int, m.Rows)
+			for i := range offsets {
+				offsets[i] = i
+			}
+		} else {
+			offsets = bs.Ones()
+		}
+		if len(offsets) == 0 {
+			continue
+		}
+		var sortCol *storage.ColumnData
+		if lg.OrderColumn != "" {
+			rd, err := e.Table.Reader(m.Name)
+			if err != nil {
+				return nil, err
+			}
+			sortCol, err = e.readRows(rd, lg.OrderColumn, offsets, len(offsets))
+			if err != nil {
+				return nil, err
+			}
+		}
+		for i, off := range offsets {
+			r := scalarRow{meta: m, offset: off}
+			if sortCol != nil {
+				switch sortCol.Def.Type {
+				case storage.Int64Type, storage.DateTimeType:
+					r.sortV = float64(sortCol.Ints[i])
+				case storage.Float64Type:
+					r.sortV = sortCol.Floats[i]
+				case storage.StringType:
+					r.sortS = sortCol.Strs[i]
+				}
+			}
+			rows = append(rows, r)
+		}
+	}
+	if lg.OrderColumn != "" {
+		sort.SliceStable(rows, func(i, j int) bool {
+			less := rows[i].sortV < rows[j].sortV || (rows[i].sortV == rows[j].sortV && rows[i].sortS < rows[j].sortS)
+			if lg.Desc {
+				return !less && !(rows[i].sortV == rows[j].sortV && rows[i].sortS == rows[j].sortS)
+			}
+			return less
+		})
+	}
+	if lg.K > 0 && len(rows) > lg.K {
+		rows = rows[:lg.K]
+	}
+	hits := make([]hit, len(rows))
+	for i, r := range rows {
+		hits[i] = hit{meta: r.meta, offset: r.offset, dist: float32(math.NaN())}
+	}
+	return e.assemble(lg, hits)
+}
+
+// --- output assembly ---------------------------------------------------------------
+
+// readRows fetches rows of one column, through the adaptive column
+// cache when configured.
+func (e *Executor) readRows(rd *storage.SegmentReader, col string, rows []int, queryRows int) (*storage.ColumnData, error) {
+	if e.ColCache != nil {
+		return e.ColCache.ReadRows(rd, col, rows, queryRows)
+	}
+	return rd.ReadRows(col, rows)
+}
+
+// assemble fetches the projection columns for the final hits and
+// builds result rows in hit order.
+func (e *Executor) assemble(lg *plan.Logical, hits []hit) (*Result, error) {
+	cols := lg.Projection
+	if lg.Star {
+		cols = nil
+		for _, c := range e.Table.Schema().Columns {
+			cols = append(cols, c.Name)
+		}
+		if lg.DistAlias != "" {
+			cols = append(cols, lg.DistAlias)
+		}
+	}
+	res := &Result{Columns: cols}
+	if len(hits) == 0 {
+		return res, nil
+	}
+	// Group hits by segment, fetch each needed column once per
+	// segment, then emit in global order.
+	bySeg := map[string][]int{} // segment -> indices into hits
+	for i, h := range hits {
+		bySeg[h.meta.Name] = append(bySeg[h.meta.Name], i)
+	}
+	type colKey struct{ seg, col string }
+	fetched := map[colKey]*storage.ColumnData{}
+	rowPos := map[string]map[int]int{} // seg -> hit idx -> position in fetched rows
+	for seg, idxs := range bySeg {
+		rd, err := e.Table.Reader(seg)
+		if err != nil {
+			return nil, err
+		}
+		rows := make([]int, len(idxs))
+		pos := map[int]int{}
+		for i, hi := range idxs {
+			rows[i] = hits[hi].offset
+			pos[hi] = i
+		}
+		rowPos[seg] = pos
+		for _, c := range cols {
+			if c == lg.DistAlias && lg.DistAlias != "" {
+				continue
+			}
+			cd, err := e.readRows(rd, c, rows, len(hits))
+			if err != nil {
+				return nil, err
+			}
+			fetched[colKey{seg, c}] = cd
+		}
+	}
+	for hi, h := range hits {
+		row := make([]any, len(cols))
+		for ci, c := range cols {
+			if c == lg.DistAlias && lg.DistAlias != "" {
+				row[ci] = outputDistance(lg.Metric, h.dist)
+				continue
+			}
+			cd := fetched[colKey{h.meta.Name, c}]
+			p := rowPos[h.meta.Name][hi]
+			row[ci] = columnValue(cd, p)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// outputDistance converts internal index distances to user-facing
+// values: L2 is reported as true Euclidean distance, inner product is
+// un-negated, cosine passes through.
+func outputDistance(m vec.Metric, d float32) float64 {
+	switch m {
+	case vec.L2:
+		return math.Sqrt(float64(d))
+	case vec.InnerProduct:
+		return float64(-d)
+	default:
+		return float64(d)
+	}
+}
+
+func columnValue(cd *storage.ColumnData, row int) any {
+	switch cd.Def.Type {
+	case storage.Int64Type, storage.DateTimeType:
+		return cd.Ints[row]
+	case storage.Float64Type:
+		return cd.Floats[row]
+	case storage.StringType:
+		return cd.Strs[row]
+	case storage.VectorType:
+		return append([]float32(nil), cd.Vector(row)...)
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package diskann
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"blendhouse/internal/index"
+	"blendhouse/internal/vec"
+)
+
+// DiskSearcher beam-searches a Vamana graph straight off an
+// io.ReaderAt in the Save layout, reading one node record per beam
+// expansion and keeping only a bounded LRU-ish node cache in memory.
+// This is the cold-read on-disk path: memory stays O(cache), and each
+// expansion costs one storage read — matching DiskANN's design point
+// of one SSD read per hop.
+type DiskSearcher struct {
+	r       io.ReaderAt
+	dim     int
+	degree  int
+	entry   int
+	n       int
+	metric  vec.Metric
+	recSize int
+
+	mu    sync.Mutex
+	cache map[int]*diskNode
+	order []int // FIFO eviction order
+	limit int
+
+	// Reads counts node records fetched from storage, for tests and
+	// the cold-read benchmarks.
+	Reads int64
+}
+
+type diskNode struct {
+	id    int64
+	edges []uint32
+	vec   []float32
+}
+
+// OpenDiskSearcher validates the header of a Save()-format blob and
+// returns a searcher that caches at most cacheNodes node records.
+func OpenDiskSearcher(r io.ReaderAt, metric vec.Metric, cacheNodes int) (*DiskSearcher, error) {
+	hdr := make([]byte, headerSize)
+	if _, err := r.ReadAt(hdr, 0); err != nil {
+		return nil, fmt.Errorf("diskann: reading disk header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr) != magic {
+		return nil, fmt.Errorf("diskann: bad disk magic %#x", binary.LittleEndian.Uint32(hdr))
+	}
+	dim := int(binary.LittleEndian.Uint32(hdr[4:]))
+	degree := int(binary.LittleEndian.Uint32(hdr[8:]))
+	entry := int(int64(binary.LittleEndian.Uint64(hdr[12:])))
+	n := int(binary.LittleEndian.Uint64(hdr[20:]))
+	if dim <= 0 || degree <= 0 || n < 0 {
+		return nil, fmt.Errorf("diskann: corrupt disk header dim=%d degree=%d n=%d", dim, degree, n)
+	}
+	if cacheNodes <= 0 {
+		cacheNodes = 1024
+	}
+	return &DiskSearcher{
+		r: r, dim: dim, degree: degree, entry: entry, n: n, metric: metric,
+		recSize: nodeRecordSize(dim, degree),
+		cache:   make(map[int]*diskNode, cacheNodes),
+		limit:   cacheNodes,
+	}, nil
+}
+
+// Count returns the number of nodes in the on-disk graph.
+func (ds *DiskSearcher) Count() int { return ds.n }
+
+// node fetches node i, via cache or storage read.
+func (ds *DiskSearcher) node(i int) (*diskNode, error) {
+	ds.mu.Lock()
+	if nd, ok := ds.cache[i]; ok {
+		ds.mu.Unlock()
+		return nd, nil
+	}
+	ds.mu.Unlock()
+
+	buf := make([]byte, ds.recSize)
+	off := int64(headerSize) + int64(i)*int64(ds.recSize)
+	if _, err := ds.r.ReadAt(buf, off); err != nil {
+		return nil, fmt.Errorf("diskann: reading node %d: %w", i, err)
+	}
+	nd := &diskNode{id: int64(binary.LittleEndian.Uint64(buf))}
+	ne := int(binary.LittleEndian.Uint32(buf[8:]))
+	if ne > ds.degree {
+		return nil, fmt.Errorf("diskann: node %d corrupt edge count %d", i, ne)
+	}
+	nd.edges = make([]uint32, ne)
+	for e := 0; e < ne; e++ {
+		nd.edges[e] = binary.LittleEndian.Uint32(buf[12+4*e:])
+	}
+	nd.vec = make([]float32, ds.dim)
+	vecOff := 12 + 4*ds.degree
+	for d := 0; d < ds.dim; d++ {
+		nd.vec[d] = math.Float32frombits(binary.LittleEndian.Uint32(buf[vecOff+4*d:]))
+	}
+
+	ds.mu.Lock()
+	ds.Reads++
+	if _, ok := ds.cache[i]; !ok {
+		if len(ds.cache) >= ds.limit && len(ds.order) > 0 {
+			evict := ds.order[0]
+			ds.order = ds.order[1:]
+			delete(ds.cache, evict)
+		}
+		ds.cache[i] = nd
+		ds.order = append(ds.order, i)
+	}
+	ds.mu.Unlock()
+	return nd, nil
+}
+
+// Search beam-searches for the k nearest neighbors with beam width l.
+func (ds *DiskSearcher) Search(q []float32, k int, p index.SearchParams) ([]index.Candidate, error) {
+	if len(q) != ds.dim {
+		return nil, fmt.Errorf("diskann: query dim %d != index dim %d", len(q), ds.dim)
+	}
+	if ds.n == 0 || ds.entry < 0 {
+		return nil, nil
+	}
+	p = p.WithDefaults(k)
+	l := p.Ef
+	if l < k {
+		l = k
+	}
+	b := newBeam(l)
+	seen := map[int]bool{ds.entry: true}
+	en, err := ds.node(ds.entry)
+	if err != nil {
+		return nil, err
+	}
+	b.offer(scored{ds.entry, vec.Distance(ds.metric, q, en.vec)})
+	t := index.NewTopK(k)
+	for {
+		c, ok := b.nextUnexpanded()
+		if !ok {
+			break
+		}
+		nd, err := ds.node(c.node)
+		if err != nil {
+			return nil, err
+		}
+		t.Push(index.Candidate{ID: nd.id, Dist: c.dist})
+		for _, nb := range nd.edges {
+			ni := int(nb)
+			if seen[ni] {
+				continue
+			}
+			seen[ni] = true
+			nn, err := ds.node(ni)
+			if err != nil {
+				return nil, err
+			}
+			b.offer(scored{ni, vec.Distance(ds.metric, q, nn.vec)})
+		}
+	}
+	return t.Results(), nil
+}

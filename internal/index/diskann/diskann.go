@@ -1,0 +1,445 @@
+// Package diskann implements a DiskANN-style index: a Vamana graph
+// (Subramanya et al., NeurIPS'19) built with α-pruned greedy search,
+// searched with a bounded beam. The graph and vectors serialize to a
+// single flat file of fixed-size node records so that a file-backed
+// searcher (see disk.go) can beam-search straight off storage with a
+// small in-memory cache — the paper's DISKANN index type and its
+// future-work direction (1), "exploring the on-disk vector index for
+// better cold read performance".
+package diskann
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"blendhouse/internal/index"
+	"blendhouse/internal/vec"
+)
+
+func init() {
+	index.Register(index.DiskANN, func(p index.BuildParams) (index.Index, error) {
+		return New(p)
+	})
+}
+
+// Index is an in-memory Vamana graph. AddWithIDs accumulates vectors;
+// the graph is built lazily on the first search (or explicitly via
+// Build), because Vamana is a batch construction.
+type Index struct {
+	params index.BuildParams
+
+	mu    sync.RWMutex
+	data  []float32
+	ids   []int64
+	adj   [][]uint32 // fixed bound DegreeBound after build
+	entry int
+	built bool
+}
+
+// New returns an empty DiskANN index.
+func New(p index.BuildParams) (*Index, error) {
+	if p.Dim <= 0 {
+		return nil, fmt.Errorf("diskann: dimension must be positive, got %d", p.Dim)
+	}
+	return &Index{params: p, entry: -1}, nil
+}
+
+// Type returns index.DiskANN.
+func (ix *Index) Type() index.Type { return index.DiskANN }
+
+// Dim returns the vector dimension.
+func (ix *Index) Dim() int { return ix.params.Dim }
+
+// Count returns the number of vectors.
+func (ix *Index) Count() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.ids)
+}
+
+// NeedsTrain reports false (Vamana has no trained state besides the
+// graph itself).
+func (ix *Index) NeedsTrain() bool { return false }
+
+// Train is a no-op.
+func (ix *Index) Train([]float32) error { return nil }
+
+// MemoryBytes counts vectors, ids and adjacency.
+func (ix *Index) MemoryBytes() int64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := int64(4*len(ix.data) + 8*len(ix.ids))
+	for _, a := range ix.adj {
+		n += int64(4 * cap(a))
+	}
+	return n
+}
+
+// AddWithIDs buffers vectors; the graph is (re)built on demand.
+func (ix *Index) AddWithIDs(vecs []float32, ids []int64) error {
+	if err := index.ValidateAdd(ix.params.Dim, vecs, ids); err != nil {
+		return err
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.data = append(ix.data, vecs...)
+	ix.ids = append(ix.ids, ids...)
+	ix.built = false
+	return nil
+}
+
+func (ix *Index) row(i int) []float32 {
+	d := ix.params.Dim
+	return ix.data[i*d : i*d+d]
+}
+
+func (ix *Index) dist(i int, q []float32) float32 {
+	return vec.Distance(ix.params.Metric, q, ix.row(i))
+}
+
+// Build constructs the Vamana graph: start from a random regular
+// graph, then for each point run greedy search from the medoid and
+// α-prune the union of the search's visited set with current
+// neighbors; add reverse edges with the same pruning.
+func (ix *Index) Build() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.buildLocked()
+}
+
+func (ix *Index) buildLocked() error {
+	if ix.built {
+		return nil
+	}
+	n := len(ix.ids)
+	if n == 0 {
+		ix.built = true
+		ix.entry = -1
+		return nil
+	}
+	r := ix.params.DegreeBound
+	rng := rand.New(rand.NewSource(ix.params.Seed + 11))
+	ix.adj = make([][]uint32, n)
+	for i := range ix.adj {
+		deg := r
+		if deg > n-1 {
+			deg = n - 1
+		}
+		ix.adj[i] = make([]uint32, 0, r)
+		for len(ix.adj[i]) < deg {
+			cand := uint32(rng.Intn(n))
+			if int(cand) == i || contains(ix.adj[i], cand) {
+				continue
+			}
+			ix.adj[i] = append(ix.adj[i], cand)
+		}
+	}
+	ix.entry = ix.medoid()
+	// Two passes over all points in random order, as in the paper.
+	order := rng.Perm(n)
+	for pass := 0; pass < 2; pass++ {
+		alpha := 1.0
+		if pass == 1 {
+			alpha = ix.params.Alpha
+		}
+		for _, p := range order {
+			visited := ix.greedyVisit(ix.row(p), ix.params.BuildList)
+			ix.robustPrune(p, visited, alpha)
+			for _, nb := range ix.adj[p] {
+				ix.addEdge(int(nb), p, alpha)
+			}
+		}
+	}
+	ix.built = true
+	return nil
+}
+
+func contains(s []uint32, x uint32) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// medoid returns the point closest to the dataset centroid.
+func (ix *Index) medoid() int {
+	d := ix.params.Dim
+	n := len(ix.ids)
+	cent := make([]float32, d)
+	for i := 0; i < n; i++ {
+		vec.Add(cent, ix.row(i))
+	}
+	vec.Scale(cent, 1/float32(n))
+	best, bestD := 0, float32(0)
+	for i := 0; i < n; i++ {
+		dd := vec.L2Squared(cent, ix.row(i))
+		if i == 0 || dd < bestD {
+			best, bestD = i, dd
+		}
+	}
+	return best
+}
+
+// greedyVisit runs beam search from the entry point and returns the
+// visited set as scored nodes (ascending by distance).
+func (ix *Index) greedyVisit(q []float32, l int) []scored {
+	beam := newBeam(l)
+	seen := map[int]bool{ix.entry: true}
+	beam.offer(scored{ix.entry, ix.dist(ix.entry, q)})
+	visited := []scored{}
+	for {
+		c, ok := beam.nextUnexpanded()
+		if !ok {
+			break
+		}
+		visited = append(visited, c)
+		for _, nb := range ix.adj[c.node] {
+			ni := int(nb)
+			if seen[ni] {
+				continue
+			}
+			seen[ni] = true
+			beam.offer(scored{ni, ix.dist(ni, q)})
+		}
+	}
+	sortScored(visited)
+	return visited
+}
+
+// robustPrune sets p's adjacency from candidate set cands using the
+// α-pruning rule: drop a candidate if an already-kept neighbor is
+// α-times closer to it than p is.
+func (ix *Index) robustPrune(p int, cands []scored, alpha float64) {
+	// Merge current neighbors into the pool.
+	pool := append([]scored{}, cands...)
+	for _, nb := range ix.adj[p] {
+		pool = append(pool, scored{int(nb), ix.dist(int(nb), ix.row(p))})
+	}
+	sortScored(pool)
+	kept := make([]uint32, 0, ix.params.DegreeBound)
+	seen := map[int]bool{p: true}
+	for _, c := range pool {
+		if seen[c.node] {
+			continue
+		}
+		seen[c.node] = true
+		ok := true
+		for _, kv := range kept {
+			dk := vec.Distance(ix.params.Metric, ix.row(int(kv)), ix.row(c.node))
+			if float64(dk)*alpha < float64(c.dist) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, uint32(c.node))
+			if len(kept) == ix.params.DegreeBound {
+				break
+			}
+		}
+	}
+	ix.adj[p] = kept
+}
+
+// addEdge inserts edge from→to, re-pruning if the degree cap is hit.
+func (ix *Index) addEdge(from, to int, alpha float64) {
+	if contains(ix.adj[from], uint32(to)) {
+		return
+	}
+	if len(ix.adj[from]) < ix.params.DegreeBound {
+		ix.adj[from] = append(ix.adj[from], uint32(to))
+		return
+	}
+	pool := make([]scored, 0, len(ix.adj[from])+1)
+	base := ix.row(from)
+	for _, nb := range ix.adj[from] {
+		pool = append(pool, scored{int(nb), vec.Distance(ix.params.Metric, base, ix.row(int(nb)))})
+	}
+	pool = append(pool, scored{to, vec.Distance(ix.params.Metric, base, ix.row(to))})
+	sortScored(pool)
+	ix.adj[from] = ix.adj[from][:0]
+	ix.robustPruneInto(from, pool, alpha)
+}
+
+func (ix *Index) robustPruneInto(p int, pool []scored, alpha float64) {
+	kept := ix.adj[p][:0]
+	seen := map[int]bool{p: true}
+	for _, c := range pool {
+		if seen[c.node] {
+			continue
+		}
+		seen[c.node] = true
+		ok := true
+		for _, kv := range kept {
+			dk := vec.Distance(ix.params.Metric, ix.row(int(kv)), ix.row(c.node))
+			if float64(dk)*alpha < float64(c.dist) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, uint32(c.node))
+			if len(kept) == ix.params.DegreeBound {
+				break
+			}
+		}
+	}
+	ix.adj[p] = kept
+}
+
+// SearchWithFilter beam-searches the graph. Filtered-out nodes are
+// traversed but not returned (FilteredDiskANN-style routing through
+// blocked nodes).
+func (ix *Index) SearchWithFilter(q []float32, k int, filter index.Filter, p index.SearchParams) ([]index.Candidate, error) {
+	if len(q) != ix.params.Dim {
+		return nil, fmt.Errorf("diskann: query dim %d != index dim %d", len(q), ix.params.Dim)
+	}
+	p = p.WithDefaults(k)
+	ix.mu.RLock()
+	if !ix.built {
+		ix.mu.RUnlock()
+		if err := ix.Build(); err != nil {
+			return nil, err
+		}
+		ix.mu.RLock()
+	}
+	defer ix.mu.RUnlock()
+	if ix.entry < 0 {
+		return nil, nil
+	}
+	l := p.Ef
+	if l < k {
+		l = k
+	}
+	visited := ix.greedyVisit(q, l)
+	t := index.NewTopK(k)
+	for _, s := range visited {
+		id := ix.ids[s.node]
+		if filter != nil && (id >= int64(filter.Len()) || id < 0 || !filter.Test(int(id))) {
+			continue
+		}
+		t.Push(index.Candidate{ID: id, Dist: s.dist})
+	}
+	return t.Results(), nil
+}
+
+// SearchWithRange widens the beam until the farthest visited node
+// exceeds the radius.
+func (ix *Index) SearchWithRange(q []float32, radius float32, filter index.Filter, p index.SearchParams) ([]index.Candidate, error) {
+	if len(q) != ix.params.Dim {
+		return nil, fmt.Errorf("diskann: query dim %d != index dim %d", len(q), ix.params.Dim)
+	}
+	p = p.WithDefaults(16)
+	ix.mu.RLock()
+	built, n := ix.built, len(ix.ids)
+	ix.mu.RUnlock()
+	if !built {
+		if err := ix.Build(); err != nil {
+			return nil, err
+		}
+	}
+	l := p.Ef
+	for {
+		ix.mu.RLock()
+		if ix.entry < 0 {
+			ix.mu.RUnlock()
+			return nil, nil
+		}
+		visited := ix.greedyVisit(q, l)
+		ix.mu.RUnlock()
+		complete := len(visited) >= n || (len(visited) > 0 && visited[len(visited)-1].dist > radius)
+		if complete || l >= n {
+			var out []index.Candidate
+			for _, s := range visited {
+				if s.dist > radius {
+					break
+				}
+				id := ix.ids[s.node]
+				if filter != nil && (id >= int64(filter.Len()) || id < 0 || !filter.Test(int(id))) {
+					continue
+				}
+				out = append(out, index.Candidate{ID: id, Dist: s.dist})
+			}
+			return out, nil
+		}
+		l *= 2
+	}
+}
+
+// SearchIterator reports no native support (DiskANN's beam search has
+// no cheap resumable form); the generic restart iterator is used.
+func (ix *Index) SearchIterator([]float32, index.SearchParams) (index.Iterator, error) {
+	return nil, index.ErrNoNativeIterator
+}
+
+// scored / beam helpers -------------------------------------------------
+
+type scored struct {
+	node int
+	dist float32
+}
+
+func sortScored(s []scored) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && (s[j].dist < s[j-1].dist || (s[j].dist == s[j-1].dist && s[j].node < s[j-1].node)); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// beam is the bounded candidate list of Vamana's greedy search: a
+// min-heap of unexpanded nodes plus the L best seen overall.
+type beam struct {
+	l        int
+	frontier minHeap
+	bestDist []float32 // sorted ascending, at most l entries
+}
+
+func newBeam(l int) *beam { return &beam{l: l} }
+
+func (b *beam) offer(s scored) {
+	if len(b.bestDist) == b.l && s.dist >= b.bestDist[b.l-1] {
+		return
+	}
+	heap.Push(&b.frontier, s)
+	// insert into bestDist
+	pos := len(b.bestDist)
+	for pos > 0 && b.bestDist[pos-1] > s.dist {
+		pos--
+	}
+	b.bestDist = append(b.bestDist, 0)
+	copy(b.bestDist[pos+1:], b.bestDist[pos:])
+	b.bestDist[pos] = s.dist
+	if len(b.bestDist) > b.l {
+		b.bestDist = b.bestDist[:b.l]
+	}
+}
+
+func (b *beam) nextUnexpanded() (scored, bool) {
+	for b.frontier.Len() > 0 {
+		s := heap.Pop(&b.frontier).(scored)
+		if len(b.bestDist) == b.l && s.dist > b.bestDist[b.l-1] {
+			continue // fell out of the beam
+		}
+		return s, true
+	}
+	return scored{}, false
+}
+
+type minHeap []scored
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(scored)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,118 @@
+package diskann
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// File layout (little-endian). The body is fixed-size node records so
+// a file-backed searcher (disk.go) can seek to node i directly:
+//
+//	header: magic u32 | dim u32 | degree u32 | entry i64 | n u64
+//	node i: id i64 | nEdges u32 | degree×u32 (padded) | dim×f32
+const (
+	magic      = uint32(0xD15CA22A)
+	headerSize = 4 + 4 + 4 + 8 + 8
+	maxSane    = 1 << 31
+)
+
+// nodeRecordSize returns the fixed byte size of one node record.
+func nodeRecordSize(dim, degree int) int {
+	return 8 + 4 + 4*degree + 4*dim
+}
+
+// Save writes the built graph in the on-disk layout. It builds first
+// if needed.
+func (ix *Index) Save(w io.Writer) error {
+	if err := ix.Build(); err != nil {
+		return err
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	n := len(ix.ids)
+	degree := ix.params.DegreeBound
+	for _, h := range []any{magic, uint32(ix.params.Dim), uint32(degree), int64(ix.entry), uint64(n)} {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return fmt.Errorf("diskann: writing header: %w", err)
+		}
+	}
+	pad := make([]uint32, degree)
+	for i := 0; i < n; i++ {
+		if err := binary.Write(bw, binary.LittleEndian, ix.ids[i]); err != nil {
+			return err
+		}
+		edges := ix.adj[i]
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(edges))); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, edges); err != nil {
+			return err
+		}
+		if len(edges) < degree {
+			if err := binary.Write(bw, binary.LittleEndian, pad[:degree-len(edges)]); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(bw, binary.LittleEndian, ix.row(i)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load restores a graph written by Save into memory.
+func (ix *Index) Load(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var (
+		m      uint32
+		dim    uint32
+		degree uint32
+		entry  int64
+		n      uint64
+	)
+	for _, v := range []any{&m, &dim, &degree, &entry, &n} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("diskann: reading header: %w", err)
+		}
+	}
+	if m != magic {
+		return fmt.Errorf("diskann: bad magic %#x", m)
+	}
+	if int(dim) != ix.params.Dim {
+		return fmt.Errorf("diskann: stored dim %d != constructed dim %d", dim, ix.params.Dim)
+	}
+	if n > maxSane || degree > maxSane {
+		return fmt.Errorf("diskann: unreasonable n=%d degree=%d", n, degree)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.entry = int(entry)
+	ix.ids = make([]int64, n)
+	ix.adj = make([][]uint32, n)
+	ix.data = make([]float32, int(n)*int(dim))
+	edgeBuf := make([]uint32, degree)
+	for i := 0; i < int(n); i++ {
+		if err := binary.Read(br, binary.LittleEndian, &ix.ids[i]); err != nil {
+			return err
+		}
+		var ne uint32
+		if err := binary.Read(br, binary.LittleEndian, &ne); err != nil {
+			return err
+		}
+		if ne > degree {
+			return fmt.Errorf("diskann: node %d edge count %d > degree %d", i, ne, degree)
+		}
+		if err := binary.Read(br, binary.LittleEndian, edgeBuf); err != nil {
+			return err
+		}
+		ix.adj[i] = append([]uint32(nil), edgeBuf[:ne]...)
+		if err := binary.Read(br, binary.LittleEndian, ix.data[i*int(dim):(i+1)*int(dim)]); err != nil {
+			return err
+		}
+	}
+	ix.built = true
+	return nil
+}

@@ -1,0 +1,197 @@
+// Package flat implements the exact brute-force index. It backs the
+// cost model's plan A (brute force after scalar filtering), the
+// cache-miss fallback path, and serves as the ground-truth oracle for
+// recall measurement in the benchmark harness.
+package flat
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"blendhouse/internal/index"
+	"blendhouse/internal/vec"
+)
+
+func init() {
+	index.Register(index.Flat, func(p index.BuildParams) (index.Index, error) {
+		return New(p)
+	})
+}
+
+// Index is an exact-scan index: raw vectors plus IDs.
+type Index struct {
+	params index.BuildParams
+	data   []float32
+	ids    []int64
+}
+
+// New returns an empty flat index.
+func New(p index.BuildParams) (*Index, error) {
+	if p.Dim <= 0 {
+		return nil, fmt.Errorf("flat: dimension must be positive, got %d", p.Dim)
+	}
+	return &Index{params: p}, nil
+}
+
+// Train is a no-op: flat indexes have no learned state.
+func (ix *Index) Train([]float32) error { return nil }
+
+// NeedsTrain reports false.
+func (ix *Index) NeedsTrain() bool { return false }
+
+// AddWithIDs appends vectors.
+func (ix *Index) AddWithIDs(vecs []float32, ids []int64) error {
+	if err := index.ValidateAdd(ix.params.Dim, vecs, ids); err != nil {
+		return err
+	}
+	ix.data = append(ix.data, vecs...)
+	ix.ids = append(ix.ids, ids...)
+	return nil
+}
+
+// Type returns index.Flat.
+func (ix *Index) Type() index.Type { return index.Flat }
+
+// Dim returns the vector dimension.
+func (ix *Index) Dim() int { return ix.params.Dim }
+
+// Count returns the number of stored vectors.
+func (ix *Index) Count() int { return len(ix.ids) }
+
+// MemoryBytes returns the resident size of the raw vectors and IDs.
+func (ix *Index) MemoryBytes() int64 {
+	return int64(4*len(ix.data) + 8*len(ix.ids))
+}
+
+// SearchWithFilter scans every stored vector (skipping filtered-out
+// IDs) and returns the exact k nearest.
+func (ix *Index) SearchWithFilter(q []float32, k int, filter index.Filter, _ index.SearchParams) ([]index.Candidate, error) {
+	if len(q) != ix.params.Dim {
+		return nil, fmt.Errorf("flat: query dim %d != index dim %d", len(q), ix.params.Dim)
+	}
+	t := index.NewTopK(k)
+	dim := ix.params.Dim
+	for i, id := range ix.ids {
+		if filter != nil && (id >= int64(filter.Len()) || !filter.Test(int(id))) {
+			continue
+		}
+		d := vec.Distance(ix.params.Metric, q, ix.data[i*dim:i*dim+dim])
+		t.Push(index.Candidate{ID: id, Dist: d})
+	}
+	return t.Results(), nil
+}
+
+// SearchWithRange returns all candidates within radius, closest first.
+func (ix *Index) SearchWithRange(q []float32, radius float32, filter index.Filter, _ index.SearchParams) ([]index.Candidate, error) {
+	if len(q) != ix.params.Dim {
+		return nil, fmt.Errorf("flat: query dim %d != index dim %d", len(q), ix.params.Dim)
+	}
+	var out []index.Candidate
+	dim := ix.params.Dim
+	for i, id := range ix.ids {
+		if filter != nil && (id >= int64(filter.Len()) || !filter.Test(int(id))) {
+			continue
+		}
+		d := vec.Distance(ix.params.Metric, q, ix.data[i*dim:i*dim+dim])
+		if d <= radius {
+			out = append(out, index.Candidate{ID: id, Dist: d})
+		}
+	}
+	index.SortCandidates(out)
+	return out, nil
+}
+
+// SearchIterator returns a native exact iterator: it computes and
+// sorts all distances once, then streams them in order.
+func (ix *Index) SearchIterator(q []float32, _ index.SearchParams) (index.Iterator, error) {
+	if len(q) != ix.params.Dim {
+		return nil, fmt.Errorf("flat: query dim %d != index dim %d", len(q), ix.params.Dim)
+	}
+	all := make([]index.Candidate, len(ix.ids))
+	dim := ix.params.Dim
+	for i, id := range ix.ids {
+		all[i] = index.Candidate{ID: id, Dist: vec.Distance(ix.params.Metric, q, ix.data[i*dim:i*dim+dim])}
+	}
+	index.SortCandidates(all)
+	return &flatIterator{rest: all}, nil
+}
+
+type flatIterator struct{ rest []index.Candidate }
+
+func (it *flatIterator) Next(n int) ([]index.Candidate, error) {
+	if n > len(it.rest) {
+		n = len(it.rest)
+	}
+	out := it.rest[:n:n]
+	it.rest = it.rest[n:]
+	return out, nil
+}
+
+func (it *flatIterator) Close() error {
+	it.rest = nil
+	return nil
+}
+
+const magic = uint32(0xB1F1A700)
+
+// Save writes the index: magic, dim, count, ids, raw vectors.
+func (ix *Index) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr := []any{magic, uint32(ix.params.Dim), uint64(len(ix.ids))}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return fmt.Errorf("flat: writing header: %w", err)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, ix.ids); err != nil {
+		return fmt.Errorf("flat: writing ids: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, ix.data); err != nil {
+		return fmt.Errorf("flat: writing vectors: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load restores an index written by Save.
+func (ix *Index) Load(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var m, dim uint32
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return fmt.Errorf("flat: reading magic: %w", err)
+	}
+	if m != magic {
+		return fmt.Errorf("flat: bad magic %#x", m)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &dim); err != nil {
+		return fmt.Errorf("flat: reading dim: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return fmt.Errorf("flat: reading count: %w", err)
+	}
+	if int(dim) != ix.params.Dim {
+		return fmt.Errorf("flat: stored dim %d != constructed dim %d", dim, ix.params.Dim)
+	}
+	if count > math.MaxInt32 {
+		return fmt.Errorf("flat: unreasonable count %d", count)
+	}
+	ix.ids = make([]int64, count)
+	ix.data = make([]float32, int(count)*int(dim))
+	if err := binary.Read(br, binary.LittleEndian, ix.ids); err != nil {
+		return fmt.Errorf("flat: reading ids: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, ix.data); err != nil {
+		return fmt.Errorf("flat: reading vectors: %w", err)
+	}
+	return nil
+}
+
+// Vector returns the stored vector for position i (not ID) — used by
+// refine/re-rank stages that need exact distances.
+func (ix *Index) Vector(i int) []float32 {
+	dim := ix.params.Dim
+	return ix.data[i*dim : i*dim+dim]
+}

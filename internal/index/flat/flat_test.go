@@ -1,0 +1,142 @@
+package flat
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"blendhouse/internal/bitset"
+	"blendhouse/internal/index"
+	"blendhouse/internal/vec"
+)
+
+func mk(t *testing.T, dim int) *Index {
+	t.Helper()
+	ix, err := New(index.BuildParams{Dim: dim, Metric: vec.L2}.WithDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestExactnessProperty(t *testing.T) {
+	// Flat search must return exactly the k smallest distances for any
+	// data — verified against a naive recomputation with testing/quick.
+	f := func(raw []int8, qRaw [4]int8) bool {
+		n := len(raw) / 4
+		if n == 0 {
+			return true
+		}
+		ix := mkQuick(4)
+		data := make([]float32, n*4)
+		for i := 0; i < n*4; i++ {
+			data[i] = float32(raw[i])
+		}
+		ids := make([]int64, n)
+		for i := range ids {
+			ids[i] = int64(i)
+		}
+		if err := ix.AddWithIDs(data, ids); err != nil {
+			return false
+		}
+		q := []float32{float32(qRaw[0]), float32(qRaw[1]), float32(qRaw[2]), float32(qRaw[3])}
+		res, err := ix.SearchWithFilter(q, 3, nil, index.SearchParams{})
+		if err != nil {
+			return false
+		}
+		// Every returned distance must be <= every non-returned one.
+		returned := map[int64]bool{}
+		var worst float32
+		for _, c := range res {
+			returned[c.ID] = true
+			if c.Dist > worst {
+				worst = c.Dist
+			}
+		}
+		for i := 0; i < n; i++ {
+			if returned[int64(i)] {
+				continue
+			}
+			if vec.L2Squared(q, data[i*4:i*4+4]) < worst {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mkQuick(dim int) *Index {
+	ix, _ := New(index.BuildParams{Dim: dim, Metric: vec.L2}.WithDefaults())
+	return ix
+}
+
+func TestVectorAccessor(t *testing.T) {
+	ix := mk(t, 2)
+	ix.AddWithIDs([]float32{1, 2, 3, 4}, []int64{10, 20})
+	if v := ix.Vector(1); v[0] != 3 || v[1] != 4 {
+		t.Fatalf("Vector(1) = %v", v)
+	}
+}
+
+func TestFilterBeyondBitsetLength(t *testing.T) {
+	// IDs beyond the filter's length must be treated as filtered out,
+	// not panic.
+	ix := mk(t, 2)
+	ix.AddWithIDs([]float32{0, 0, 1, 1, 2, 2}, []int64{0, 5, 99})
+	f := bitset.New(6) // id 99 out of range
+	f.Set(0)
+	f.Set(5)
+	res, err := ix.SearchWithFilter([]float32{0, 0}, 10, f, index.SearchParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for _, c := range res {
+		if c.ID == 99 {
+			t.Fatal("out-of-filter id returned")
+		}
+	}
+}
+
+func TestSaveLoadRejectsDimMismatch(t *testing.T) {
+	ix := mk(t, 3)
+	ix.AddWithIDs([]float32{1, 2, 3}, []int64{1})
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := mk(t, 4)
+	if err := other.Load(&buf); err == nil {
+		t.Fatal("dim mismatch load should fail")
+	}
+}
+
+func TestIteratorIsExactOrder(t *testing.T) {
+	ix := mk(t, 1)
+	ix.AddWithIDs([]float32{5, 1, 3, 2, 4}, []int64{0, 1, 2, 3, 4})
+	it, err := ix.SearchIterator([]float32{0}, index.SearchParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for {
+		b, _ := it.Next(2)
+		if len(b) == 0 {
+			break
+		}
+		for _, c := range b {
+			got = append(got, c.ID)
+		}
+	}
+	want := []int64{1, 3, 2, 4, 0} // by value 1,2,3,4,5
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,525 @@
+// Package hnsw implements the Hierarchical Navigable Small World graph
+// index (Malkov & Yashunin) in two flavours: HNSW over raw float32
+// vectors and HNSWSQ over 8-bit scalar-quantized codes (paper Table
+// V/VI's BH-HNSW and BH-HNSWSQ).
+//
+// Unlike stock hnswlib, this implementation provides a *native
+// resumable iterator* (paper §III-B: "We extend the hnswlib library to
+// enable iterative-based search"): SearchIterator keeps the beam
+// search frontier and visited set alive between Next calls, so the
+// post-filter strategy streams ever-farther neighbors without
+// restarting from scratch.
+package hnsw
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"blendhouse/internal/index"
+)
+
+func init() {
+	index.Register(index.HNSW, func(p index.BuildParams) (index.Index, error) {
+		return New(p, false)
+	})
+	index.Register(index.HNSWSQ, func(p index.BuildParams) (index.Index, error) {
+		return New(p, true)
+	})
+}
+
+// node is one graph vertex: its external ID and per-layer adjacency.
+type node struct {
+	id        int64
+	level     int
+	neighbors [][]uint32 // neighbors[l] = adjacency at layer l
+}
+
+// Index is an HNSW graph over a vector store (raw or quantized).
+type Index struct {
+	params index.BuildParams
+	store  store
+	mL     float64 // level-generation multiplier 1/ln(M)
+
+	mu       sync.RWMutex
+	nodes    []node
+	entry    int // entry point node index; -1 when empty
+	maxLevel int
+	rng      *rand.Rand
+}
+
+// New constructs an empty HNSW index; quantized selects the SQ8
+// variant.
+func New(p index.BuildParams, quantized bool) (*Index, error) {
+	if p.Dim <= 0 {
+		return nil, fmt.Errorf("hnsw: dimension must be positive, got %d", p.Dim)
+	}
+	ix := &Index{
+		params: p,
+		mL:     1 / math.Log(float64(p.M)),
+		entry:  -1,
+		rng:    rand.New(rand.NewSource(p.Seed + 1)),
+	}
+	if quantized {
+		ix.store = newSQStore(p.Dim, p.Metric)
+	} else {
+		ix.store = newFloatStore(p.Dim, p.Metric)
+	}
+	return ix, nil
+}
+
+// Type returns HNSW or HNSWSQ.
+func (ix *Index) Type() index.Type {
+	if _, ok := ix.store.(*sqStore); ok {
+		return index.HNSWSQ
+	}
+	return index.HNSW
+}
+
+// Dim returns the vector dimension.
+func (ix *Index) Dim() int { return ix.params.Dim }
+
+// Count returns the number of indexed vectors.
+func (ix *Index) Count() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.nodes)
+}
+
+// NeedsTrain reports whether the store requires training (SQ does).
+func (ix *Index) NeedsTrain() bool { return ix.store.needsTrain() }
+
+// Train trains the quantizer for HNSWSQ; a no-op for raw HNSW.
+func (ix *Index) Train(sample []float32) error { return ix.store.train(sample) }
+
+// MemoryBytes accounts vectors/codes plus graph adjacency.
+func (ix *Index) MemoryBytes() int64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var adj int64
+	for i := range ix.nodes {
+		for _, l := range ix.nodes[i].neighbors {
+			adj += int64(4 * cap(l))
+		}
+		adj += 16 // id + level
+	}
+	return ix.store.memoryBytes() + adj
+}
+
+// maxDegree returns the degree cap for a layer (2M at layer 0, M above,
+// following the original paper).
+func (ix *Index) maxDegree(layer int) int {
+	if layer == 0 {
+		return 2 * ix.params.M
+	}
+	return ix.params.M
+}
+
+// AddWithIDs inserts vectors one by one (HNSW construction is
+// inherently incremental). If the store needs training and has not
+// been trained, the first batch doubles as the training sample.
+func (ix *Index) AddWithIDs(vecs []float32, ids []int64) error {
+	if err := index.ValidateAdd(ix.params.Dim, vecs, ids); err != nil {
+		return err
+	}
+	if ix.store.needsTrain() && !ix.store.trained() {
+		if err := ix.store.train(vecs); err != nil {
+			return fmt.Errorf("hnsw: implicit quantizer training: %w", err)
+		}
+	}
+	dim := ix.params.Dim
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for i, id := range ids {
+		ix.insert(vecs[i*dim:i*dim+dim], id)
+	}
+	return nil
+}
+
+// insert adds one vector under the write lock.
+func (ix *Index) insert(v []float32, id int64) {
+	level := int(-math.Log(ix.rng.Float64()) * ix.mL)
+	ni := len(ix.nodes)
+	ix.store.add(v)
+	n := node{id: id, level: level, neighbors: make([][]uint32, level+1)}
+	ix.nodes = append(ix.nodes, n)
+
+	if ix.entry < 0 {
+		ix.entry = ni
+		ix.maxLevel = level
+		return
+	}
+
+	distTo := ix.store.nodeDist(ni)
+	ep := ix.entry
+	epDist := distTo(ep)
+	// Greedy descent through layers above the new node's level.
+	for l := ix.maxLevel; l > level; l-- {
+		ep, epDist = ix.greedyStep(distTo, ep, epDist, l)
+	}
+	// Beam search and connect on each layer from min(level, maxLevel) down.
+	startLayer := level
+	if startLayer > ix.maxLevel {
+		startLayer = ix.maxLevel
+	}
+	for l := startLayer; l >= 0; l-- {
+		cands := ix.searchLayer(distTo, ep, l, ix.params.EfConstruction, nil, nil)
+		selected := ix.selectHeuristic(cands, ix.params.M)
+		ix.nodes[ni].neighbors[l] = make([]uint32, 0, len(selected))
+		for _, c := range selected {
+			ci := uint32(c.node)
+			ix.nodes[ni].neighbors[l] = append(ix.nodes[ni].neighbors[l], ci)
+			ix.connect(int(ci), ni, l)
+		}
+		if len(cands) > 0 {
+			ep, epDist = cands[0].node, cands[0].dist
+		}
+		_ = epDist
+	}
+	if level > ix.maxLevel {
+		ix.maxLevel = level
+		ix.entry = ni
+	}
+}
+
+// connect adds back-edge from→to at layer l, pruning with the
+// heuristic when the degree cap is exceeded.
+func (ix *Index) connect(from, to, l int) {
+	nbrs := ix.nodes[from].neighbors[l]
+	nbrs = append(nbrs, uint32(to))
+	cap := ix.maxDegree(l)
+	if len(nbrs) > cap {
+		cands := make([]scored, len(nbrs))
+		for i, nb := range nbrs {
+			cands[i] = scored{node: int(nb), dist: ix.store.pairDist(from, int(nb))}
+		}
+		sortScored(cands)
+		selected := ix.selectHeuristic(cands, cap)
+		nbrs = nbrs[:0]
+		for _, s := range selected {
+			nbrs = append(nbrs, uint32(s.node))
+		}
+	}
+	ix.nodes[from].neighbors[l] = nbrs
+}
+
+// scored pairs an internal node index with a distance.
+type scored struct {
+	node int
+	dist float32
+}
+
+func sortScored(s []scored) {
+	// insertion sort is fine: lists here are at most ef_construction.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && (s[j].dist < s[j-1].dist || (s[j].dist == s[j-1].dist && s[j].node < s[j-1].node)); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// selectHeuristic implements Malkov's SELECT-NEIGHBORS-HEURISTIC: a
+// candidate is kept only if it is closer to the base point than to any
+// already-kept neighbor, which spreads edges across directions.
+// cands must be sorted ascending by distance.
+func (ix *Index) selectHeuristic(cands []scored, m int) []scored {
+	if len(cands) <= m {
+		return cands
+	}
+	selected := make([]scored, 0, m)
+	for _, c := range cands {
+		ok := true
+		for _, s := range selected {
+			if ix.store.pairDist(c.node, s.node) < c.dist {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			selected = append(selected, c)
+			if len(selected) == m {
+				break
+			}
+		}
+	}
+	// Backfill with nearest rejected candidates if the heuristic was
+	// too aggressive (keeps graphs connected on clustered data).
+	if len(selected) < m {
+		have := map[int]bool{}
+		for _, s := range selected {
+			have[s.node] = true
+		}
+		for _, c := range cands {
+			if !have[c.node] {
+				selected = append(selected, c)
+				if len(selected) == m {
+					break
+				}
+			}
+		}
+	}
+	return selected
+}
+
+// greedyStep walks to the neighbor closest to v at layer l until no
+// improvement, returning the final node and distance.
+func (ix *Index) greedyStep(distTo func(int) float32, ep int, epDist float32, l int) (int, float32) {
+	for {
+		improved := false
+		for _, nb := range ix.nodes[ep].neighbors[l] {
+			d := distTo(int(nb))
+			if d < epDist {
+				ep, epDist = int(nb), d
+				improved = true
+			}
+		}
+		if !improved {
+			return ep, epDist
+		}
+	}
+}
+
+// searchLayer is the ef-bounded best-first search at one layer.
+// filter (over external IDs) restricts the *result* set; filtered-out
+// nodes are still traversed so the graph stays navigable. visited may
+// be supplied by a resumable iterator; pass nil otherwise. Results are
+// sorted ascending.
+func (ix *Index) searchLayer(distTo func(int) float32, ep, l, ef int, filter index.Filter, visited map[int]bool) []scored {
+	if visited == nil {
+		visited = make(map[int]bool, ef*4)
+	}
+	candidates := &minHeap{}
+	results := &maxHeap{}
+	d0 := distTo(ep)
+	visited[ep] = true
+	heap.Push(candidates, scored{ep, d0})
+	if passes(filter, ix.nodes[ep].id) {
+		heap.Push(results, scored{ep, d0})
+	}
+	for candidates.Len() > 0 {
+		c := heap.Pop(candidates).(scored)
+		if results.Len() >= ef {
+			if worst := (*results)[0].dist; c.dist > worst {
+				break
+			}
+		}
+		for _, nb := range ix.nodes[c.node].neighbors[l] {
+			ni := int(nb)
+			if visited[ni] {
+				continue
+			}
+			visited[ni] = true
+			d := distTo(ni)
+			if results.Len() < ef || d < (*results)[0].dist {
+				heap.Push(candidates, scored{ni, d})
+				if passes(filter, ix.nodes[ni].id) {
+					heap.Push(results, scored{ni, d})
+					if results.Len() > ef {
+						heap.Pop(results)
+					}
+				}
+			}
+		}
+	}
+	out := make([]scored, results.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(results).(scored)
+	}
+	return out
+}
+
+func passes(filter index.Filter, id int64) bool {
+	if filter == nil {
+		return true
+	}
+	return id < int64(filter.Len()) && id >= 0 && filter.Test(int(id))
+}
+
+// SearchWithFilter runs the standard HNSW query: greedy descent to
+// layer 0, then an ef-bounded beam search honoring the filter.
+func (ix *Index) SearchWithFilter(q []float32, k int, filter index.Filter, p index.SearchParams) ([]index.Candidate, error) {
+	if len(q) != ix.params.Dim {
+		return nil, fmt.Errorf("hnsw: query dim %d != index dim %d", len(q), ix.params.Dim)
+	}
+	p = p.WithDefaults(k)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.entry < 0 {
+		return nil, nil
+	}
+	distTo := ix.store.queryDist(q)
+	ep, epDist := ix.entry, distTo(ix.entry)
+	for l := ix.maxLevel; l > 0; l-- {
+		ep, epDist = ix.greedyStep(distTo, ep, epDist, l)
+	}
+	_ = epDist
+	res := ix.searchLayer(distTo, ep, 0, p.Ef, filter, nil)
+	if len(res) > k {
+		res = res[:k]
+	}
+	out := make([]index.Candidate, len(res))
+	for i, s := range res {
+		out[i] = index.Candidate{ID: ix.nodes[s.node].id, Dist: s.dist}
+	}
+	return out, nil
+}
+
+// SearchWithRange reuses the beam search with ef widened until the
+// frontier distance exceeds the radius, then keeps in-range results.
+func (ix *Index) SearchWithRange(q []float32, radius float32, filter index.Filter, p index.SearchParams) ([]index.Candidate, error) {
+	if len(q) != ix.params.Dim {
+		return nil, fmt.Errorf("hnsw: query dim %d != index dim %d", len(q), ix.params.Dim)
+	}
+	p = p.WithDefaults(16)
+	ix.mu.RLock()
+	n := len(ix.nodes)
+	ix.mu.RUnlock()
+	// Iteratively widen ef until the worst in-beam result is beyond the
+	// radius (meaning the ball is fully enumerated) or we scanned all.
+	ef := p.Ef
+	for {
+		ix.mu.RLock()
+		if ix.entry < 0 {
+			ix.mu.RUnlock()
+			return nil, nil
+		}
+		distTo := ix.store.queryDist(q)
+		ep, epDist := ix.entry, distTo(ix.entry)
+		for l := ix.maxLevel; l > 0; l-- {
+			ep, epDist = ix.greedyStep(distTo, ep, epDist, l)
+		}
+		_ = epDist
+		res := ix.searchLayer(distTo, ep, 0, ef, filter, nil)
+		ix.mu.RUnlock()
+		if len(res) < ef || res[len(res)-1].dist > radius || ef >= n {
+			var out []index.Candidate
+			for _, s := range res {
+				if s.dist <= radius {
+					out = append(out, index.Candidate{ID: ix.nodes[s.node].id, Dist: s.dist})
+				}
+			}
+			return out, nil
+		}
+		ef *= 2
+	}
+}
+
+// SearchIterator returns the native resumable iterator. The iterator
+// keeps the frontier and visited set alive between Next calls and
+// emits through a lookahead buffer: before releasing a candidate it
+// expands Ef further frontier nodes, so the head of the stream has
+// beam-search quality (Ef tunes iterator accuracy exactly as it tunes
+// SearchWithFilter) while later batches stream incrementally without
+// restarting.
+func (ix *Index) SearchIterator(q []float32, p index.SearchParams) (index.Iterator, error) {
+	if len(q) != ix.params.Dim {
+		return nil, fmt.Errorf("hnsw: query dim %d != index dim %d", len(q), ix.params.Dim)
+	}
+	p = p.WithDefaults(16)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	it := &iterator{ix: ix, q: q, visited: map[int]bool{}, frontier: &minHeap{}, lookahead: p.Ef}
+	if ix.entry < 0 {
+		it.exhausted = true
+		return it, nil
+	}
+	it.distTo = ix.store.queryDist(q)
+	ep, epDist := ix.entry, it.distTo(ix.entry)
+	for l := ix.maxLevel; l > 0; l-- {
+		ep, epDist = ix.greedyStep(it.distTo, ep, epDist, l)
+	}
+	it.visited[ep] = true
+	heap.Push(it.frontier, scored{ep, epDist})
+	return it, nil
+}
+
+// iterator implements best-first traversal of layer 0 as a stream with
+// an Ef-sized lookahead buffer.
+type iterator struct {
+	ix        *Index
+	q         []float32
+	distTo    func(int) float32
+	visited   map[int]bool
+	frontier  *minHeap
+	buf       []index.Candidate // expanded but not yet emitted, sorted
+	lookahead int
+	exhausted bool
+	closed    bool
+}
+
+// Next returns up to n further candidates in ascending distance order
+// within the lookahead horizon.
+func (it *iterator) Next(n int) ([]index.Candidate, error) {
+	if it.closed || n <= 0 {
+		return nil, nil
+	}
+	ix := it.ix
+	ix.mu.RLock()
+	// Expand until the buffer holds n emittable candidates plus the
+	// lookahead margin (or the graph is exhausted).
+	for len(it.buf) < n+it.lookahead && it.frontier.Len() > 0 {
+		c := heap.Pop(it.frontier).(scored)
+		it.buf = append(it.buf, index.Candidate{ID: ix.nodes[c.node].id, Dist: c.dist})
+		for _, nb := range ix.nodes[c.node].neighbors[0] {
+			ni := int(nb)
+			if it.visited[ni] {
+				continue
+			}
+			it.visited[ni] = true
+			heap.Push(it.frontier, scored{ni, it.distTo(ni)})
+		}
+	}
+	if it.frontier.Len() == 0 {
+		it.exhausted = true
+	}
+	ix.mu.RUnlock()
+	index.SortCandidates(it.buf)
+	take := n
+	if take > len(it.buf) {
+		take = len(it.buf)
+	}
+	out := it.buf[:take:take]
+	it.buf = it.buf[take:]
+	return out, nil
+}
+
+// Close releases the iterator state.
+func (it *iterator) Close() error {
+	it.closed = true
+	it.visited = nil
+	it.frontier = nil
+	return nil
+}
+
+// minHeap orders scored ascending by distance (frontier).
+type minHeap []scored
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(scored)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// maxHeap orders scored descending by distance (result set, worst on
+// top).
+type maxHeap []scored
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i].dist > h[j].dist }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(scored)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

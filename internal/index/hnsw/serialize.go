@@ -1,0 +1,203 @@
+package hnsw
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+const (
+	magic      = uint32(0xB145A7E1)
+	kindFloat  = uint8(0)
+	kindSQ     = uint8(1)
+	maxSaneLen = 1 << 31
+)
+
+// Save serializes graph and store:
+//
+//	magic u32 | kind u8 | dim u32 | entry i64 | maxLevel u32 | nNodes u64
+//	per node: id i64 | level u32 | per layer: deg u32 | deg×u32
+//	store payload (raw floats or SQ params + codes)
+func (ix *Index) Save(w io.Writer) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	var kind uint8 = kindFloat
+	if _, ok := ix.store.(*sqStore); ok {
+		kind = kindSQ
+	}
+	if err := writeAll(bw, magic, kind, uint32(ix.params.Dim), int64(ix.entry), uint32(ix.maxLevel), uint64(len(ix.nodes))); err != nil {
+		return fmt.Errorf("hnsw: writing header: %w", err)
+	}
+	for i := range ix.nodes {
+		n := &ix.nodes[i]
+		if err := writeAll(bw, n.id, uint32(n.level)); err != nil {
+			return fmt.Errorf("hnsw: writing node %d: %w", i, err)
+		}
+		for _, layer := range n.neighbors {
+			if err := writeAll(bw, uint32(len(layer))); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, layer); err != nil {
+				return err
+			}
+		}
+	}
+	if err := ix.saveStore(bw, kind); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func (ix *Index) saveStore(bw *bufio.Writer, kind uint8) error {
+	switch kind {
+	case kindFloat:
+		fs := ix.store.(*floatStore)
+		if err := writeAll(bw, uint64(len(fs.data))); err != nil {
+			return err
+		}
+		return binary.Write(bw, binary.LittleEndian, fs.data)
+	case kindSQ:
+		ss := ix.store.(*sqStore)
+		if ss.sq == nil {
+			return fmt.Errorf("hnsw: saving untrained SQ store")
+		}
+		params := ss.sq.Marshal()
+		if err := writeAll(bw, uint64(len(params))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(params); err != nil {
+			return err
+		}
+		if err := writeAll(bw, uint64(len(ss.codes))); err != nil {
+			return err
+		}
+		_, err := bw.Write(ss.codes)
+		return err
+	}
+	return fmt.Errorf("hnsw: unknown store kind %d", kind)
+}
+
+// Load restores state written by Save into this index. The index must
+// have been constructed with the same dimension and variant.
+func (ix *Index) Load(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var (
+		m        uint32
+		kind     uint8
+		dim      uint32
+		entry    int64
+		maxLevel uint32
+		nNodes   uint64
+	)
+	if err := readAll(br, &m, &kind, &dim, &entry, &maxLevel, &nNodes); err != nil {
+		return fmt.Errorf("hnsw: reading header: %w", err)
+	}
+	if m != magic {
+		return fmt.Errorf("hnsw: bad magic %#x", m)
+	}
+	if int(dim) != ix.params.Dim {
+		return fmt.Errorf("hnsw: stored dim %d != constructed dim %d", dim, ix.params.Dim)
+	}
+	wantKind := kindFloat
+	if _, ok := ix.store.(*sqStore); ok {
+		wantKind = kindSQ
+	}
+	if kind != wantKind {
+		return fmt.Errorf("hnsw: stored variant %d != constructed variant %d", kind, wantKind)
+	}
+	if nNodes > maxSaneLen {
+		return fmt.Errorf("hnsw: unreasonable node count %d", nNodes)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.entry = int(entry)
+	ix.maxLevel = int(maxLevel)
+	ix.nodes = make([]node, nNodes)
+	for i := range ix.nodes {
+		var level uint32
+		if err := readAll(br, &ix.nodes[i].id, &level); err != nil {
+			return fmt.Errorf("hnsw: reading node %d: %w", i, err)
+		}
+		ix.nodes[i].level = int(level)
+		ix.nodes[i].neighbors = make([][]uint32, level+1)
+		for l := range ix.nodes[i].neighbors {
+			var deg uint32
+			if err := readAll(br, &deg); err != nil {
+				return err
+			}
+			if deg > maxSaneLen {
+				return fmt.Errorf("hnsw: unreasonable degree %d", deg)
+			}
+			ix.nodes[i].neighbors[l] = make([]uint32, deg)
+			if err := binary.Read(br, binary.LittleEndian, ix.nodes[i].neighbors[l]); err != nil {
+				return err
+			}
+		}
+	}
+	return ix.loadStore(br, kind)
+}
+
+func (ix *Index) loadStore(br *bufio.Reader, kind uint8) error {
+	switch kind {
+	case kindFloat:
+		fs := ix.store.(*floatStore)
+		var n uint64
+		if err := readAll(br, &n); err != nil {
+			return err
+		}
+		if n > maxSaneLen {
+			return fmt.Errorf("hnsw: unreasonable float count %d", n)
+		}
+		fs.data = make([]float32, n)
+		return binary.Read(br, binary.LittleEndian, fs.data)
+	case kindSQ:
+		ss := ix.store.(*sqStore)
+		var pn uint64
+		if err := readAll(br, &pn); err != nil {
+			return err
+		}
+		if pn > maxSaneLen {
+			return fmt.Errorf("hnsw: unreasonable SQ param size %d", pn)
+		}
+		params := make([]byte, pn)
+		if _, err := io.ReadFull(br, params); err != nil {
+			return err
+		}
+		sq, err := unmarshalScalar(params)
+		if err != nil {
+			return err
+		}
+		ss.sq = sq
+		var cn uint64
+		if err := readAll(br, &cn); err != nil {
+			return err
+		}
+		if cn > maxSaneLen {
+			return fmt.Errorf("hnsw: unreasonable code size %d", cn)
+		}
+		ss.codes = make([]byte, cn)
+		_, err = io.ReadFull(br, ss.codes)
+		return err
+	}
+	return fmt.Errorf("hnsw: unknown store kind %d", kind)
+}
+
+func writeAll(w io.Writer, vals ...any) error {
+	for _, v := range vals {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readAll(r io.Reader, vals ...any) error {
+	for _, v := range vals {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

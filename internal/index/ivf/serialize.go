@@ -1,0 +1,156 @@
+package ivf
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"blendhouse/internal/quant"
+	"blendhouse/internal/vec"
+)
+
+// unmarshalPQ aliases quant.UnmarshalPQ to keep Load readable.
+var unmarshalPQ = quant.UnmarshalPQ
+
+const (
+	magic      = uint32(0xB11F1DEC)
+	maxSaneLen = 1 << 31
+)
+
+// Save serializes the trained index:
+//
+//	magic u32 | variant u8 | dim u32 | nlist u32 | count u64
+//	centroids: nlist*dim float32
+//	pq blob (len-prefixed; 0 for FLAT)
+//	per list: nids u64 | ids | payload (floats or codes)
+func (ix *Index) Save(w io.Writer) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if !ix.trainedLocked() {
+		return fmt.Errorf("ivf: saving untrained index")
+	}
+	bw := bufio.NewWriter(w)
+	hdr := []any{magic, uint8(ix.variant), uint32(ix.params.Dim), uint32(len(ix.lists)), uint64(ix.count)}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return fmt.Errorf("ivf: writing header: %w", err)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, ix.cents.Data); err != nil {
+		return fmt.Errorf("ivf: writing centroids: %w", err)
+	}
+	var pqBlob []byte
+	if ix.pq != nil {
+		pqBlob = ix.pq.Marshal()
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(pqBlob))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(pqBlob); err != nil {
+		return err
+	}
+	for li := range ix.lists {
+		l := &ix.lists[li]
+		if err := binary.Write(bw, binary.LittleEndian, uint64(len(l.ids))); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, l.ids); err != nil {
+			return err
+		}
+		if ix.variant == VariantFlat {
+			if err := binary.Write(bw, binary.LittleEndian, l.data); err != nil {
+				return err
+			}
+		} else {
+			if _, err := bw.Write(l.code); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load restores an index written by Save. The receiving index must
+// have matching dim and variant.
+func (ix *Index) Load(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var (
+		m       uint32
+		variant uint8
+		dim     uint32
+		nlist   uint32
+		count   uint64
+	)
+	for _, v := range []any{&m, &variant, &dim, &nlist, &count} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("ivf: reading header: %w", err)
+		}
+	}
+	if m != magic {
+		return fmt.Errorf("ivf: bad magic %#x", m)
+	}
+	if Variant(variant) != ix.variant {
+		return fmt.Errorf("ivf: stored variant %d != constructed variant %d", variant, ix.variant)
+	}
+	if int(dim) != ix.params.Dim {
+		return fmt.Errorf("ivf: stored dim %d != constructed dim %d", dim, ix.params.Dim)
+	}
+	if nlist > maxSaneLen || count > math.MaxInt32 {
+		return fmt.Errorf("ivf: unreasonable nlist %d / count %d", nlist, count)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.cents = vec.NewMatrix(int(nlist), int(dim))
+	if err := binary.Read(br, binary.LittleEndian, ix.cents.Data); err != nil {
+		return fmt.Errorf("ivf: reading centroids: %w", err)
+	}
+	var pqLen uint64
+	if err := binary.Read(br, binary.LittleEndian, &pqLen); err != nil {
+		return err
+	}
+	if pqLen > maxSaneLen {
+		return fmt.Errorf("ivf: unreasonable pq blob %d", pqLen)
+	}
+	ix.pq = nil
+	if pqLen > 0 {
+		blob := make([]byte, pqLen)
+		if _, err := io.ReadFull(br, blob); err != nil {
+			return err
+		}
+		pq, err := unmarshalPQ(blob)
+		if err != nil {
+			return err
+		}
+		ix.pq = pq
+	}
+	ix.lists = make([]list, nlist)
+	ix.count = int(count)
+	for li := range ix.lists {
+		var n uint64
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return err
+		}
+		if n > maxSaneLen {
+			return fmt.Errorf("ivf: unreasonable list size %d", n)
+		}
+		l := &ix.lists[li]
+		l.ids = make([]int64, n)
+		if err := binary.Read(br, binary.LittleEndian, l.ids); err != nil {
+			return err
+		}
+		if ix.variant == VariantFlat {
+			l.data = make([]float32, int(n)*int(dim))
+			if err := binary.Read(br, binary.LittleEndian, l.data); err != nil {
+				return err
+			}
+		} else {
+			l.code = make([]byte, int(n)*ix.pq.CodeSize())
+			if _, err := io.ReadFull(br, l.code); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

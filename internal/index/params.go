@@ -1,0 +1,198 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"blendhouse/internal/vec"
+)
+
+// BuildParams carries every build-time knob any index type understands.
+// Unused fields are ignored by types that don't need them, so the SQL
+// layer can parse TYPE HNSW('DIM=960','M=16') into one struct without
+// knowing the index family.
+type BuildParams struct {
+	Dim    int
+	Metric vec.Metric
+	Seed   int64
+
+	// HNSW family.
+	M              int // max out-degree per layer (default 16)
+	EfConstruction int // construction beam width (default 200)
+
+	// IVF family. Nlist is the paper's K_IVF.
+	Nlist   int
+	PQM     int // subquantizers for IVFPQ/IVFPQFS (default dim/4 capped)
+	PQNbits int // 8 for IVFPQ, 4 for IVFPQFS
+
+	// DiskANN (Vamana).
+	DegreeBound int     // R, max graph degree (default 32)
+	BuildList   int     // L, construction candidate list (default 64)
+	Alpha       float64 // pruning slack (default 1.2)
+}
+
+// WithDefaults fills zero fields with the library defaults.
+func (p BuildParams) WithDefaults() BuildParams {
+	if p.M <= 0 {
+		p.M = 16
+	}
+	if p.EfConstruction <= 0 {
+		p.EfConstruction = 200
+	}
+	if p.Nlist <= 0 {
+		p.Nlist = 64
+	}
+	if p.PQNbits <= 0 {
+		p.PQNbits = 8
+	}
+	if p.PQM <= 0 && p.Dim > 0 {
+		p.PQM = p.Dim / 4
+		if p.PQM < 1 {
+			p.PQM = 1
+		}
+		for p.Dim%p.PQM != 0 {
+			p.PQM--
+		}
+	}
+	if p.DegreeBound <= 0 {
+		p.DegreeBound = 32
+	}
+	if p.BuildList <= 0 {
+		p.BuildList = 64
+	}
+	if p.Alpha <= 0 {
+		p.Alpha = 1.2
+	}
+	return p
+}
+
+// SearchParams carries per-query knobs. The cost model's β and γ
+// (paper Table II) are functions of Ef / Nprobe.
+type SearchParams struct {
+	Ef           int // HNSW/DiskANN beam width (default max(k, 64))
+	Nprobe       int // IVF lists probed (default 8)
+	RefineFactor int // σ: re-rank σ·k ADC candidates with exact distances (default 2 where applicable)
+}
+
+// WithDefaults fills zero fields given the requested k.
+func (p SearchParams) WithDefaults(k int) SearchParams {
+	if p.Ef < k {
+		if p.Ef <= 0 {
+			p.Ef = 64
+		}
+		if p.Ef < k {
+			p.Ef = k
+		}
+	}
+	if p.Nprobe <= 0 {
+		p.Nprobe = 8
+	}
+	if p.RefineFactor <= 0 {
+		p.RefineFactor = 2
+	}
+	return p
+}
+
+// ParseKV parses the SQL dialect's quoted parameter list, e.g.
+// HNSW('DIM=960','M=16','EF_CONSTRUCTION=100'), into BuildParams.
+// Keys are case-insensitive. Unknown keys are rejected so typos fail
+// loudly at CREATE TABLE time rather than silently building a default
+// index.
+func ParseKV(dim int, metric vec.Metric, kvs []string) (BuildParams, error) {
+	p := BuildParams{Dim: dim, Metric: metric}
+	for _, kv := range kvs {
+		eq := strings.IndexByte(kv, '=')
+		if eq < 0 {
+			return p, fmt.Errorf("index: malformed parameter %q (want KEY=VALUE)", kv)
+		}
+		key := strings.ToUpper(strings.TrimSpace(kv[:eq]))
+		val := strings.TrimSpace(kv[eq+1:])
+		if key == "METRIC" {
+			m, err := vec.ParseMetric(val)
+			if err != nil {
+				return p, err
+			}
+			p.Metric = m
+			continue
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return p, fmt.Errorf("index: parameter %s=%q is not an integer", key, val)
+		}
+		switch key {
+		case "DIM":
+			p.Dim = n
+		case "M":
+			p.M = n
+		case "EF_CONSTRUCTION", "EFCONSTRUCTION":
+			p.EfConstruction = n
+		case "NLIST", "K_IVF", "KIVF":
+			p.Nlist = n
+		case "PQ_M", "PQM":
+			p.PQM = n
+		case "PQ_NBITS", "PQNBITS":
+			p.PQNbits = n
+		case "R", "DEGREE":
+			p.DegreeBound = n
+		case "L", "BUILD_LIST":
+			p.BuildList = n
+		case "SEED":
+			p.Seed = int64(n)
+		default:
+			return p, fmt.Errorf("index: unknown build parameter %q", key)
+		}
+	}
+	if p.Dim <= 0 {
+		return p, fmt.Errorf("index: DIM must be specified and positive")
+	}
+	return p, nil
+}
+
+// Registry of pluggable index constructors ------------------------------
+
+// Constructor builds an empty index ready for Train/AddWithIDs or Load.
+type Constructor func(p BuildParams) (Index, error)
+
+var registry = map[Type]Constructor{}
+
+// Register installs a constructor for an index type. It panics on
+// duplicate registration — types register from init() and a duplicate
+// is a programming error.
+func Register(t Type, c Constructor) {
+	if _, dup := registry[t]; dup {
+		panic(fmt.Sprintf("index: duplicate registration of %s", t))
+	}
+	registry[t] = c
+}
+
+// New constructs an index of the given type. Unknown types list the
+// registered ones in the error to make CREATE TABLE failures
+// self-explanatory.
+func New(t Type, p BuildParams) (Index, error) {
+	c, ok := registry[Type(strings.ToUpper(string(t)))]
+	if !ok {
+		return nil, fmt.Errorf("index: unknown index type %q (registered: %s)", t, strings.Join(registeredNames(), ", "))
+	}
+	return c(p.WithDefaults())
+}
+
+// Registered returns the sorted list of registered index types.
+func Registered() []Type {
+	names := registeredNames()
+	out := make([]Type, len(names))
+	for i, n := range names {
+		out[i] = Type(n)
+	}
+	return out
+}
+
+func registeredNames() []string {
+	names := make([]string, 0, len(registry))
+	for t := range registry {
+		names = append(names, string(t))
+	}
+	sort.Strings(names)
+	return names
+}

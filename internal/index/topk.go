@@ -1,0 +1,122 @@
+package index
+
+import "sort"
+
+// TopK maintains the k smallest-distance candidates seen so far using
+// a bounded binary max-heap (the root is the current worst kept
+// candidate, so a new candidate only enters if it beats the root).
+// It is the shared top-k machinery of every index implementation and
+// the exec package's partial/global top-k operators.
+type TopK struct {
+	k    int
+	heap []Candidate // max-heap by Dist
+}
+
+// NewTopK returns a collector for the k closest candidates. k must be
+// positive.
+func NewTopK(k int) *TopK {
+	if k <= 0 {
+		k = 1
+	}
+	return &TopK{k: k, heap: make([]Candidate, 0, k)}
+}
+
+// Push offers a candidate. It returns true if the candidate was kept.
+func (t *TopK) Push(c Candidate) bool {
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, c)
+		t.up(len(t.heap) - 1)
+		return true
+	}
+	if c.Dist >= t.heap[0].Dist {
+		return false
+	}
+	t.heap[0] = c
+	t.down(0)
+	return true
+}
+
+// WouldAccept reports whether a candidate at dist would currently be
+// kept — lets scans skip heap operations (and exact re-ranks) early.
+func (t *TopK) WouldAccept(dist float32) bool {
+	return len(t.heap) < t.k || dist < t.heap[0].Dist
+}
+
+// Worst returns the distance of the worst kept candidate, or +Inf-like
+// behaviour via ok=false when fewer than k candidates are held.
+func (t *TopK) Worst() (float32, bool) {
+	if len(t.heap) < t.k {
+		return 0, false
+	}
+	return t.heap[0].Dist, true
+}
+
+// Len returns the number of candidates currently held.
+func (t *TopK) Len() int { return len(t.heap) }
+
+// Results extracts the kept candidates sorted ascending by distance
+// (ties broken by ID for determinism). The collector is left empty.
+func (t *TopK) Results() []Candidate {
+	out := t.heap
+	t.heap = nil
+	SortCandidates(out)
+	return out
+}
+
+func (t *TopK) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.heap[parent].Dist >= t.heap[i].Dist {
+			return
+		}
+		t.heap[parent], t.heap[i] = t.heap[i], t.heap[parent]
+		i = parent
+	}
+}
+
+func (t *TopK) down(i int) {
+	n := len(t.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && t.heap[l].Dist > t.heap[largest].Dist {
+			largest = l
+		}
+		if r < n && t.heap[r].Dist > t.heap[largest].Dist {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		t.heap[i], t.heap[largest] = t.heap[largest], t.heap[i]
+		i = largest
+	}
+}
+
+// SortCandidates orders candidates ascending by distance, breaking
+// ties by ID so results are deterministic across runs.
+func SortCandidates(cs []Candidate) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Dist != cs[j].Dist {
+			return cs[i].Dist < cs[j].Dist
+		}
+		return cs[i].ID < cs[j].ID
+	})
+}
+
+// MergeTopK merges several already-sorted candidate lists into the
+// global k best — the final merge of partial per-segment results
+// (paper §II-C "merges the partial top-k results from multiple
+// workers").
+func MergeTopK(k int, lists ...[]Candidate) []Candidate {
+	t := NewTopK(k)
+	for _, l := range lists {
+		for _, c := range l {
+			if !t.WouldAccept(c.Dist) {
+				break // lists are sorted; the rest can't enter either
+			}
+			t.Push(c)
+		}
+	}
+	return t.Results()
+}

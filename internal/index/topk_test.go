@@ -1,0 +1,144 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopKKeepsSmallest(t *testing.T) {
+	tk := NewTopK(3)
+	for _, d := range []float32{5, 1, 9, 3, 7, 2} {
+		tk.Push(Candidate{ID: int64(d * 10), Dist: d})
+	}
+	res := tk.Results()
+	want := []float32{1, 2, 3}
+	if len(res) != 3 {
+		t.Fatalf("len = %d", len(res))
+	}
+	for i := range want {
+		if res[i].Dist != want[i] {
+			t.Fatalf("res[%d] = %v, want %v", i, res[i].Dist, want[i])
+		}
+	}
+}
+
+func TestTopKFewerThanK(t *testing.T) {
+	tk := NewTopK(10)
+	tk.Push(Candidate{1, 2.0})
+	tk.Push(Candidate{2, 1.0})
+	res := tk.Results()
+	if len(res) != 2 || res[0].ID != 2 {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestTopKWouldAccept(t *testing.T) {
+	tk := NewTopK(2)
+	if !tk.WouldAccept(100) {
+		t.Fatal("under-filled collector must accept anything")
+	}
+	tk.Push(Candidate{1, 1})
+	tk.Push(Candidate{2, 2})
+	if tk.WouldAccept(3) {
+		t.Fatal("3 should not beat worst=2")
+	}
+	if !tk.WouldAccept(1.5) {
+		t.Fatal("1.5 should beat worst=2")
+	}
+	if w, ok := tk.Worst(); !ok || w != 2 {
+		t.Fatalf("Worst = %v, %v", w, ok)
+	}
+}
+
+func TestTopKZeroK(t *testing.T) {
+	tk := NewTopK(0) // clamps to 1
+	tk.Push(Candidate{1, 5})
+	tk.Push(Candidate{2, 3})
+	res := tk.Results()
+	if len(res) != 1 || res[0].ID != 2 {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestTopKMatchesSortProperty(t *testing.T) {
+	f := func(dists []float32, kRaw uint8) bool {
+		k := int(kRaw%20) + 1
+		tk := NewTopK(k)
+		for i, d := range dists {
+			if d != d { // skip NaN
+				return true
+			}
+			tk.Push(Candidate{ID: int64(i), Dist: d})
+		}
+		got := tk.Results()
+		sorted := append([]float32{}, dists...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		n := k
+		if n > len(sorted) {
+			n = len(sorted)
+		}
+		if len(got) != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if got[i].Dist != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortCandidatesTieBreak(t *testing.T) {
+	cs := []Candidate{{5, 1}, {2, 1}, {9, 0.5}}
+	SortCandidates(cs)
+	if cs[0].ID != 9 || cs[1].ID != 2 || cs[2].ID != 5 {
+		t.Fatalf("sorted = %v", cs)
+	}
+}
+
+func TestMergeTopK(t *testing.T) {
+	a := []Candidate{{1, 0.1}, {2, 0.5}, {3, 0.9}}
+	b := []Candidate{{4, 0.2}, {5, 0.6}}
+	c := []Candidate{{6, 0.05}}
+	merged := MergeTopK(3, a, b, c)
+	wantIDs := []int64{6, 1, 4}
+	if len(merged) != 3 {
+		t.Fatalf("len = %d", len(merged))
+	}
+	for i, w := range wantIDs {
+		if merged[i].ID != w {
+			t.Fatalf("merged[%d].ID = %d, want %d", i, merged[i].ID, w)
+		}
+	}
+}
+
+func TestMergeTopKEquivalentToGlobalSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var lists [][]Candidate
+	var all []Candidate
+	id := int64(0)
+	for l := 0; l < 5; l++ {
+		var list []Candidate
+		for i := 0; i < 50; i++ {
+			c := Candidate{ID: id, Dist: rng.Float32()}
+			id++
+			list = append(list, c)
+			all = append(all, c)
+		}
+		SortCandidates(list)
+		lists = append(lists, list)
+	}
+	merged := MergeTopK(20, lists...)
+	SortCandidates(all)
+	for i := 0; i < 20; i++ {
+		if merged[i] != all[i] {
+			t.Fatalf("merge diverges at %d: %v != %v", i, merged[i], all[i])
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package kmeans
+
+import (
+	"math/rand"
+	"testing"
+
+	"blendhouse/internal/vec"
+)
+
+// wellSeparated builds k tight blobs far apart.
+func wellSeparated(k, perCluster, dim int, seed int64) (*vec.Matrix, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	m := vec.NewMatrix(k*perCluster, dim)
+	truth := make([]int, k*perCluster)
+	for c := 0; c < k; c++ {
+		center := make([]float32, dim)
+		for d := range center {
+			center[d] = float32(c*100) + rng.Float32()
+		}
+		for i := 0; i < perCluster; i++ {
+			row := m.Row(c*perCluster + i)
+			truth[c*perCluster+i] = c
+			for d := range row {
+				row[d] = center[d] + float32(rng.NormFloat64())*0.1
+			}
+		}
+	}
+	return m, truth
+}
+
+func TestTrainRecoversWellSeparatedClusters(t *testing.T) {
+	data, truth := wellSeparated(4, 50, 8, 1)
+	res, err := Train(data, Config{K: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Points with the same true cluster must share an assignment, and
+	// different true clusters must not collide.
+	mapping := map[int]int{}
+	for i, a := range res.Assign {
+		tc := truth[i]
+		if prev, ok := mapping[tc]; ok {
+			if prev != a {
+				t.Fatalf("true cluster %d split across k-means clusters %d and %d", tc, prev, a)
+			}
+		} else {
+			mapping[tc] = a
+		}
+	}
+	seen := map[int]bool{}
+	for _, a := range mapping {
+		if seen[a] {
+			t.Fatal("two true clusters merged")
+		}
+		seen[a] = true
+	}
+}
+
+func TestTrainDeterministicForSeed(t *testing.T) {
+	data, _ := wellSeparated(3, 30, 4, 2)
+	r1, err := Train(data, Config{K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Train(data, Config{K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Centroids.Data {
+		if r1.Centroids.Data[i] != r2.Centroids.Data[i] {
+			t.Fatal("same seed produced different centroids")
+		}
+	}
+	if r1.Inertia != r2.Inertia {
+		t.Fatal("same seed produced different inertia")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	data := vec.NewMatrix(3, 2)
+	if _, err := Train(data, Config{K: 0}); err == nil {
+		t.Error("K=0 should fail")
+	}
+	if _, err := Train(vec.NewMatrix(0, 2), Config{K: 1}); err == nil {
+		t.Error("empty training set should fail")
+	}
+}
+
+func TestTrainFewerRowsThanK(t *testing.T) {
+	data := vec.NewMatrix(2, 2)
+	data.SetRow(0, []float32{0, 0})
+	data.SetRow(1, []float32{10, 10})
+	res, err := Train(data, Config{K: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Centroids.Rows() != 5 {
+		t.Fatalf("want 5 centroids, got %d", res.Centroids.Rows())
+	}
+	// Assignments must still be valid indices.
+	for _, a := range res.Assign {
+		if a < 0 || a >= 5 {
+			t.Fatalf("invalid assignment %d", a)
+		}
+	}
+}
+
+func TestInertiaDecreasesWithMoreClusters(t *testing.T) {
+	data, _ := wellSeparated(4, 40, 6, 3)
+	r1, err := Train(data, Config{K: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Train(data, Config{K: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Inertia >= r1.Inertia {
+		t.Fatalf("inertia did not decrease: k=1 %v, k=4 %v", r1.Inertia, r4.Inertia)
+	}
+}
+
+func TestAssignNearestConsistentWithTraining(t *testing.T) {
+	data, _ := wellSeparated(3, 30, 4, 4)
+	res, err := Train(data, Config{K: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := AssignNearest(data, res.Centroids)
+	for i := range re {
+		if re[i] != res.Assign[i] {
+			t.Fatalf("row %d: AssignNearest %d != training assignment %d", i, re[i], res.Assign[i])
+		}
+	}
+}
+
+func TestNearest(t *testing.T) {
+	cents := vec.NewMatrix(2, 2)
+	cents.SetRow(0, []float32{0, 0})
+	cents.SetRow(1, []float32{10, 0})
+	i, d := Nearest([]float32{9, 0}, cents)
+	if i != 1 || d != 1 {
+		t.Fatalf("Nearest = (%d, %v), want (1, 1)", i, d)
+	}
+	i, _ = Nearest([]float32{1, 1}, vec.NewMatrix(0, 2))
+	if i != -1 {
+		t.Fatalf("Nearest on empty centroids = %d, want -1", i)
+	}
+}

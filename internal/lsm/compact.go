@@ -1,0 +1,174 @@
+package lsm
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"blendhouse/internal/storage"
+)
+
+// Background compaction (paper §III-B "Vector index compaction"):
+// small segments within the same (partition, bucket) group are merged
+// into one larger segment; deleted rows are dropped during the merge,
+// and the merged segment gets a freshly built vector index — index
+// consolidation rides the existing compaction mechanism for free.
+
+// CompactionPolicy controls when a group compacts.
+type CompactionPolicy struct {
+	// MinSegments is the group size that triggers a merge (default 4).
+	MinSegments int
+	// MaxMergeRows caps the merged segment's size (default 1<<20).
+	MaxMergeRows int
+}
+
+func (p CompactionPolicy) withDefaults() CompactionPolicy {
+	if p.MinSegments <= 0 {
+		p.MinSegments = 4
+	}
+	if p.MaxMergeRows <= 0 {
+		p.MaxMergeRows = 1 << 20
+	}
+	return p
+}
+
+// CompactOnce merges the most fragmented (partition, bucket) group if
+// it has at least policy.MinSegments segments. It returns the number
+// of segments merged (0 when nothing qualified).
+func (t *Table) CompactOnce(policy CompactionPolicy) (int, error) {
+	policy = policy.withDefaults()
+	group, metas := t.pickCompactionGroup(policy)
+	if len(metas) < policy.MinSegments {
+		return 0, nil
+	}
+	_ = group
+	// Read the group's live rows into one batch, applying deletes.
+	// The MaxMergeRows cap bounds how many segments this round
+	// actually merges; segments beyond the cap stay live untouched.
+	merged := storage.NewRowBatch(t.opts.Schema)
+	maxLevel := 0
+	var mergedMetas []*storage.SegmentMeta
+	for _, m := range metas {
+		if merged.Len() >= policy.MaxMergeRows {
+			break
+		}
+		mergedMetas = append(mergedMetas, m)
+		if m.Level > maxLevel {
+			maxLevel = m.Level
+		}
+		bm, err := t.DeleteBitmap(m.Name)
+		if err != nil {
+			return 0, err
+		}
+		rd := &storage.SegmentReader{Store: t.store, Meta: m, Schema: t.opts.Schema}
+		cols := make([]*storage.ColumnData, len(t.opts.Schema.Columns))
+		for ci, def := range t.opts.Schema.Columns {
+			col, err := rd.ReadColumn(def.Name)
+			if err != nil {
+				return 0, fmt.Errorf("lsm: compaction reading %s/%s: %w", m.Name, def.Name, err)
+			}
+			cols[ci] = col
+		}
+		src := &storage.RowBatch{Schema: t.opts.Schema, Cols: cols}
+		for r := 0; r < m.Rows; r++ {
+			if bm != nil && bm.Test(r) {
+				continue
+			}
+			merged.AppendRow(src, r)
+		}
+	}
+	if len(mergedMetas) < 2 {
+		return 0, nil // nothing meaningful to merge under the cap
+	}
+	// Write the merged segment (fresh index built inside).
+	newMeta, err := t.writeSegment(merged, mergedMetas[0].Partition, mergedMetas[0].Bucket, maxLevel+1)
+	if err != nil {
+		return 0, fmt.Errorf("lsm: writing compacted segment: %w", err)
+	}
+	// Swap catalog: register the new segment, retire the merged ones.
+	t.mu.Lock()
+	t.segments[newMeta.Name] = newMeta
+	for _, m := range mergedMetas {
+		delete(t.segments, m.Name)
+		delete(t.deletes, m.Name)
+	}
+	err = t.saveManifestLocked()
+	t.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	// Best-effort cleanup of retired blobs; orphans are harmless
+	// because the manifest no longer references them.
+	for _, m := range mergedMetas {
+		prefix := "tables/" + t.opts.Name + "/segments/" + m.Name + "/"
+		if keys, lerr := t.store.List(prefix); lerr == nil {
+			for _, k := range keys {
+				_ = t.store.Delete(k)
+			}
+		}
+	}
+	return len(mergedMetas), nil
+}
+
+// pickCompactionGroup returns the (partition,bucket) group with the
+// most segments, restricted to segments below the merged-size cap.
+func (t *Table) pickCompactionGroup(policy CompactionPolicy) (string, []*storage.SegmentMeta) {
+	t.mu.RLock()
+	groups := map[string][]*storage.SegmentMeta{}
+	for _, m := range t.segments {
+		if m.Rows >= policy.MaxMergeRows {
+			continue
+		}
+		key := fmt.Sprintf("%s#%d", m.Partition, m.Bucket)
+		groups[key] = append(groups[key], m)
+	}
+	t.mu.RUnlock()
+	bestKey, bestLen := "", 0
+	for k, v := range groups {
+		if len(v) > bestLen || (len(v) == bestLen && k < bestKey) {
+			bestKey, bestLen = k, len(v)
+		}
+	}
+	metas := groups[bestKey]
+	// Merge oldest (lowest id) first for deterministic behaviour.
+	sort.Slice(metas, func(i, j int) bool { return metas[i].Name < metas[j].Name })
+	return bestKey, metas
+}
+
+// CompactAll repeatedly compacts until no group qualifies, returning
+// the total number of segments merged. Used by tests and by the
+// dedicated compaction VW.
+func (t *Table) CompactAll(policy CompactionPolicy) (int, error) {
+	total := 0
+	for {
+		n, err := t.CompactOnce(policy)
+		if err != nil {
+			return total, err
+		}
+		if n == 0 {
+			return total, nil
+		}
+		total += n
+	}
+}
+
+// StartCompaction launches a background loop compacting every
+// interval until stop is closed — the dedicated compaction virtual
+// warehouse of the disaggregated deployment. Errors are delivered to
+// onErr (may be nil).
+func (t *Table) StartCompaction(policy CompactionPolicy, interval time.Duration, stop <-chan struct{}, onErr func(error)) {
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				if _, err := t.CompactOnce(policy); err != nil && onErr != nil {
+					onErr(err)
+				}
+			}
+		}
+	}()
+}

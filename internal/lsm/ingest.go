@@ -1,0 +1,304 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"blendhouse/internal/autoindex"
+	"blendhouse/internal/index"
+	"blendhouse/internal/kmeans"
+	"blendhouse/internal/storage"
+	"blendhouse/internal/vec"
+)
+
+// bytesReader adapts a blob to io.Reader for index loading.
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }
+
+// Insert ingests a batch: rows are routed by scalar partition key and
+// semantic bucket, split into segments of at most SegmentRows, and
+// each segment's columns and ANN index are written — concurrently when
+// PipelinedBuild is on (BlendHouse's pipelined ingestion, the source
+// of its Table IV win), strictly serially otherwise (the baselines).
+func (t *Table) Insert(batch *storage.RowBatch) error {
+	if err := batch.Validate(); err != nil {
+		return err
+	}
+	if batch.Len() == 0 {
+		return nil
+	}
+	groups, err := t.routeRows(batch)
+	if err != nil {
+		return err
+	}
+	var newMetas []*storage.SegmentMeta
+	for _, g := range groups {
+		for start := 0; start < g.batch.Len(); start += t.opts.SegmentRows {
+			end := start + t.opts.SegmentRows
+			if end > g.batch.Len() {
+				end = g.batch.Len()
+			}
+			part := sliceBatch(g.batch, start, end)
+			meta, err := t.writeSegment(part, g.partition, g.bucket, 0)
+			if err != nil {
+				return err
+			}
+			newMetas = append(newMetas, meta)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, m := range newMetas {
+		t.segments[m.Name] = m
+	}
+	t.updateHistogramsLocked(batch)
+	return t.saveManifestLocked()
+}
+
+// routeGroup is one (partition, bucket) slice of an ingest batch.
+type routeGroup struct {
+	partition string
+	bucket    int
+	batch     *storage.RowBatch
+}
+
+// routeRows splits the batch by scalar partition key value and
+// semantic bucket. Semantic centroids are trained lazily on the first
+// clustered ingest (paper §IV-B: "the system ... perform[s] k-means
+// clustering during ingestion").
+func (t *Table) routeRows(batch *storage.RowBatch) ([]*routeGroup, error) {
+	n := batch.Len()
+	parts := make([]string, n)
+	if len(t.opts.PartitionBy) > 0 {
+		cols := make([]*storage.ColumnData, len(t.opts.PartitionBy))
+		for i, pc := range t.opts.PartitionBy {
+			cols[i] = batch.Col(pc)
+		}
+		for r := 0; r < n; r++ {
+			vals := make([]string, len(cols))
+			for i, c := range cols {
+				vals[i] = c.ValueString(r)
+			}
+			parts[r] = strings.Join(vals, "|")
+		}
+	}
+	buckets := make([]int, n)
+	if t.opts.ClusterBuckets > 0 {
+		vcol := batch.Col(t.opts.Schema.VectorColumn().Name)
+		mat := &vec.Matrix{Dim: vcol.Def.Dim, Data: vcol.Vecs}
+		if err := t.ensureCentroids(mat); err != nil {
+			return nil, err
+		}
+		assign := kmeans.AssignNearest(mat, t.Centroids())
+		copy(buckets, assign)
+	} else {
+		for i := range buckets {
+			buckets[i] = -1
+		}
+	}
+	groups := map[string]*routeGroup{}
+	var order []string
+	for r := 0; r < n; r++ {
+		key := fmt.Sprintf("%s#%d", parts[r], buckets[r])
+		g, ok := groups[key]
+		if !ok {
+			g = &routeGroup{partition: parts[r], bucket: buckets[r], batch: storage.NewRowBatch(t.opts.Schema)}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.batch.AppendRow(batch, r)
+	}
+	out := make([]*routeGroup, len(order))
+	for i, k := range order {
+		out[i] = groups[k]
+	}
+	return out, nil
+}
+
+// ensureCentroids trains the semantic bucket centroids on the first
+// clustered ingest.
+func (t *Table) ensureCentroids(sample *vec.Matrix) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.centroids != nil {
+		return nil
+	}
+	res, err := kmeans.Train(sample, kmeans.Config{K: t.opts.ClusterBuckets, Seed: t.opts.Seed, MaxIters: 10})
+	if err != nil {
+		return fmt.Errorf("lsm: training semantic buckets: %w", err)
+	}
+	t.centroids = res.Centroids
+	return nil
+}
+
+func sliceBatch(b *storage.RowBatch, start, end int) *storage.RowBatch {
+	if start == 0 && end == b.Len() {
+		return b
+	}
+	out := storage.NewRowBatch(b.Schema)
+	for r := start; r < end; r++ {
+		out.AppendRow(b, r)
+	}
+	return out
+}
+
+// writeSegment persists one segment's columns and ANN index, returning
+// the finished metadata. level records the compaction depth.
+func (t *Table) writeSegment(batch *storage.RowBatch, partition string, bucket, level int) (*storage.SegmentMeta, error) {
+	t.mu.Lock()
+	segName := fmt.Sprintf("seg%08d", t.nextSeg)
+	t.nextSeg++
+	t.mu.Unlock()
+
+	base := storage.SegmentMeta{
+		Name: segName, Table: t.opts.Name,
+		Partition: partition, Bucket: bucket, Level: level,
+	}
+	if t.opts.IndexColumn != "" {
+		base.IndexedColumn = t.opts.IndexColumn
+		base.IndexType = string(t.opts.IndexType)
+	}
+
+	buildIndex := func() ([]byte, error) {
+		if t.opts.IndexColumn == "" || batch.Len() == 0 {
+			return nil, nil
+		}
+		return t.buildIndexBlob(batch, level)
+	}
+
+	var (
+		meta     *storage.SegmentMeta
+		idxBlob  []byte
+		writeErr error
+		idxErr   error
+	)
+	if t.opts.PipelinedBuild {
+		// Pipelined: column serialization and index construction run
+		// concurrently; the slower of the two bounds latency instead of
+		// their sum.
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			meta, writeErr = storage.WriteSegment(t.store, base, batch, t.opts.BlockRows)
+		}()
+		go func() {
+			defer wg.Done()
+			idxBlob, idxErr = buildIndex()
+		}()
+		wg.Wait()
+	} else {
+		meta, writeErr = storage.WriteSegment(t.store, base, batch, t.opts.BlockRows)
+		if writeErr == nil {
+			idxBlob, idxErr = buildIndex()
+		}
+	}
+	if writeErr != nil {
+		return nil, fmt.Errorf("lsm: writing segment %s: %w", segName, writeErr)
+	}
+	if idxErr != nil {
+		return nil, fmt.Errorf("lsm: building index for %s: %w", segName, idxErr)
+	}
+	if idxBlob != nil {
+		if err := t.store.Put(storage.IndexKey(t.opts.Name, segName, t.opts.IndexColumn), idxBlob); err != nil {
+			return nil, fmt.Errorf("lsm: writing index of %s: %w", segName, err)
+		}
+	}
+	return meta, nil
+}
+
+// buildParamsFor applies the auto-index rules for a segment of n rows.
+func (t *Table) buildParamsFor(n int) index.BuildParams {
+	p := t.opts.IndexParams
+	p.Seed = t.opts.Seed
+	if t.opts.AutoIndex {
+		p = autoindex.Apply(t.opts.IndexType, n, p)
+	}
+	return p.WithDefaults()
+}
+
+// buildIndexBlob constructs the per-segment index over the batch's
+// vector column, with row offsets as IDs (paper §III-B), and
+// serializes it. level > 0 marks compaction output, where the offline
+// auto-tuner may refine the rule-based parameters.
+func (t *Table) buildIndexBlob(batch *storage.RowBatch, level int) ([]byte, error) {
+	vcol := batch.Col(t.opts.IndexColumn)
+	n := vcol.Len()
+	params := t.buildParamsFor(n)
+	if level > 0 && t.opts.TuneOnCompaction {
+		if tuned, ok := t.tuneParams(vcol, params); ok {
+			params = tuned
+		}
+	}
+	ix, err := index.New(t.opts.IndexType, params)
+	if err != nil {
+		return nil, err
+	}
+	if ix.NeedsTrain() {
+		if err := ix.Train(vcol.Vecs); err != nil {
+			return nil, err
+		}
+	}
+	ids := make([]int64, n)
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	if err := ix.AddWithIDs(vcol.Vecs, ids); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// tuneParams runs the offline auto-tuner (paper §III-B's background
+// compaction path) over the merged segment's own vectors: a handful of
+// rows double as sample queries, exact scan provides the truth, and
+// the fastest candidate meeting the recall target wins. Only the
+// IVF family benefits — graph parameters are stable across sizes.
+// Loading remains compatible because our index formats carry their
+// structural parameters in the blob; the constructed BuildParams only
+// steer construction.
+func (t *Table) tuneParams(vcol *storage.ColumnData, base index.BuildParams) (index.BuildParams, bool) {
+	switch t.opts.IndexType {
+	case index.IVFFlat, index.IVFPQ, index.IVFPQFS:
+	default:
+		return base, false
+	}
+	n := vcol.Len()
+	const nq, k = 12, 10
+	if n < 4*nq {
+		return base, false
+	}
+	// Sample evenly spaced rows as queries and compute exact truth.
+	queries := make([][]float32, nq)
+	truth := make([][]int64, nq)
+	for qi := 0; qi < nq; qi++ {
+		q := vcol.Vector(qi * (n / nq))
+		queries[qi] = q
+		top := index.NewTopK(k)
+		for r := 0; r < n; r++ {
+			top.Push(index.Candidate{ID: int64(r), Dist: vec.L2Squared(q, vcol.Vector(r))})
+		}
+		res := top.Results()
+		ids := make([]int64, len(res))
+		for i, c := range res {
+			ids[i] = c.ID
+		}
+		truth[qi] = ids
+	}
+	result, err := autoindex.Tune(t.opts.IndexType, vcol.Def.Dim, vcol.Vecs, queries, truth, autoindex.TunerConfig{
+		K: k, RecallTarget: 0.9,
+		Search: index.SearchParams{Nprobe: 8, RefineFactor: 4},
+	})
+	if err != nil {
+		return base, false
+	}
+	tuned := base
+	tuned.Nlist = result.Params.Nlist
+	return tuned, true
+}

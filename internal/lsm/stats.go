@@ -1,0 +1,189 @@
+package lsm
+
+import (
+	"math"
+
+	"blendhouse/internal/storage"
+)
+
+// Histogram is a fixed-width equi-range histogram over a numeric
+// column, maintained incrementally at ingest time. The cost-based
+// optimizer estimates the selectivity `s` of range predicates from it
+// (paper Table II: "estimated with histograms"). Bounds widen as new
+// data arrives; counts are approximate after widening, which is fine —
+// the CBO needs the right order of magnitude, not exactness.
+type Histogram struct {
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Total   int64   `json:"total"`
+	Buckets []int64 `json:"buckets"`
+}
+
+// histBuckets is the bucket count for all column histograms.
+const histBuckets = 64
+
+// newHistogram returns an empty histogram.
+func newHistogram() *Histogram {
+	return &Histogram{Min: math.Inf(1), Max: math.Inf(-1), Buckets: make([]int64, histBuckets)}
+}
+
+// add records values, rescaling the bucket range when the observed
+// min/max widen. Rescaling redistributes existing counts
+// proportionally — approximate, but monotone in total mass.
+func (h *Histogram) add(vals []float64) {
+	if len(vals) == 0 {
+		return
+	}
+	lo, hi := h.Min, h.Max
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo < h.Min || hi > h.Max {
+		h.rescale(lo, hi)
+	}
+	width := (h.Max - h.Min) / histBuckets
+	for _, v := range vals {
+		b := 0
+		if width > 0 {
+			b = int((v - h.Min) / width)
+			if b >= histBuckets {
+				b = histBuckets - 1
+			}
+			if b < 0 {
+				b = 0
+			}
+		}
+		h.Buckets[b]++
+		h.Total++
+	}
+}
+
+// rescale widens the range, remapping existing bucket mass.
+func (h *Histogram) rescale(lo, hi float64) {
+	if h.Total == 0 {
+		h.Min, h.Max = lo, hi
+		return
+	}
+	oldMin, oldMax := h.Min, h.Max
+	oldW := (oldMax - oldMin) / histBuckets
+	newBuckets := make([]int64, histBuckets)
+	newW := (hi - lo) / histBuckets
+	for b, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		center := oldMin + (float64(b)+0.5)*oldW
+		nb := 0
+		if newW > 0 {
+			nb = int((center - lo) / newW)
+			if nb >= histBuckets {
+				nb = histBuckets - 1
+			}
+			if nb < 0 {
+				nb = 0
+			}
+		}
+		newBuckets[nb] += c
+	}
+	h.Min, h.Max, h.Buckets = lo, hi, newBuckets
+}
+
+// Selectivity estimates the fraction of rows with lo <= v <= hi,
+// interpolating partial buckets. Open ends use ±Inf.
+func (h *Histogram) Selectivity(lo, hi float64) float64 {
+	if h == nil || h.Total == 0 {
+		return 1
+	}
+	if hi < h.Min || lo > h.Max {
+		return 0
+	}
+	if lo < h.Min {
+		lo = h.Min
+	}
+	if hi > h.Max {
+		hi = h.Max
+	}
+	width := (h.Max - h.Min) / histBuckets
+	if width == 0 {
+		// Degenerate single-value column.
+		if lo <= h.Min && hi >= h.Max {
+			return 1
+		}
+		return 0
+	}
+	var count float64
+	for b, c := range h.Buckets {
+		bLo := h.Min + float64(b)*width
+		bHi := bLo + width
+		overlap := math.Min(hi, bHi) - math.Max(lo, bLo)
+		if overlap <= 0 {
+			continue
+		}
+		count += float64(c) * overlap / width
+	}
+	s := count / float64(h.Total)
+	if s > 1 {
+		s = 1
+	}
+	if s < 0 {
+		s = 0
+	}
+	return s
+}
+
+// updateHistogramsLocked folds a batch's numeric columns into the
+// table histograms. Caller holds t.mu.
+func (t *Table) updateHistogramsLocked(batch *storage.RowBatch) {
+	for _, col := range batch.Cols {
+		var vals []float64
+		switch col.Def.Type {
+		case storage.Int64Type, storage.DateTimeType:
+			vals = make([]float64, len(col.Ints))
+			for i, v := range col.Ints {
+				vals[i] = float64(v)
+			}
+		case storage.Float64Type:
+			vals = col.Floats
+		default:
+			continue
+		}
+		h := t.hist[col.Def.Name]
+		if h == nil {
+			h = newHistogram()
+			t.hist[col.Def.Name] = h
+		}
+		h.add(vals)
+	}
+}
+
+// HistogramFor returns the column's histogram, or nil when the column
+// is non-numeric or no data has been ingested.
+func (t *Table) HistogramFor(col string) *Histogram {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.hist[col]
+}
+
+// EstimateIntSelectivity is the CBO entry point for integer range
+// predicates; unbounded sides pass math.MinInt64 / math.MaxInt64.
+func (t *Table) EstimateIntSelectivity(col string, lo, hi int64) float64 {
+	h := t.HistogramFor(col)
+	flo, fhi := float64(lo), float64(hi)
+	if lo == math.MinInt64 {
+		flo = math.Inf(-1)
+	}
+	if hi == math.MaxInt64 {
+		fhi = math.Inf(1)
+	}
+	return h.Selectivity(flo, fhi)
+}
+
+// EstimateFloatSelectivity is EstimateIntSelectivity for floats.
+func (t *Table) EstimateFloatSelectivity(col string, lo, hi float64) float64 {
+	return t.HistogramFor(col).Selectivity(lo, hi)
+}

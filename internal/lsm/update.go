@@ -1,0 +1,134 @@
+package lsm
+
+import (
+	"fmt"
+
+	"blendhouse/internal/bitset"
+	"blendhouse/internal/storage"
+)
+
+// Realtime updates (paper §III-B, Figure 6): instead of mutating
+// vector indexes — unsupported or prohibitively expensive in most
+// libraries — an update writes the new row versions as a fresh segment
+// (with its own freshly built index) and marks the superseded rows in
+// the old segments' delete bitmaps. Queries subtract the bitmaps;
+// compaction later rewrites the segments without the dead rows and
+// drops the bitmaps.
+
+// DeleteByKey marks every row whose pkCol value appears in keys as
+// deleted. It returns the number of rows marked.
+func (t *Table) DeleteByKey(pkCol string, keys []int64) (int, error) {
+	ci, def := t.opts.Schema.Col(pkCol)
+	if ci < 0 {
+		return 0, fmt.Errorf("lsm: key column %q not in schema", pkCol)
+	}
+	if def.Type != storage.Int64Type && def.Type != storage.DateTimeType {
+		return 0, fmt.Errorf("lsm: key column %q must be integer-typed", pkCol)
+	}
+	want := make(map[int64]bool, len(keys))
+	for _, k := range keys {
+		want[k] = true
+	}
+	marked := 0
+	for _, meta := range t.Segments() {
+		// Min/max pruning: skip segments that can't contain any key.
+		anyInRange := false
+		for k := range want {
+			if !meta.PruneByInt(pkCol, k, k) {
+				anyInRange = true
+				break
+			}
+		}
+		if !anyInRange {
+			continue
+		}
+		rd := &storage.SegmentReader{Store: t.store, Meta: meta, Schema: t.opts.Schema}
+		col, err := rd.ReadColumn(pkCol)
+		if err != nil {
+			return marked, fmt.Errorf("lsm: reading key column of %s: %w", meta.Name, err)
+		}
+		var hits []int
+		for r, v := range col.Ints {
+			if want[v] {
+				hits = append(hits, r)
+			}
+		}
+		if len(hits) == 0 {
+			continue
+		}
+		n, err := t.markDeleted(meta.Name, meta.Rows, hits)
+		if err != nil {
+			return marked, err
+		}
+		marked += n
+	}
+	return marked, nil
+}
+
+// markDeleted sets the given row offsets in the segment's delete
+// bitmap and persists it. Rows already deleted are not recounted.
+func (t *Table) markDeleted(seg string, segRows int, rows []int) (int, error) {
+	bm, err := t.DeleteBitmap(seg)
+	if err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	if bm == nil {
+		bm = bitset.New(segRows)
+		t.deletes[seg] = bm
+	}
+	n := 0
+	for _, r := range rows {
+		if !bm.Test(r) {
+			bm.Set(r)
+			n++
+		}
+	}
+	blob, err := bm.MarshalBinary()
+	t.mu.Unlock()
+	if err != nil {
+		return n, err
+	}
+	if err := t.store.Put(storage.DeleteBitmapKey(t.opts.Name, seg), blob); err != nil {
+		return n, fmt.Errorf("lsm: persisting delete bitmap of %s: %w", seg, err)
+	}
+	return n, nil
+}
+
+// Update replaces rows by primary key: rows in newRows whose pkCol
+// value matches an existing live row supersede it (old row marked
+// deleted, new row inserted as a fresh version); unmatched rows are
+// plain inserts. Returns the number of superseded rows.
+func (t *Table) Update(pkCol string, newRows *storage.RowBatch) (int, error) {
+	if err := newRows.Validate(); err != nil {
+		return 0, err
+	}
+	pk := newRows.Col(pkCol)
+	if pk == nil {
+		return 0, fmt.Errorf("lsm: key column %q not in batch", pkCol)
+	}
+	keys := make([]int64, pk.Len())
+	copy(keys, pk.Ints)
+	deleted, err := t.DeleteByKey(pkCol, keys)
+	if err != nil {
+		return deleted, err
+	}
+	if err := t.Insert(newRows); err != nil {
+		return deleted, err
+	}
+	return deleted, nil
+}
+
+// DeletedRows returns the total number of rows currently marked
+// deleted (awaiting compaction).
+func (t *Table) DeletedRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, d := range t.deletes {
+		if d != nil {
+			n += d.Count()
+		}
+	}
+	return n
+}

@@ -1,0 +1,215 @@
+package plan
+
+import (
+	"math/rand"
+	"time"
+
+	"blendhouse/internal/bitset"
+	"blendhouse/internal/quant"
+	"blendhouse/internal/vec"
+)
+
+// CostParams carries the calibrated constants of the accuracy-aware
+// cost model (paper Table II). All values are seconds per unit.
+type CostParams struct {
+	// Cd: fetch a vector and compute a pairwise distance.
+	Cd float64
+	// Cc: fetch a code and run asymmetric distance computation.
+	Cc float64
+	// Cp: one bitmap test.
+	Cp float64
+	// CScan: evaluate the structured predicate on one row (T0 = n·CScan).
+	CScan float64
+	// Sigma: the σ amplification factor of the ANN scan operators.
+	Sigma float64
+}
+
+// DefaultCostParams is a reasonable prior (128-d vectors on a modern
+// core) used before calibration.
+func DefaultCostParams() CostParams {
+	return CostParams{Cd: 120e-9, Cc: 12e-9, Cp: 1.5e-9, CScan: 6e-9, Sigma: 2}
+}
+
+// Calibrate micro-measures the constants on this machine for the given
+// vector dimension — the engine runs it once per table at first query.
+func Calibrate(dim int) CostParams {
+	p := DefaultCostParams()
+	rng := rand.New(rand.NewSource(1))
+	const rows = 2000
+	data := make([]float32, rows*dim)
+	for i := range data {
+		data[i] = rng.Float32()
+	}
+	q := data[:dim]
+
+	// Cd: exact distance over the matrix.
+	start := time.Now()
+	out := make([]float32, rows)
+	vec.DistancesTo(vec.L2, q, data, dim, out)
+	p.Cd = secsPer(start, rows)
+
+	// Cc: ADC over PQ codes (use a modest M so calibration is fast).
+	m := dim / 4
+	if m < 1 {
+		m = 1
+	}
+	for dim%m != 0 {
+		m--
+	}
+	if pq, err := quant.TrainPQ(data[:256*dim], dim, m, 8, 1); err == nil {
+		codes := make([]byte, rows*pq.CodeSize())
+		buf := make([]byte, pq.CodeSize())
+		for r := 0; r < rows; r++ {
+			pq.Encode(data[r*dim:(r+1)*dim], buf)
+			copy(codes[r*pq.CodeSize():], buf)
+		}
+		adc := pq.BuildADC(vec.L2, q)
+		start = time.Now()
+		var acc float32
+		for r := 0; r < rows; r++ {
+			acc += adc.Distance(codes[r*pq.CodeSize() : (r+1)*pq.CodeSize()])
+		}
+		_ = acc
+		p.Cc = secsPer(start, rows)
+	}
+
+	// Cp: bitmap tests.
+	bs := bitset.NewFull(rows)
+	start = time.Now()
+	hits := 0
+	for pass := 0; pass < 64; pass++ {
+		for r := 0; r < rows; r++ {
+			if bs.Test(r) {
+				hits++
+			}
+		}
+	}
+	_ = hits
+	p.Cp = secsPer(start, 64*rows)
+
+	// CScan: integer predicate evaluation.
+	ints := make([]int64, rows)
+	for i := range ints {
+		ints[i] = rng.Int63n(1000)
+	}
+	start = time.Now()
+	n := 0
+	for pass := 0; pass < 64; pass++ {
+		for _, v := range ints {
+			if v >= 100 && v < 900 {
+				n++
+			}
+		}
+	}
+	_ = n
+	p.CScan = secsPer(start, 64*rows)
+	return p
+}
+
+func secsPer(start time.Time, n int) float64 {
+	d := time.Since(start).Seconds() / float64(n)
+	if d <= 0 {
+		d = 1e-10
+	}
+	return d
+}
+
+// CostInputs summarize a query for the cost model.
+type CostInputs struct {
+	N int     // total rows
+	S float64 // selectivity: fraction of rows qualifying the predicate
+	K int     // requested top-k
+	// Beta is the fraction of rows an unfiltered ANN scan visits
+	// (ef/N for graphs, nprobe/nlist for IVF).
+	Beta float64
+	// Gamma is the fraction a bitmap ANN scan visits (typically a bit
+	// above Beta because blocked entries force deeper traversal).
+	Gamma float64
+}
+
+// CostA is Equation 1 — brute force: structured scan then exact
+// distances over the s·n qualifying rows.
+func CostA(in CostInputs, p CostParams) float64 {
+	t0 := float64(in.N) * p.CScan
+	return t0 + in.S*float64(in.N)*p.Cd
+}
+
+// CostB is Equation 2 — pre-filter: structured scan, bitmap build,
+// ANN bitmap scan visiting γ·n/s entries with a bitmap test each and
+// ADC on the s-fraction that pass, then σ·k exact refinements.
+func CostB(in CostInputs, p CostParams) float64 {
+	t0 := float64(in.N) * p.CScan
+	amplified := in.Gamma * float64(in.N) / clampS(in.S)
+	return t0 + amplified*(p.Cp+in.S*p.Cc) + p.Sigma*float64(in.K)*p.Cd
+}
+
+// CostC is Equation 3 — post-filter: iterative ANN scan visiting
+// β·n/s entries with ADC, then σ·k exact refinements; the scalar
+// filter runs on the tiny candidate stream and is negligible.
+func CostC(in CostInputs, p CostParams) float64 {
+	amplified := in.Beta * float64(in.N) / clampS(in.S)
+	return amplified*p.Cc + p.Sigma*float64(in.K)*p.Cd
+}
+
+func clampS(s float64) float64 {
+	if s < 1e-9 {
+		return 1e-9
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// Choose evaluates the three plans and returns the cheapest with its
+// estimated cost.
+func Choose(in CostInputs, p CostParams) (Strategy, float64) {
+	a := CostA(in, p)
+	b := CostB(in, p)
+	c := CostC(in, p)
+	best, cost := BruteForce, a
+	if b < cost {
+		best, cost = PreFilter, b
+	}
+	if c < cost {
+		best, cost = PostFilter, c
+	}
+	return best, cost
+}
+
+// VisitFractions derives β and γ from search parameters and the table
+// shape: graph indexes visit ~ef of n; IVF visits nprobe/nlist of the
+// lists. γ adds the traversal overhead of skipping blocked entries.
+func VisitFractions(params struct {
+	Ef, Nprobe, Nlist, N int
+	Graph                bool
+}) (beta, gamma float64) {
+	if params.N <= 0 {
+		return 0, 0
+	}
+	if params.Graph {
+		ef := params.Ef
+		if ef <= 0 {
+			ef = 64
+		}
+		beta = float64(ef) / float64(params.N)
+	} else {
+		nlist := params.Nlist
+		if nlist <= 0 {
+			nlist = 64
+		}
+		nprobe := params.Nprobe
+		if nprobe <= 0 {
+			nprobe = 8
+		}
+		beta = float64(nprobe) / float64(nlist)
+	}
+	if beta > 1 {
+		beta = 1
+	}
+	gamma = beta * 1.3 // blocked-entry traversal overhead
+	if gamma > 1 {
+		gamma = 1
+	}
+	return beta, gamma
+}

@@ -1,0 +1,341 @@
+package plan
+
+import (
+	"math"
+	"testing"
+
+	"blendhouse/internal/bench/dataset"
+	"blendhouse/internal/index"
+	_ "blendhouse/internal/index/hnsw"
+	"blendhouse/internal/lsm"
+	"blendhouse/internal/sql"
+	"blendhouse/internal/storage"
+)
+
+const pDim = 8
+
+func planSchema() *storage.Schema {
+	return &storage.Schema{Columns: []storage.ColumnDef{
+		{Name: "id", Type: storage.Int64Type},
+		{Name: "label", Type: storage.StringType},
+		{Name: "score", Type: storage.Float64Type},
+		{Name: "embedding", Type: storage.VectorType, Dim: pDim},
+	}}
+}
+
+func planTable(t *testing.T, n int) *lsm.Table {
+	t.Helper()
+	tab, err := lsm.Create(storage.NewMemStore(), lsm.Options{
+		Name: "t", Schema: planSchema(),
+		IndexColumn: "embedding", IndexType: index.HNSW,
+		SegmentRows: 1 << 20, PipelinedBuild: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.Small(n, pDim, 2)
+	b := storage.NewRowBatch(tab.Schema())
+	for i := 0; i < n; i++ {
+		b.Col("id").Ints = append(b.Col("id").Ints, int64(i))
+		b.Col("label").Strs = append(b.Col("label").Strs, "x")
+		b.Col("score").Floats = append(b.Col("score").Floats, float64(i)/float64(n))
+		b.Col("embedding").Vecs = append(b.Col("embedding").Vecs, ds.Vectors.Row(i)...)
+	}
+	if err := tab.Insert(b); err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func parseSelect(t *testing.T, src string) *sql.Select {
+	t.Helper()
+	st, err := sql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.(*sql.Select)
+}
+
+func TestBuildLogicalHybrid(t *testing.T) {
+	sel := parseSelect(t, `SELECT id, dist FROM t WHERE score >= 0.5 ORDER BY L2Distance(embedding, [1,2,3,4,5,6,7,8]) AS dist LIMIT 10 SETTINGS ef_search=99`)
+	lg, err := BuildLogical(sel, planSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lg.IsVectorQuery() || lg.K != 10 || lg.DistAlias != "dist" {
+		t.Fatalf("lg = %+v", lg)
+	}
+	if len(lg.ScalarPreds) != 1 || lg.ScalarPreds[0].Column != "score" {
+		t.Fatalf("preds = %+v", lg.ScalarPreds)
+	}
+	if !lg.TopKPushdown {
+		t.Fatal("top-k pushdown not annotated")
+	}
+	if !lg.VectorPruned {
+		t.Fatal("vector column should be pruned when not projected")
+	}
+	if lg.Params.Ef != 99 {
+		t.Fatalf("ef = %d", lg.Params.Ef)
+	}
+	// Needed columns: id (projection) + score (predicate); embedding pruned.
+	for _, c := range lg.NeededColumns {
+		if c == "embedding" {
+			t.Fatal("pruned column still fetched")
+		}
+	}
+}
+
+func TestBuildLogicalVectorProjected(t *testing.T) {
+	sel := parseSelect(t, `SELECT id, embedding FROM t ORDER BY L2Distance(embedding, [1,2,3,4,5,6,7,8]) LIMIT 5`)
+	lg, err := BuildLogical(sel, planSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg.VectorPruned {
+		t.Fatal("projected vector column must not be pruned")
+	}
+}
+
+func TestBuildLogicalRangePushdown(t *testing.T) {
+	sel := parseSelect(t, `SELECT id FROM t WHERE L2Distance(embedding, [1,2,3,4,5,6,7,8]) < 0.7 ORDER BY L2Distance(embedding, [1,2,3,4,5,6,7,8]) LIMIT 10`)
+	lg, err := BuildLogical(sel, planSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg.Range == nil || !lg.RangePushdown || lg.Range.Radius != 0.7 {
+		t.Fatalf("range = %+v", lg.Range)
+	}
+}
+
+func TestBuildLogicalErrors(t *testing.T) {
+	bad := []string{
+		`SELECT nope FROM t LIMIT 1`,
+		`SELECT id FROM t WHERE nope = 1`,
+		`SELECT id FROM t ORDER BY L2Distance(label, [1]) LIMIT 1`,
+		`SELECT id FROM t ORDER BY L2Distance(embedding, [1, 2]) LIMIT 1`, // dim mismatch
+		`SELECT id FROM t WHERE L2Distance(embedding, [1,2,3,4,5,6,7,8]) < 0.5 ORDER BY CosineDistance(embedding, [1,2,3,4,5,6,7,8]) LIMIT 1`,
+	}
+	for _, src := range bad {
+		sel := parseSelect(t, src)
+		if _, err := BuildLogical(sel, planSchema()); err == nil {
+			t.Errorf("BuildLogical(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestCostModelRegimes(t *testing.T) {
+	p := DefaultCostParams()
+	// Tiny qualifying set (s small): brute force must win — the
+	// paper's 99%-filtered workload where "both BlendHouse and Milvus
+	// chose to use the brute force method".
+	st, _ := Choose(CostInputs{N: 1_000_000, S: 0.001, K: 100, Beta: 0.01, Gamma: 0.013}, p)
+	if st != BruteForce {
+		t.Fatalf("s=0.001 chose %v, want brute-force", st)
+	}
+	// Nearly unfiltered (s≈1): post-filter wins (cheap ANN, trivial
+	// filter) — the paper's 1%-selectivity case.
+	st, _ = Choose(CostInputs{N: 1_000_000, S: 0.99, K: 100, Beta: 0.001, Gamma: 0.0013}, p)
+	if st != PostFilter {
+		t.Fatalf("s=0.99 chose %v, want post-filter", st)
+	}
+	// Middle selectivity with expensive post-filter amplification:
+	// pre-filter should win somewhere; scan the range to confirm each
+	// strategy is chosen at least once.
+	seen := map[Strategy]bool{}
+	for _, s := range []float64{0.0001, 0.001, 0.01, 0.05, 0.2, 0.5, 0.9, 0.999} {
+		st, _ := Choose(CostInputs{N: 1_000_000, S: s, K: 100, Beta: 0.02, Gamma: 0.026}, p)
+		seen[st] = true
+	}
+	if !seen[BruteForce] || !seen[PostFilter] {
+		t.Fatalf("strategies seen: %v", seen)
+	}
+}
+
+func TestCostMonotonicity(t *testing.T) {
+	p := DefaultCostParams()
+	in := CostInputs{N: 100000, S: 0.5, K: 10, Beta: 0.01, Gamma: 0.013}
+	// Plan A cost grows with selectivity (more rows to distance).
+	lo := CostA(CostInputs{N: in.N, S: 0.1, K: in.K, Beta: in.Beta, Gamma: in.Gamma}, p)
+	hi := CostA(CostInputs{N: in.N, S: 0.9, K: in.K, Beta: in.Beta, Gamma: in.Gamma}, p)
+	if hi <= lo {
+		t.Fatal("CostA must grow with s")
+	}
+	// Plan C cost shrinks as selectivity grows (less amplification).
+	cLo := CostC(CostInputs{N: in.N, S: 0.1, K: in.K, Beta: in.Beta, Gamma: in.Gamma}, p)
+	cHi := CostC(CostInputs{N: in.N, S: 0.9, K: in.K, Beta: in.Beta, Gamma: in.Gamma}, p)
+	if cHi >= cLo {
+		t.Fatal("CostC must shrink with s")
+	}
+	// Zero-selectivity guard: no division blowup to Inf.
+	if c := CostC(CostInputs{N: in.N, S: 0, K: in.K, Beta: in.Beta}, p); math.IsInf(c, 0) || math.IsNaN(c) {
+		t.Fatalf("CostC(s=0) = %v", c)
+	}
+}
+
+func TestCalibrateProducesSaneConstants(t *testing.T) {
+	p := Calibrate(16)
+	if p.Cd <= 0 || p.Cc <= 0 || p.Cp <= 0 || p.CScan <= 0 {
+		t.Fatalf("calibration produced non-positive constants: %+v", p)
+	}
+	// An exact distance must cost more than a bitmap test.
+	if p.Cd <= p.Cp {
+		t.Fatalf("Cd (%v) should exceed Cp (%v)", p.Cd, p.Cp)
+	}
+}
+
+func TestVisitFractions(t *testing.T) {
+	beta, gamma := VisitFractions(struct {
+		Ef, Nprobe, Nlist, N int
+		Graph                bool
+	}{Ef: 100, N: 10000, Graph: true})
+	if beta != 0.01 || gamma <= beta {
+		t.Fatalf("graph fractions: beta=%v gamma=%v", beta, gamma)
+	}
+	beta, _ = VisitFractions(struct {
+		Ef, Nprobe, Nlist, N int
+		Graph                bool
+	}{Nprobe: 8, Nlist: 64, N: 10000})
+	if beta != 0.125 {
+		t.Fatalf("ivf beta = %v", beta)
+	}
+	// Clamped to 1.
+	beta, gamma = VisitFractions(struct {
+		Ef, Nprobe, Nlist, N int
+		Graph                bool
+	}{Ef: 50000, N: 100, Graph: true})
+	if beta != 1 || gamma != 1 {
+		t.Fatalf("unclamped fractions: %v %v", beta, gamma)
+	}
+}
+
+func TestPlannerChoosesByCBO(t *testing.T) {
+	tab := planTable(t, 3000)
+	pl := NewPlanner(PlannerConfig{})
+	// Unfiltered vector query.
+	ph, err := pl.Plan(parseSelect(t, `SELECT id FROM t ORDER BY L2Distance(embedding, [1,2,3,4,5,6,7,8]) LIMIT 10`), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Strategy != PreFilter {
+		t.Fatalf("pure vector query strategy = %v", ph.Strategy)
+	}
+	// Highly selective predicate (s tiny): brute force.
+	ph, err = pl.Plan(parseSelect(t, `SELECT id FROM t WHERE id BETWEEN 0 AND 5 AND score >= 0.99 ORDER BY L2Distance(embedding, [1,2,3,4,5,6,7,8]) AS d LIMIT 10 SETTINGS ef_search=64`), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Strategy != BruteForce {
+		t.Fatalf("tiny-s strategy = %v (selectivity %v)", ph.Strategy, ph.Selectivity)
+	}
+	if ph.Selectivity > 0.01 {
+		t.Fatalf("selectivity estimate = %v", ph.Selectivity)
+	}
+}
+
+func TestPlannerCBODisabledDefaultsToPreFilter(t *testing.T) {
+	tab := planTable(t, 2000)
+	pl := NewPlanner(PlannerConfig{DisableCBO: true, DisableShortCircuit: true, DisablePlanCache: true})
+	ph, err := pl.Plan(parseSelect(t, `SELECT id FROM t WHERE score >= 0.01 AND label = 'x' AND id >= 0 ORDER BY L2Distance(embedding, [1,2,3,4,5,6,7,8]) LIMIT 10`), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Strategy != PreFilter {
+		t.Fatalf("CBO-off strategy = %v, want pre-filter", ph.Strategy)
+	}
+}
+
+func TestPlannerForceStrategy(t *testing.T) {
+	tab := planTable(t, 1000)
+	force := PostFilter
+	pl := NewPlanner(PlannerConfig{ForceStrategy: &force, DisableShortCircuit: true, DisablePlanCache: true})
+	ph, err := pl.Plan(parseSelect(t, `SELECT id FROM t WHERE score >= 0.5 ORDER BY L2Distance(embedding, [1,2,3,4,5,6,7,8]) LIMIT 10`), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Strategy != PostFilter {
+		t.Fatalf("forced strategy = %v", ph.Strategy)
+	}
+}
+
+func TestPlanCacheHitsOnParameterChange(t *testing.T) {
+	tab := planTable(t, 1000)
+	pl := NewPlanner(PlannerConfig{DisableShortCircuit: true})
+	// Three predicates make the query non-simple, exercising the cache.
+	q1 := `SELECT id FROM t WHERE score >= 0.5 AND id >= 10 AND label = 'x' ORDER BY L2Distance(embedding, [1,2,3,4,5,6,7,8]) LIMIT 10`
+	q2 := `SELECT id FROM t WHERE score >= 0.9 AND id >= 500 AND label = 'x' ORDER BY L2Distance(embedding, [9,9,9,9,9,9,9,9]) LIMIT 50`
+	if _, err := pl.Plan(parseSelect(t, q1), tab); err != nil {
+		t.Fatal(err)
+	}
+	ph, err := pl.Plan(parseSelect(t, q2), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ph.FromCache {
+		t.Fatal("structurally identical query should hit the plan cache")
+	}
+	hits, misses, _ := pl.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("cache stats: %d/%d", hits, misses)
+	}
+	// Different structure misses.
+	q3 := `SELECT id FROM t WHERE score < 0.5 AND id >= 10 AND label = 'x' ORDER BY L2Distance(embedding, [1,2,3,4,5,6,7,8]) LIMIT 10`
+	ph, err = pl.Plan(parseSelect(t, q3), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.FromCache {
+		t.Fatal("different op must not hit the cache")
+	}
+}
+
+func TestShortCircuitPath(t *testing.T) {
+	tab := planTable(t, 1000)
+	pl := NewPlanner(PlannerConfig{})
+	ph, err := pl.Plan(parseSelect(t, `SELECT id FROM t WHERE score >= 0.5 ORDER BY L2Distance(embedding, [1,2,3,4,5,6,7,8]) LIMIT 10`), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ph.ShortCircuited {
+		t.Fatal("simple query should short-circuit")
+	}
+	_, _, sc := pl.Stats()
+	if sc != 1 {
+		t.Fatalf("short circuits = %d", sc)
+	}
+	// Regex predicate disqualifies.
+	ph, err = pl.Plan(parseSelect(t, `SELECT id FROM t WHERE label REGEXP 'x' ORDER BY L2Distance(embedding, [1,2,3,4,5,6,7,8]) LIMIT 10`), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.ShortCircuited {
+		t.Fatal("regex query must not short-circuit")
+	}
+}
+
+func TestFingerprintParameterization(t *testing.T) {
+	a := parseSelect(t, `SELECT id FROM t WHERE score >= 0.5 ORDER BY L2Distance(embedding, [1,2,3,4,5,6,7,8]) LIMIT 10`)
+	b := parseSelect(t, `SELECT id FROM t WHERE score >= 0.77 ORDER BY L2Distance(embedding, [8,7,6,5,4,3,2,1]) LIMIT 999`)
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("parameter changes must not change the fingerprint")
+	}
+	c := parseSelect(t, `SELECT id FROM t WHERE score < 0.5 ORDER BY L2Distance(embedding, [1,2,3,4,5,6,7,8]) LIMIT 10`)
+	if Fingerprint(a) == Fingerprint(c) {
+		t.Fatal("operator changes must change the fingerprint")
+	}
+	d := parseSelect(t, `SELECT id, label FROM t WHERE score >= 0.5 ORDER BY L2Distance(embedding, [1,2,3,4,5,6,7,8]) LIMIT 10`)
+	if Fingerprint(a) == Fingerprint(d) {
+		t.Fatal("projection changes must change the fingerprint")
+	}
+}
+
+func TestScalarOnlyQuery(t *testing.T) {
+	tab := planTable(t, 500)
+	pl := NewPlanner(PlannerConfig{})
+	ph, err := pl.Plan(parseSelect(t, `SELECT id FROM t WHERE score >= 0.5 LIMIT 10`), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Logical.IsVectorQuery() {
+		t.Fatal("scalar query misclassified as vector query")
+	}
+}

@@ -1,0 +1,200 @@
+package quant
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"blendhouse/internal/kmeans"
+	"blendhouse/internal/vec"
+)
+
+// ProductQuantizer splits a dim-dimensional vector into M subvectors
+// and quantizes each against its own codebook of 2^Nbits centroids
+// (Jégou et al., "Product quantization for nearest neighbor search").
+//
+// Queries use asymmetric distance computation (ADC): a per-query
+// lookup table of size M×2^Nbits is built once, after which each
+// encoded vector's approximate distance is M table lookups — the c_c
+// cost of the paper's Equations 2–3.
+//
+// Nbits=8 gives classic PQ (one byte per subvector, IVFPQ); Nbits=4
+// gives the "fast scan" layout (two subvectors per byte, IVFPQFS) with
+// a 16-entry table per subquantizer that faiss evaluates with SIMD
+// shuffles — here we keep the compact codes and small tables, which is
+// the part that changes memory and cache behaviour.
+type ProductQuantizer struct {
+	Dim   int
+	M     int       // number of subquantizers; Dim % M == 0
+	Nbits int       // 4 or 8
+	Ksub  int       // 1 << Nbits
+	Dsub  int       // Dim / M
+	Cents []float32 // M * Ksub * Dsub, codebooks back to back
+}
+
+// TrainPQ learns codebooks from the rows of data via per-subspace
+// k-means. seed makes training deterministic.
+func TrainPQ(data []float32, dim, m, nbits int, seed int64) (*ProductQuantizer, error) {
+	if dim <= 0 || m <= 0 || dim%m != 0 {
+		return nil, fmt.Errorf("quant: dim %d not divisible by M %d", dim, m)
+	}
+	if nbits != 4 && nbits != 8 {
+		return nil, fmt.Errorf("quant: Nbits must be 4 or 8, got %d", nbits)
+	}
+	if len(data) == 0 || len(data)%dim != 0 {
+		return nil, fmt.Errorf("quant: training data length %d not a multiple of dim %d", len(data), dim)
+	}
+	pq := &ProductQuantizer{Dim: dim, M: m, Nbits: nbits, Ksub: 1 << nbits, Dsub: dim / m}
+	pq.Cents = make([]float32, m*pq.Ksub*pq.Dsub)
+	rows := len(data) / dim
+	sub := vec.NewMatrix(rows, pq.Dsub)
+	for mi := 0; mi < m; mi++ {
+		for r := 0; r < rows; r++ {
+			copy(sub.Row(r), data[r*dim+mi*pq.Dsub:r*dim+(mi+1)*pq.Dsub])
+		}
+		res, err := kmeans.Train(sub, kmeans.Config{K: pq.Ksub, MaxIters: 12, Seed: seed + int64(mi)})
+		if err != nil {
+			return nil, fmt.Errorf("quant: training subquantizer %d: %w", mi, err)
+		}
+		copy(pq.Cents[mi*pq.Ksub*pq.Dsub:], res.Centroids.Data)
+	}
+	return pq, nil
+}
+
+// centroid returns codebook entry k of subquantizer mi.
+func (pq *ProductQuantizer) centroid(mi, k int) []float32 {
+	off := (mi*pq.Ksub + k) * pq.Dsub
+	return pq.Cents[off : off+pq.Dsub]
+}
+
+// CodeSize returns the number of bytes per encoded vector.
+func (pq *ProductQuantizer) CodeSize() int {
+	if pq.Nbits == 4 {
+		return (pq.M + 1) / 2
+	}
+	return pq.M
+}
+
+// Encode quantizes v into code (CodeSize() bytes).
+func (pq *ProductQuantizer) Encode(v []float32, code []byte) {
+	dists := make([]float32, pq.Ksub)
+	for mi := 0; mi < pq.M; mi++ {
+		sub := v[mi*pq.Dsub : (mi+1)*pq.Dsub]
+		vec.DistancesTo(vec.L2, sub, pq.Cents[mi*pq.Ksub*pq.Dsub:(mi+1)*pq.Ksub*pq.Dsub], pq.Dsub, dists)
+		best := vec.ArgMin(dists)
+		if pq.Nbits == 8 {
+			code[mi] = byte(best)
+		} else {
+			if mi%2 == 0 {
+				code[mi/2] = byte(best)
+			} else {
+				code[mi/2] |= byte(best) << 4
+			}
+		}
+	}
+}
+
+// Decode reconstructs an approximation of the original vector.
+func (pq *ProductQuantizer) Decode(code []byte, out []float32) {
+	for mi := 0; mi < pq.M; mi++ {
+		copy(out[mi*pq.Dsub:(mi+1)*pq.Dsub], pq.centroid(mi, pq.codeAt(code, mi)))
+	}
+}
+
+func (pq *ProductQuantizer) codeAt(code []byte, mi int) int {
+	if pq.Nbits == 8 {
+		return int(code[mi])
+	}
+	b := code[mi/2]
+	if mi%2 == 0 {
+		return int(b & 0x0f)
+	}
+	return int(b >> 4)
+}
+
+// ADCTable is a per-query lookup table: Tab[mi*Ksub+k] is the partial
+// squared distance between the query's mi-th subvector and centroid k.
+type ADCTable struct {
+	pq  *ProductQuantizer
+	Tab []float32
+}
+
+// BuildADC computes the lookup table for query q under the given
+// metric. For InnerProduct the table stores negative partial dot
+// products so that, as everywhere else, smaller is closer.
+func (pq *ProductQuantizer) BuildADC(m vec.Metric, q []float32) *ADCTable {
+	t := &ADCTable{pq: pq, Tab: make([]float32, pq.M*pq.Ksub)}
+	for mi := 0; mi < pq.M; mi++ {
+		sub := q[mi*pq.Dsub : (mi+1)*pq.Dsub]
+		for k := 0; k < pq.Ksub; k++ {
+			c := pq.centroid(mi, k)
+			switch m {
+			case vec.InnerProduct:
+				t.Tab[mi*pq.Ksub+k] = -vec.Dot(sub, c)
+			default: // L2 and Cosine both scan on L2 of (normalized) vectors
+				t.Tab[mi*pq.Ksub+k] = vec.L2Squared(sub, c)
+			}
+		}
+	}
+	return t
+}
+
+// Distance returns the ADC approximate distance for one encoded
+// vector: M table lookups.
+func (t *ADCTable) Distance(code []byte) float32 {
+	pq := t.pq
+	var s float32
+	if pq.Nbits == 8 {
+		for mi := 0; mi < pq.M; mi++ {
+			s += t.Tab[mi*pq.Ksub+int(code[mi])]
+		}
+		return s
+	}
+	for mi := 0; mi < pq.M; mi += 2 {
+		b := code[mi/2]
+		s += t.Tab[mi*pq.Ksub+int(b&0x0f)]
+		if mi+1 < pq.M {
+			s += t.Tab[(mi+1)*pq.Ksub+int(b>>4)]
+		}
+	}
+	return s
+}
+
+// Marshal serializes the quantizer (header + codebooks).
+func (pq *ProductQuantizer) Marshal() []byte {
+	out := make([]byte, 16+4*len(pq.Cents))
+	binary.LittleEndian.PutUint32(out[0:], uint32(pq.Dim))
+	binary.LittleEndian.PutUint32(out[4:], uint32(pq.M))
+	binary.LittleEndian.PutUint32(out[8:], uint32(pq.Nbits))
+	binary.LittleEndian.PutUint32(out[12:], uint32(len(pq.Cents)))
+	for i, c := range pq.Cents {
+		binary.LittleEndian.PutUint32(out[16+4*i:], math.Float32bits(c))
+	}
+	return out
+}
+
+// UnmarshalPQ deserializes a quantizer written by Marshal.
+func UnmarshalPQ(data []byte) (*ProductQuantizer, error) {
+	if len(data) < 16 {
+		return nil, fmt.Errorf("quant: truncated PQ header")
+	}
+	pq := &ProductQuantizer{
+		Dim:   int(binary.LittleEndian.Uint32(data[0:])),
+		M:     int(binary.LittleEndian.Uint32(data[4:])),
+		Nbits: int(binary.LittleEndian.Uint32(data[8:])),
+	}
+	nc := int(binary.LittleEndian.Uint32(data[12:]))
+	if pq.M <= 0 || pq.Dim <= 0 || pq.Dim%pq.M != 0 || (pq.Nbits != 4 && pq.Nbits != 8) {
+		return nil, fmt.Errorf("quant: corrupt PQ header dim=%d M=%d nbits=%d", pq.Dim, pq.M, pq.Nbits)
+	}
+	pq.Ksub = 1 << pq.Nbits
+	pq.Dsub = pq.Dim / pq.M
+	if nc != pq.M*pq.Ksub*pq.Dsub || len(data) != 16+4*nc {
+		return nil, fmt.Errorf("quant: corrupt PQ payload (%d centroid floats)", nc)
+	}
+	pq.Cents = make([]float32, nc)
+	for i := range pq.Cents {
+		pq.Cents[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[16+4*i:]))
+	}
+	return pq, nil
+}

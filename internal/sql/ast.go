@@ -1,0 +1,178 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateTable mirrors the dialect of paper Example 1.
+type CreateTable struct {
+	Name    string
+	Columns []ColumnSpec
+	Indexes []IndexSpec
+	OrderBy string
+	// PartitionBy lists scalar partition columns (expression wrappers
+	// like toYYYYMMDD(col) are accepted by the parser and reduced to
+	// their column).
+	PartitionBy []string
+	// ClusterBy/ClusterBuckets encode CLUSTER BY col INTO n BUCKETS.
+	ClusterBy      string
+	ClusterBuckets int
+}
+
+func (*CreateTable) stmt() {}
+
+// ColumnSpec is one column definition.
+type ColumnSpec struct {
+	Name     string
+	TypeName string // e.g. UInt64, String, Array(Float32)
+}
+
+// IndexSpec is INDEX name col TYPE kind('K=V',...).
+type IndexSpec struct {
+	Name   string
+	Column string
+	Kind   string   // HNSW, IVFFLAT, ...
+	Params []string // raw 'K=V' strings
+}
+
+// DropTable drops a table.
+type DropTable struct{ Name string }
+
+func (*DropTable) stmt() {}
+
+// ShowTables lists the catalog.
+type ShowTables struct{}
+
+func (*ShowTables) stmt() {}
+
+// Describe shows a table's schema and index definition.
+type Describe struct{ Name string }
+
+func (*Describe) stmt() {}
+
+// Delete removes rows by key: DELETE FROM t WHERE col = v / col IN (...).
+// The paper's realtime-delete path (delete bitmap over the old rows).
+type Delete struct {
+	Table  string
+	Column string
+	Keys   []int64
+}
+
+func (*Delete) stmt() {}
+
+// Optimize triggers compaction: OPTIMIZE TABLE t (ClickHouse idiom).
+type Optimize struct{ Name string }
+
+func (*Optimize) stmt() {}
+
+// Insert covers both VALUES and CSV INFILE forms.
+type Insert struct {
+	Table string
+	// Rows holds literal rows (VALUES form); each value is int64,
+	// float64, string, or []float32.
+	Rows [][]any
+	// Infile is the CSV path (INFILE form); empty otherwise.
+	Infile string
+}
+
+func (*Insert) stmt() {}
+
+// Select is the hybrid query form.
+type Select struct {
+	Columns []SelectItem
+	Table   string
+	Where   []Predicate
+	// OrderBy holds either a distance function (vector search) or a
+	// plain column.
+	OrderBy *OrderBy
+	Limit   int // 0 = no limit
+	// Settings carries SETTINGS k=v pairs (ef_search, nprobe, ...).
+	Settings map[string]int
+}
+
+func (*Select) stmt() {}
+
+// SelectItem is one projection: a column name, "*", or the distance
+// alias declared in ORDER BY ... AS alias.
+type SelectItem struct {
+	Name string
+	Star bool
+}
+
+// PredOp enumerates scalar predicate operators.
+type PredOp string
+
+// Predicate operators.
+const (
+	OpEq      PredOp = "="
+	OpNe      PredOp = "!="
+	OpLt      PredOp = "<"
+	OpLe      PredOp = "<="
+	OpGt      PredOp = ">"
+	OpGe      PredOp = ">="
+	OpBetween PredOp = "BETWEEN"
+	OpIn      PredOp = "IN"
+	OpRegexp  PredOp = "REGEXP"
+	OpLike    PredOp = "LIKE"
+)
+
+// Predicate is one conjunct of the WHERE clause. For BETWEEN, Value
+// and Value2 are the bounds; for IN, Values holds the set. A distance
+// predicate (Distance != nil) encodes range search:
+// L2Distance(col, [q]) < r.
+type Predicate struct {
+	Column string
+	Op     PredOp
+	Value  any
+	Value2 any
+	Values []any
+
+	Distance *DistanceExpr // non-nil for distance range predicates
+}
+
+// DistanceExpr is distFunc(column, [query vector]).
+type DistanceExpr struct {
+	Func   string // L2Distance, InnerProduct, CosineDistance
+	Column string
+	Query  []float32
+}
+
+// OrderBy is the sorting clause. Distance != nil means ANN search;
+// otherwise Column sorts scalars.
+type OrderBy struct {
+	Distance *DistanceExpr
+	Alias    string // AS name for the distance value
+	Column   string
+	Desc     bool
+}
+
+// String renders a statement for debugging.
+func StatementString(s Statement) string {
+	switch t := s.(type) {
+	case *CreateTable:
+		return fmt.Sprintf("CREATE TABLE %s (%d columns, %d indexes)", t.Name, len(t.Columns), len(t.Indexes))
+	case *DropTable:
+		return "DROP TABLE " + t.Name
+	case *Insert:
+		if t.Infile != "" {
+			return fmt.Sprintf("INSERT INTO %s CSV INFILE %q", t.Table, t.Infile)
+		}
+		return fmt.Sprintf("INSERT INTO %s (%d rows)", t.Table, len(t.Rows))
+	case *Select:
+		cols := make([]string, len(t.Columns))
+		for i, c := range t.Columns {
+			if c.Star {
+				cols[i] = "*"
+			} else {
+				cols[i] = c.Name
+			}
+		}
+		return fmt.Sprintf("SELECT %s FROM %s", strings.Join(cols, ","), t.Table)
+	default:
+		return fmt.Sprintf("%T", s)
+	}
+}

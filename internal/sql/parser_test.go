@@ -1,0 +1,273 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) Statement {
+	t.Helper()
+	st, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return st
+}
+
+func TestTokenize(t *testing.T) {
+	toks, err := Tokenize("SELECT id, dist FROM t WHERE x >= 1.5e-2 -- comment\nLIMIT 10;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	if toks[0].Text != "SELECT" || toks[len(toks)-1].Text != ";" {
+		t.Fatalf("tokens: %+v", toks)
+	}
+	// >= lexes as one op.
+	found := false
+	for _, tk := range toks {
+		if tk.Kind == TokOp && tk.Text == ">=" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal(">= not lexed as one token")
+	}
+}
+
+func TestTokenizeStringEscapes(t *testing.T) {
+	toks, err := Tokenize("'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 1 || toks[0].Text != "it's" {
+		t.Fatalf("toks = %+v", toks)
+	}
+	if _, err := Tokenize("'unterminated"); err == nil {
+		t.Fatal("unterminated string should fail")
+	}
+	if _, err := Tokenize("a ! b"); err == nil {
+		t.Fatal("lone ! should fail")
+	}
+}
+
+func TestParseCreateTablePaperExample(t *testing.T) {
+	src := `
+CREATE TABLE images (
+  id UInt64,
+  label String,
+  published_time DateTime,
+  embedding Array(Float32),
+  INDEX ann_idx embedding TYPE HNSW('DIM=960')
+)
+ORDER BY published_time
+PARTITION BY (toYYYYMMDD(published_time), label)
+CLUSTER BY embedding INTO 512 BUCKETS;`
+	ct := mustParse(t, src).(*CreateTable)
+	if ct.Name != "images" || len(ct.Columns) != 4 {
+		t.Fatalf("ct = %+v", ct)
+	}
+	if ct.Columns[3].TypeName != "Array(Float32)" {
+		t.Fatalf("vector type = %q", ct.Columns[3].TypeName)
+	}
+	if len(ct.Indexes) != 1 || ct.Indexes[0].Kind != "HNSW" || ct.Indexes[0].Params[0] != "DIM=960" {
+		t.Fatalf("index = %+v", ct.Indexes)
+	}
+	if ct.OrderBy != "published_time" {
+		t.Fatalf("order by = %q", ct.OrderBy)
+	}
+	if len(ct.PartitionBy) != 2 || ct.PartitionBy[0] != "published_time" || ct.PartitionBy[1] != "label" {
+		t.Fatalf("partition by = %v", ct.PartitionBy)
+	}
+	if ct.ClusterBy != "embedding" || ct.ClusterBuckets != 512 {
+		t.Fatalf("cluster = %q / %d", ct.ClusterBy, ct.ClusterBuckets)
+	}
+}
+
+func TestParseCreateMultipleIndexParams(t *testing.T) {
+	ct := mustParse(t, `CREATE TABLE t (v Array(Float32), INDEX i v TYPE IVFPQFS('DIM=128','NLIST=64','PQ_M=16'))`).(*CreateTable)
+	if len(ct.Indexes[0].Params) != 3 {
+		t.Fatalf("params = %v", ct.Indexes[0].Params)
+	}
+}
+
+func TestParseDrop(t *testing.T) {
+	d := mustParse(t, "DROP TABLE images").(*DropTable)
+	if d.Name != "images" {
+		t.Fatalf("drop = %+v", d)
+	}
+}
+
+func TestParseInsertValues(t *testing.T) {
+	ins := mustParse(t, `INSERT INTO t VALUES (1, 'cat', 0.5, [1.0, 2.0, 3.0]), (2, 'dog''s', -7, [0.1, 0.2, 0.3])`).(*Insert)
+	if ins.Table != "t" || len(ins.Rows) != 2 {
+		t.Fatalf("ins = %+v", ins)
+	}
+	r0 := ins.Rows[0]
+	if r0[0].(int64) != 1 || r0[1].(string) != "cat" || r0[2].(float64) != 0.5 {
+		t.Fatalf("row0 = %+v", r0)
+	}
+	v := r0[3].([]float32)
+	if len(v) != 3 || v[2] != 3 {
+		t.Fatalf("vector = %v", v)
+	}
+	if ins.Rows[1][1].(string) != "dog's" || ins.Rows[1][2].(int64) != -7 {
+		t.Fatalf("row1 = %+v", ins.Rows[1])
+	}
+}
+
+func TestParseInsertInfile(t *testing.T) {
+	ins := mustParse(t, `INSERT INTO images CSV INFILE 'img_data.csv'`).(*Insert)
+	if ins.Infile != "img_data.csv" || len(ins.Rows) != 0 {
+		t.Fatalf("ins = %+v", ins)
+	}
+}
+
+func TestParseSelectHybridPaperExample(t *testing.T) {
+	src := `
+SELECT id, dist, published_time FROM images
+WHERE label = 'animal'
+AND published_time >= 1728554400
+ORDER BY L2Distance(embedding, [0.1, 0.2]) AS dist
+LIMIT 100;`
+	sel := mustParse(t, src).(*Select)
+	if sel.Table != "images" || len(sel.Columns) != 3 {
+		t.Fatalf("sel = %+v", sel)
+	}
+	if len(sel.Where) != 2 {
+		t.Fatalf("where = %+v", sel.Where)
+	}
+	if sel.Where[0].Column != "label" || sel.Where[0].Op != OpEq || sel.Where[0].Value.(string) != "animal" {
+		t.Fatalf("pred0 = %+v", sel.Where[0])
+	}
+	if sel.Where[1].Op != OpGe {
+		t.Fatalf("pred1 = %+v", sel.Where[1])
+	}
+	if sel.OrderBy == nil || sel.OrderBy.Distance == nil {
+		t.Fatal("missing distance order by")
+	}
+	de := sel.OrderBy.Distance
+	if de.Column != "embedding" || len(de.Query) != 2 || de.Query[1] != 0.2 {
+		t.Fatalf("distance = %+v", de)
+	}
+	if sel.OrderBy.Alias != "dist" || sel.Limit != 100 {
+		t.Fatalf("alias/limit = %q/%d", sel.OrderBy.Alias, sel.Limit)
+	}
+}
+
+func TestParseSelectStarAndSettings(t *testing.T) {
+	sel := mustParse(t, `SELECT * FROM t ORDER BY CosineDistance(v, [1]) LIMIT 5 SETTINGS ef_search=200, nprobe=16`).(*Select)
+	if !sel.Columns[0].Star {
+		t.Fatal("star not parsed")
+	}
+	if sel.Settings["ef_search"] != 200 || sel.Settings["nprobe"] != 16 {
+		t.Fatalf("settings = %v", sel.Settings)
+	}
+}
+
+func TestParseSelectBetweenInRegexp(t *testing.T) {
+	sel := mustParse(t, `SELECT id FROM t WHERE x BETWEEN 1 AND 10 AND y IN (1, 2, 3) AND caption REGEXP '^[0-9]' AND name LIKE 'cat'`).(*Select)
+	if len(sel.Where) != 4 {
+		t.Fatalf("where = %+v", sel.Where)
+	}
+	if sel.Where[0].Op != OpBetween || sel.Where[0].Value.(int64) != 1 || sel.Where[0].Value2.(int64) != 10 {
+		t.Fatalf("between = %+v", sel.Where[0])
+	}
+	if sel.Where[1].Op != OpIn || len(sel.Where[1].Values) != 3 {
+		t.Fatalf("in = %+v", sel.Where[1])
+	}
+	if sel.Where[2].Op != OpRegexp || sel.Where[2].Value.(string) != "^[0-9]" {
+		t.Fatalf("regexp = %+v", sel.Where[2])
+	}
+	if sel.Where[3].Op != OpLike {
+		t.Fatalf("like = %+v", sel.Where[3])
+	}
+}
+
+func TestParseDistanceRangePredicate(t *testing.T) {
+	sel := mustParse(t, `SELECT id FROM t WHERE L2Distance(v, [1, 2]) < 0.5 ORDER BY L2Distance(v, [1, 2]) LIMIT 10`).(*Select)
+	if len(sel.Where) != 1 || sel.Where[0].Distance == nil {
+		t.Fatalf("where = %+v", sel.Where)
+	}
+	if sel.Where[0].Op != OpLt || sel.Where[0].Value.(float64) != 0.5 {
+		t.Fatalf("range pred = %+v", sel.Where[0])
+	}
+}
+
+func TestParseSelectScalarOrderBy(t *testing.T) {
+	sel := mustParse(t, `SELECT id FROM t ORDER BY ts DESC LIMIT 3`).(*Select)
+	if sel.OrderBy.Column != "ts" || !sel.OrderBy.Desc || sel.OrderBy.Distance != nil {
+		t.Fatalf("order by = %+v", sel.OrderBy)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC id FROM t",
+		"CREATE TABLE (x UInt64)",
+		"CREATE TABLE t (x UInt64) CLUSTER BY x INTO BUCKETS",
+		"INSERT INTO t VALUES 1, 2",
+		"SELECT id FROM t WHERE",
+		"SELECT id FROM t WHERE L2Distance(v, [1]) = 3",
+		"SELECT id FROM t LIMIT abc",
+		"SELECT id FROM t SETTINGS x",
+		"SELECT id FROM t; SELECT id FROM t",
+		"INSERT INTO t CSV INFILE path",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestStatementString(t *testing.T) {
+	for _, src := range []string{
+		"DROP TABLE t",
+		"INSERT INTO t VALUES (1)",
+		"INSERT INTO t CSV INFILE 'x.csv'",
+		"SELECT a, b FROM t",
+		"CREATE TABLE t (x UInt64)",
+	} {
+		st := mustParse(t, src)
+		if s := StatementString(st); s == "" || strings.Contains(s, "%!") {
+			t.Errorf("StatementString(%q) = %q", src, s)
+		}
+	}
+}
+
+func TestParseShowDescribeDeleteOptimize(t *testing.T) {
+	if _, ok := mustParse(t, `SHOW TABLES`).(*ShowTables); !ok {
+		t.Fatal("SHOW TABLES")
+	}
+	d := mustParse(t, `DESCRIBE TABLE foo`).(*Describe)
+	if d.Name != "foo" {
+		t.Fatalf("describe = %+v", d)
+	}
+	if mustParse(t, `DESC foo`).(*Describe).Name != "foo" {
+		t.Fatal("DESC shorthand")
+	}
+	del := mustParse(t, `DELETE FROM t WHERE id IN (1, 2, 3)`).(*Delete)
+	if del.Table != "t" || del.Column != "id" || len(del.Keys) != 3 || del.Keys[2] != 3 {
+		t.Fatalf("delete = %+v", del)
+	}
+	del = mustParse(t, `DELETE FROM t WHERE id = 9`).(*Delete)
+	if len(del.Keys) != 1 || del.Keys[0] != 9 {
+		t.Fatalf("delete single = %+v", del)
+	}
+	opt := mustParse(t, `OPTIMIZE TABLE t`).(*Optimize)
+	if opt.Name != "t" {
+		t.Fatalf("optimize = %+v", opt)
+	}
+	for _, bad := range []string{
+		`SHOW`, `DELETE FROM t`, `DELETE FROM t WHERE id > 3`, `OPTIMIZE t`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", bad)
+		}
+	}
+}

@@ -1,0 +1,404 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultBlockRows is the granule size: the smallest unit of column
+// data fetched from remote storage. The paper's READ_Opt "reduc[es]
+// read granularity" — small blocks let a hybrid query fetch only the
+// granules its (scattered) top-k rows live in instead of whole
+// columns.
+const DefaultBlockRows = 1024
+
+// BlockMeta locates one granule inside a column blob.
+type BlockMeta struct {
+	Rows   int   `json:"rows"`
+	Offset int64 `json:"offset"`
+	Length int64 `json:"length"`
+}
+
+// ColumnMeta is the sparse ("mark") index of one column: where each
+// granule lives.
+type ColumnMeta struct {
+	Name   string      `json:"name"`
+	Blocks []BlockMeta `json:"blocks"`
+}
+
+// SegmentMeta describes one immutable segment: identity, row count,
+// partition placement, per-column min/max statistics for pruning, the
+// semantic centroid for similarity-based pruning, and the mark index.
+type SegmentMeta struct {
+	Name      string `json:"name"`
+	Table     string `json:"table"`
+	Rows      int    `json:"rows"`
+	Level     int    `json:"level"` // LSM level (compaction depth)
+	Partition string `json:"partition,omitempty"`
+	Bucket    int    `json:"bucket"` // semantic bucket id; -1 when unbucketed
+
+	// Centroid is the mean vector of the segment's rows (semantic
+	// partition pruning compares it to the query vector).
+	Centroid []float32 `json:"centroid,omitempty"`
+
+	// Per-column statistics for scalar pruning.
+	MinInt   map[string]int64   `json:"min_int,omitempty"`
+	MaxInt   map[string]int64   `json:"max_int,omitempty"`
+	MinFloat map[string]float64 `json:"min_float,omitempty"`
+	MaxFloat map[string]float64 `json:"max_float,omitempty"`
+
+	Columns []ColumnMeta `json:"columns"`
+
+	// IndexedColumn is the vector column a per-segment ANN index was
+	// built for; empty when the table has no vector index.
+	IndexedColumn string `json:"indexed_column,omitempty"`
+	IndexType     string `json:"index_type,omitempty"`
+}
+
+// Blob key layout under a table prefix.
+func segPrefix(table, seg string) string       { return "tables/" + table + "/segments/" + seg + "/" }
+func MetaKey(table, seg string) string         { return segPrefix(table, seg) + "meta.json" }
+func ColumnKey(table, seg, col string) string  { return segPrefix(table, seg) + "col_" + col + ".bin" }
+func IndexKey(table, seg, col string) string   { return segPrefix(table, seg) + "idx_" + col + ".bin" }
+func DeleteBitmapKey(table, seg string) string { return segPrefix(table, seg) + "delete.bmp" }
+
+// SegmentsPrefix is the listing prefix for a table's segments.
+func SegmentsPrefix(table string) string { return "tables/" + table + "/segments/" }
+
+// WriteSegment serializes batch into per-column blobs with a mark
+// index, computes statistics and the centroid, writes meta.json, and
+// returns the finished metadata. blockRows <= 0 selects
+// DefaultBlockRows.
+func WriteSegment(store BlobStore, meta SegmentMeta, batch *RowBatch, blockRows int) (*SegmentMeta, error) {
+	if err := batch.Validate(); err != nil {
+		return nil, err
+	}
+	if meta.Name == "" || meta.Table == "" {
+		return nil, fmt.Errorf("storage: segment needs name and table")
+	}
+	if blockRows <= 0 {
+		blockRows = DefaultBlockRows
+	}
+	meta.Rows = batch.Len()
+	if meta.Bucket == 0 && meta.Centroid == nil {
+		// Preserve explicit bucket 0; callers set -1 for "none".
+	}
+	meta.MinInt = map[string]int64{}
+	meta.MaxInt = map[string]int64{}
+	meta.MinFloat = map[string]float64{}
+	meta.MaxFloat = map[string]float64{}
+	meta.Columns = nil
+
+	for _, col := range batch.Cols {
+		blob, blocks, err := encodeColumn(col, blockRows)
+		if err != nil {
+			return nil, fmt.Errorf("storage: encoding column %q: %w", col.Def.Name, err)
+		}
+		if err := store.Put(ColumnKey(meta.Table, meta.Name, col.Def.Name), blob); err != nil {
+			return nil, fmt.Errorf("storage: writing column %q: %w", col.Def.Name, err)
+		}
+		meta.Columns = append(meta.Columns, ColumnMeta{Name: col.Def.Name, Blocks: blocks})
+		collectStats(&meta, col)
+	}
+	if c := batch.Schema.VectorColumn(); c != nil && meta.Centroid == nil && batch.Len() > 0 {
+		meta.Centroid = centroidOf(batch.Col(c.Name))
+	}
+	mj, err := json.Marshal(&meta)
+	if err != nil {
+		return nil, fmt.Errorf("storage: marshaling meta: %w", err)
+	}
+	if err := store.Put(MetaKey(meta.Table, meta.Name), mj); err != nil {
+		return nil, fmt.Errorf("storage: writing meta: %w", err)
+	}
+	return &meta, nil
+}
+
+func collectStats(meta *SegmentMeta, col *ColumnData) {
+	switch col.Def.Type {
+	case Int64Type, DateTimeType:
+		if len(col.Ints) == 0 {
+			return
+		}
+		mn, mx := col.Ints[0], col.Ints[0]
+		for _, v := range col.Ints {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		meta.MinInt[col.Def.Name] = mn
+		meta.MaxInt[col.Def.Name] = mx
+	case Float64Type:
+		if len(col.Floats) == 0 {
+			return
+		}
+		mn, mx := col.Floats[0], col.Floats[0]
+		for _, v := range col.Floats {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		meta.MinFloat[col.Def.Name] = mn
+		meta.MaxFloat[col.Def.Name] = mx
+	}
+}
+
+func centroidOf(col *ColumnData) []float32 {
+	n := col.Len()
+	d := col.Def.Dim
+	out := make([]float32, d)
+	if n == 0 {
+		return out
+	}
+	acc := make([]float64, d)
+	for i := 0; i < n; i++ {
+		v := col.Vector(i)
+		for j := 0; j < d; j++ {
+			acc[j] += float64(v[j])
+		}
+	}
+	for j := 0; j < d; j++ {
+		out[j] = float32(acc[j] / float64(n))
+	}
+	return out
+}
+
+// encodeColumn serializes a column into granules and returns the blob
+// plus the mark index.
+func encodeColumn(col *ColumnData, blockRows int) ([]byte, []BlockMeta, error) {
+	var buf bytes.Buffer
+	var blocks []BlockMeta
+	n := col.Len()
+	for start := 0; start < n || (n == 0 && start == 0); start += blockRows {
+		end := start + blockRows
+		if end > n {
+			end = n
+		}
+		off := int64(buf.Len())
+		if err := encodeBlock(&buf, col, start, end); err != nil {
+			return nil, nil, err
+		}
+		blocks = append(blocks, BlockMeta{Rows: end - start, Offset: off, Length: int64(buf.Len()) - off})
+		if n == 0 {
+			break
+		}
+	}
+	return buf.Bytes(), blocks, nil
+}
+
+func encodeBlock(buf *bytes.Buffer, col *ColumnData, start, end int) error {
+	switch col.Def.Type {
+	case Int64Type, DateTimeType:
+		return binary.Write(buf, binary.LittleEndian, col.Ints[start:end])
+	case Float64Type:
+		return binary.Write(buf, binary.LittleEndian, col.Floats[start:end])
+	case StringType:
+		for _, s := range col.Strs[start:end] {
+			if err := binary.Write(buf, binary.LittleEndian, uint32(len(s))); err != nil {
+				return err
+			}
+			buf.WriteString(s)
+		}
+		return nil
+	case VectorType:
+		d := col.Def.Dim
+		return binary.Write(buf, binary.LittleEndian, col.Vecs[start*d:end*d])
+	}
+	return fmt.Errorf("storage: unknown column type %d", col.Def.Type)
+}
+
+func decodeBlock(data []byte, def ColumnDef, rows int, dst *ColumnData) error {
+	r := bytes.NewReader(data)
+	switch def.Type {
+	case Int64Type, DateTimeType:
+		vals := make([]int64, rows)
+		if err := binary.Read(r, binary.LittleEndian, vals); err != nil {
+			return err
+		}
+		dst.Ints = append(dst.Ints, vals...)
+	case Float64Type:
+		vals := make([]float64, rows)
+		if err := binary.Read(r, binary.LittleEndian, vals); err != nil {
+			return err
+		}
+		dst.Floats = append(dst.Floats, vals...)
+	case StringType:
+		for i := 0; i < rows; i++ {
+			var n uint32
+			if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+				return err
+			}
+			if int64(n) > int64(len(data)) {
+				return fmt.Errorf("storage: corrupt string length %d", n)
+			}
+			s := make([]byte, n)
+			if _, err := r.Read(s); err != nil {
+				return err
+			}
+			dst.Strs = append(dst.Strs, string(s))
+		}
+	case VectorType:
+		vals := make([]float32, rows*def.Dim)
+		if err := binary.Read(r, binary.LittleEndian, vals); err != nil {
+			return err
+		}
+		dst.Vecs = append(dst.Vecs, vals...)
+	default:
+		return fmt.Errorf("storage: unknown column type %d", def.Type)
+	}
+	return nil
+}
+
+// ReadMeta loads and parses a segment's metadata.
+func ReadMeta(store BlobStore, table, seg string) (*SegmentMeta, error) {
+	data, err := store.Get(MetaKey(table, seg))
+	if err != nil {
+		return nil, err
+	}
+	var m SegmentMeta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("storage: parsing meta of %s/%s: %w", table, seg, err)
+	}
+	return &m, nil
+}
+
+// SegmentReader reads columns of one segment, whole or block-wise.
+type SegmentReader struct {
+	Store  BlobStore
+	Meta   *SegmentMeta
+	Schema *Schema
+}
+
+// OpenSegment loads metadata and returns a reader.
+func OpenSegment(store BlobStore, schema *Schema, table, seg string) (*SegmentReader, error) {
+	m, err := ReadMeta(store, table, seg)
+	if err != nil {
+		return nil, err
+	}
+	return &SegmentReader{Store: store, Meta: m, Schema: schema}, nil
+}
+
+func (r *SegmentReader) colMeta(name string) (*ColumnMeta, *ColumnDef, error) {
+	ci, def := r.Schema.Col(name)
+	if ci < 0 {
+		return nil, nil, fmt.Errorf("storage: column %q not in schema", name)
+	}
+	for i := range r.Meta.Columns {
+		if r.Meta.Columns[i].Name == name {
+			return &r.Meta.Columns[i], def, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("storage: column %q not in segment %s", name, r.Meta.Name)
+}
+
+// ReadColumn fetches an entire column with one blob read.
+func (r *SegmentReader) ReadColumn(name string) (*ColumnData, error) {
+	cm, def, err := r.colMeta(name)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := r.Store.Get(ColumnKey(r.Meta.Table, r.Meta.Name, name))
+	if err != nil {
+		return nil, err
+	}
+	out := NewColumnData(*def)
+	for _, b := range cm.Blocks {
+		if int64(len(blob)) < b.Offset+b.Length {
+			return nil, fmt.Errorf("storage: column %q blob shorter than mark index", name)
+		}
+		if err := decodeBlock(blob[b.Offset:b.Offset+b.Length], *def, b.Rows, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ReadRows fetches only the granules containing the requested row
+// offsets (ascending duplicates allowed) and returns values aligned
+// with rows. This is the reduced-granularity read path: remote reads
+// are one GetRange per needed granule, not the whole column.
+func (r *SegmentReader) ReadRows(name string, rows []int) (*ColumnData, error) {
+	cm, def, err := r.colMeta(name)
+	if err != nil {
+		return nil, err
+	}
+	// Map row -> block, gather needed blocks.
+	type blockSpan struct {
+		idx      int
+		startRow int
+	}
+	var spans []blockSpan
+	startRow := 0
+	for bi, b := range cm.Blocks {
+		spans = append(spans, blockSpan{bi, startRow})
+		startRow += b.Rows
+	}
+	totalRows := startRow
+	needed := map[int]bool{}
+	for _, row := range rows {
+		if row < 0 || row >= totalRows {
+			return nil, fmt.Errorf("storage: row %d out of range [0,%d)", row, totalRows)
+		}
+		bi := sort.Search(len(spans), func(i int) bool {
+			return spans[i].startRow > row
+		}) - 1
+		needed[bi] = true
+	}
+	// Fetch each needed block once.
+	decoded := map[int]*ColumnData{}
+	for bi := range needed {
+		b := cm.Blocks[bi]
+		blob, err := r.Store.GetRange(ColumnKey(r.Meta.Table, r.Meta.Name, name), b.Offset, b.Length)
+		if err != nil {
+			return nil, err
+		}
+		cd := NewColumnData(*def)
+		if err := decodeBlock(blob, *def, b.Rows, cd); err != nil {
+			return nil, err
+		}
+		decoded[bi] = cd
+	}
+	// Assemble in request order.
+	out := NewColumnData(*def)
+	for _, row := range rows {
+		bi := sort.Search(len(spans), func(i int) bool {
+			return spans[i].startRow > row
+		}) - 1
+		out.AppendRow(decoded[bi], row-spans[bi].startRow)
+	}
+	return out, nil
+}
+
+// PruneByInt reports whether the segment can be skipped for a
+// predicate lo <= col <= hi using min/max stats (missing stats never
+// prune). Callers pass math.MinInt64 / math.MaxInt64 for open ends.
+func (m *SegmentMeta) PruneByInt(col string, lo, hi int64) bool {
+	mn, okMin := m.MinInt[col]
+	mx, okMax := m.MaxInt[col]
+	if !okMin || !okMax {
+		return false
+	}
+	return mx < lo || mn > hi
+}
+
+// PruneByFloat is PruneByInt for float columns.
+func (m *SegmentMeta) PruneByFloat(col string, lo, hi float64) bool {
+	mn, okMin := m.MinFloat[col]
+	mx, okMax := m.MaxFloat[col]
+	if !okMin || !okMax {
+		return false
+	}
+	return mx < lo || mn > hi
+}
+
+// OpenEndInt are the sentinels for open-ended integer ranges.
+var OpenEndInt = struct{ Lo, Hi int64 }{math.MinInt64, math.MaxInt64}
