@@ -16,6 +16,8 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -23,16 +25,22 @@ import (
 	"blendhouse/internal/cache"
 	"blendhouse/internal/core"
 	"blendhouse/internal/exec"
+	"blendhouse/internal/obs"
 	"blendhouse/internal/storage"
 )
 
 func main() {
 	var (
-		dataDir = flag.String("data", "./bhdata", "blob store directory")
-		oneShot = flag.String("e", "", "execute one statement and exit")
-		script  = flag.String("f", "", "execute statements from a file (semicolon-separated)")
+		dataDir   = flag.String("data", "./bhdata", "blob store directory")
+		oneShot   = flag.String("e", "", "execute one statement and exit")
+		script    = flag.String("f", "", "execute statements from a file (semicolon-separated)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /vars and pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr)
+	}
 
 	store, err := storage.NewFSStore(*dataDir)
 	if err != nil {
@@ -73,6 +81,29 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "error:", err)
 	os.Exit(1)
+}
+
+// serveDebug exposes the metrics registry and Go's pprof handlers on a
+// dedicated mux (not http.DefaultServeMux, so nothing leaks onto other
+// servers the process might open).
+func serveDebug(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		obs.Default().WriteText(w)
+	})
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		obs.Default().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fmt.Fprintln(os.Stderr, "debug server:", err)
+	}
 }
 
 // repl reads semicolon-terminated statements interactively.
@@ -120,13 +151,13 @@ func runStatement(engine *core.Engine, stmt string) error {
 	if stmt == "" {
 		return nil
 	}
-	start := time.Now()
+	start := obs.Now()
 	res, err := engine.Exec(stmt)
 	if err != nil {
 		return err
 	}
 	printResult(res)
-	fmt.Printf("(%d rows, %.3fs)\n", len(res.Rows), time.Since(start).Seconds())
+	fmt.Printf("%d rows in %.3f ms\n", len(res.Rows), float64(time.Since(start).Microseconds())/1000)
 	return nil
 }
 

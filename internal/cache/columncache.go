@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"blendhouse/internal/obs"
 	"blendhouse/internal/storage"
 )
 
@@ -57,17 +58,25 @@ func blockKey(table, seg, col string, block int) string {
 // reader is the underlying segment reader; queryRows is the total
 // number of rows the query is fetching, used for admission control.
 func (c *ColumnCache) ReadRows(reader *storage.SegmentReader, col string, rows []int, queryRows int) (*storage.ColumnData, error) {
+	return c.ReadRowsTally(reader, col, rows, queryRows, nil)
+}
+
+// ReadRowsTally is ReadRows with an optional per-query trace tally
+// (nil = untraced) recording hit/miss per block and admission-control
+// bypasses.
+func (c *ColumnCache) ReadRowsTally(reader *storage.SegmentReader, col string, rows []int, queryRows int, tally *obs.CacheTally) (*storage.ColumnData, error) {
 	if c.cfg.RowLimit > 0 && queryRows > c.cfg.RowLimit {
 		// Too big: bypass so we don't thrash the hot set.
 		c.bypasses.Add(1)
+		tally.Bypass()
 		return reader.ReadRows(col, rows)
 	}
-	return c.readRowsCached(reader, col, rows)
+	return c.readRowsCached(reader, col, rows, tally)
 }
 
 // readRowsCached fetches per-granule column pieces from the data
 // space, loading misses block by block.
-func (c *ColumnCache) readRowsCached(reader *storage.SegmentReader, col string, rows []int) (*storage.ColumnData, error) {
+func (c *ColumnCache) readRowsCached(reader *storage.SegmentReader, col string, rows []int, tally *obs.CacheTally) (*storage.ColumnData, error) {
 	ci, def := reader.Schema.Col(col)
 	if ci < 0 {
 		return nil, fmt.Errorf("cache: column %q not in schema", col)
@@ -112,8 +121,10 @@ func (c *ColumnCache) readRowsCached(reader *storage.SegmentReader, col string, 
 		if !ok {
 			key := blockKey(reader.Meta.Table, reader.Meta.Name, col, bi)
 			if v, hit := c.data.Get(key); hit {
+				tally.Hit()
 				blk = v.(*storage.ColumnData)
 			} else {
+				tally.Miss()
 				var err error
 				blk, err = reader.ReadRows(col, blockRowsRange(starts[bi], cm.Blocks[bi].Rows))
 				if err != nil {
@@ -140,10 +151,17 @@ func blockRowsRange(start, n int) []int {
 // scan path of the pre-filter strategy reads entire predicate columns,
 // and caching their decoded form is part of §IV-C's adaptive caching.
 func (c *ColumnCache) ReadColumn(reader *storage.SegmentReader, col string) (*storage.ColumnData, error) {
+	return c.ReadColumnTally(reader, col, nil)
+}
+
+// ReadColumnTally is ReadColumn with an optional per-query trace tally.
+func (c *ColumnCache) ReadColumnTally(reader *storage.SegmentReader, col string, tally *obs.CacheTally) (*storage.ColumnData, error) {
 	key := reader.Meta.Table + "/" + reader.Meta.Name + "/" + col + "/#all"
 	if v, ok := c.data.Get(key); ok {
+		tally.Hit()
 		return v.(*storage.ColumnData), nil
 	}
+	tally.Miss()
 	cd, err := reader.ReadColumn(col)
 	if err != nil {
 		return nil, err

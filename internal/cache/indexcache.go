@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"blendhouse/internal/obs"
 	"blendhouse/internal/storage"
 )
 
@@ -92,8 +93,16 @@ func (c *IndexCache) ContainsMem(key string) bool {
 // tiers as needed: memory → local disk → remote. The loader runs at
 // most once per miss; its reported size drives memory accounting.
 func (c *IndexCache) Get(key string, loader IndexLoader) (any, error) {
+	return c.GetTally(key, loader, nil)
+}
+
+// GetTally is Get with an optional per-query trace tally (nil =
+// untraced): a memory-tier hit tallies Hit, anything that had to load
+// from disk or remote tallies Miss.
+func (c *IndexCache) GetTally(key string, loader IndexLoader, tally *obs.CacheTally) (any, error) {
 	if v, ok := c.mem.Get(key); ok {
 		c.memHits.Add(1)
+		tally.Hit()
 		return v, nil
 	}
 	c.loadMu.Lock()
@@ -101,8 +110,10 @@ func (c *IndexCache) Get(key string, loader IndexLoader) (any, error) {
 	// Re-check under the load lock: another goroutine may have won.
 	if v, ok := c.mem.Get(key); ok {
 		c.memHits.Add(1)
+		tally.Hit()
 		return v, nil
 	}
+	tally.Miss()
 	blob, fromDisk, err := c.fetchBlob(key)
 	if err != nil {
 		c.failures.Add(1)

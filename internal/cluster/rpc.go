@@ -10,7 +10,15 @@ import (
 	"blendhouse/internal/bitset"
 	"blendhouse/internal/index"
 	"blendhouse/internal/lsm"
+	"blendhouse/internal/obs"
 	"blendhouse/internal/storage"
+)
+
+// Serving-RPC metrics: proxy hop count and round-trip latency
+// (in-process simulated RTT and real TCP RPCs both observe here).
+var (
+	mServingHops = obs.Default().Counter("bh.vw.serving.hops")
+	mServingRTT  = obs.Default().Histogram("bh.vw.serving.rtt")
 )
 
 // Vector search serving (paper §II-D, Figure 4): when scaling moves a
@@ -73,6 +81,7 @@ func (vw *VW) servingConfig() ServingConfig {
 // pw on behalf of the requesting worker.
 func (vw *VW) serve(pw *Worker, table *lsm.Table, meta *storage.SegmentMeta, q []float32, k int, p index.SearchParams, filter *bitset.Bitset) ([]index.Candidate, error) {
 	cfg := vw.servingConfig()
+	mServingHops.Inc()
 	switch cfg.Transport {
 	case TransportTCP:
 		return vw.serveTCP(pw, table, meta, q, k, p, filter)
@@ -81,6 +90,7 @@ func (vw *VW) serve(pw *Worker, table *lsm.Table, meta *storage.SegmentMeta, q [
 			time.Sleep(cfg.SimulatedRTT)
 		}
 		pw.ServedSearches.Add(1)
+		mServedSearches.Inc()
 		return pw.SearchSegment(table, meta, q, k, p, filter)
 	}
 }
@@ -135,6 +145,7 @@ func (s *SearchService) Search(args *SearchArgs, reply *SearchReply) error {
 		}
 	}
 	s.w.ServedSearches.Add(1)
+	mServedSearches.Inc()
 	res, err := s.w.SearchSegment(table, meta, args.Query, args.K,
 		index.SearchParams{Ef: args.Ef, Nprobe: args.Nprobe, RefineFactor: args.Refine}, filter)
 	if err != nil {

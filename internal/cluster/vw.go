@@ -11,6 +11,7 @@ import (
 	"blendhouse/internal/hashring"
 	"blendhouse/internal/index"
 	"blendhouse/internal/lsm"
+	"blendhouse/internal/obs"
 	"blendhouse/internal/storage"
 	"blendhouse/internal/vec"
 )
@@ -223,6 +224,11 @@ type SearchOptions struct {
 	DisableServing bool
 	// ForceBruteForce skips the index entirely (Fig 11's worst case).
 	ForceBruteForce bool
+	// Span, when non-nil, is the parent for per-segment scan spans
+	// (EXPLAIN ANALYZE); IdxTally accumulates index-cache hit/miss per
+	// load. Both are nil-safe no-ops when unset.
+	Span     *obs.Span
+	IdxTally *obs.CacheTally
 }
 
 // Search runs a distributed top-k over the given segments: schedule,
@@ -305,12 +311,16 @@ func sortSegmentCandidates(cs []SegmentCandidate) {
 // if the worker dies mid-query.
 func (vw *VW) searchOneWithRetry(table *lsm.Table, m *storage.SegmentMeta, workerID string, q []float32, k int, opts SearchOptions) ([]index.Candidate, error) {
 	filter := opts.Filters[m.Name]
+	sp := opts.Span.Child("segment " + m.Name)
+	defer sp.End()
+	sp.Set("worker", workerID)
 	tryWorker := func(id string) ([]index.Candidate, error) {
 		w := vw.Worker(id)
 		if w == nil || !w.Alive() {
 			return nil, fmt.Errorf("cluster: worker %s unavailable", id)
 		}
 		if opts.ForceBruteForce {
+			sp.Set("scan", "brute-force")
 			return w.BruteForceSearch(table, m, q, k, filter)
 		}
 		// Vector search serving: if this worker lacks the index in
@@ -318,11 +328,20 @@ func (vw *VW) searchOneWithRetry(table *lsm.Table, m *storage.SegmentMeta, worke
 		if vw.cfg.Serving && !opts.DisableServing && !w.HasIndexInMem(table, m.Name) {
 			if prev := vw.PreviousOwner(table, m.Name); prev != "" && prev != id {
 				if pw := vw.Worker(prev); pw != nil && pw.Alive() && pw.HasIndexInMem(table, m.Name) {
-					return vw.serve(pw, table, m, q, k, opts.Params, filter)
+					// The serving hop is a cache miss papered over by
+					// the previous owner's warm index.
+					opts.IdxTally.Miss()
+					sp.Set("served_by", prev)
+					rpcStart := obs.Now()
+					res, err := vw.serve(pw, table, m, q, k, opts.Params, filter)
+					rtt := time.Since(rpcStart)
+					mServingRTT.Observe(rtt)
+					sp.SetDur("rpc_rtt", rtt)
+					return res, err
 				}
 			}
 		}
-		return w.SearchSegment(table, m, q, k, opts.Params, filter)
+		return w.searchSegment(table, m, q, k, opts.Params, filter, opts.IdxTally)
 	}
 	res, err := tryWorker(workerID)
 	if err == nil {
@@ -331,6 +350,7 @@ func (vw *VW) searchOneWithRetry(table *lsm.Table, m *storage.SegmentMeta, worke
 		if w := vw.Worker(workerID); w != nil {
 			w.chargePost()
 		}
+		sp.SetInt("candidates", int64(len(res)))
 		return res, nil
 	}
 	// Query-level retry on replicas (paper §II-E).
@@ -339,6 +359,8 @@ func (vw *VW) searchOneWithRetry(table *lsm.Table, m *storage.SegmentMeta, worke
 			continue
 		}
 		if res, rerr := tryWorker(id); rerr == nil {
+			sp.Set("retried_on", id)
+			sp.SetInt("candidates", int64(len(res)))
 			return res, nil
 		}
 	}

@@ -16,8 +16,18 @@ import (
 	"blendhouse/internal/cache"
 	"blendhouse/internal/index"
 	"blendhouse/internal/lsm"
+	"blendhouse/internal/obs"
 	"blendhouse/internal/storage"
 	"blendhouse/internal/vec"
+)
+
+// VW-wide search counters (SHOW METRICS / the -debug-addr endpoint).
+// Per-worker atomic counters stay on the Worker for the benchmarks;
+// these aggregate across all workers of the process.
+var (
+	mLocalSearches  = obs.Default().Counter("bh.vw.search.local")
+	mServedSearches = obs.Default().Counter("bh.vw.search.served")
+	mBruteSearches  = obs.Default().Counter("bh.vw.search.brute_force")
 )
 
 // Worker is one stateless compute node: it owns only caches; all
@@ -91,6 +101,23 @@ func (w *Worker) Recover() { w.alive.Store(true) }
 // CacheStats exposes the hierarchical cache counters.
 func (w *Worker) CacheStats() cache.HierStats { return w.cache.Stats() }
 
+// CacheStats aggregates the hierarchical index-cache counters across
+// all live and dead workers — the VW-level view that SHOW METRICS and
+// the debug endpoint report.
+func (vw *VW) CacheStats() cache.HierStats {
+	vw.mu.RLock()
+	defer vw.mu.RUnlock()
+	var agg cache.HierStats
+	for _, w := range vw.workers {
+		s := w.cache.Stats()
+		agg.MemHits += s.MemHits
+		agg.DiskHits += s.DiskHits
+		agg.RemoteLoads += s.RemoteLoads
+		agg.Failures += s.Failures
+	}
+	return agg
+}
+
 // HasIndexInMem reports whether the segment's index is resident —
 // the scheduler and the serving path consult this without triggering
 // a load.
@@ -103,12 +130,18 @@ func (w *Worker) HasIndexInMem(table *lsm.Table, seg string) bool {
 // is offset-indexed over the segment's rows; deleted rows must
 // already be cleared in it (or pass nil and handle deletes upstream).
 func (w *Worker) SearchSegment(table *lsm.Table, meta *storage.SegmentMeta, q []float32, k int, p index.SearchParams, filter *bitset.Bitset) ([]index.Candidate, error) {
+	return w.searchSegment(table, meta, q, k, p, filter, nil)
+}
+
+// searchSegment is SearchSegment with an optional index-cache trace
+// tally (nil = untraced).
+func (w *Worker) searchSegment(table *lsm.Table, meta *storage.SegmentMeta, q []float32, k int, p index.SearchParams, filter *bitset.Bitset, tally *obs.CacheTally) ([]index.Candidate, error) {
 	if !w.Alive() {
 		return nil, fmt.Errorf("cluster: worker %s is down", w.ID)
 	}
 	release := w.acquire()
 	key := table.IndexKeyOf(meta.Name)
-	v, err := w.cache.Get(key, table.IndexLoaderFor(meta))
+	v, err := w.cache.GetTally(key, table.IndexLoaderFor(meta), tally)
 	if err != nil {
 		release() // BruteForceSearch acquires its own slot
 		if storage.IsNotFound(err) {
@@ -121,6 +154,7 @@ func (w *Worker) SearchSegment(table *lsm.Table, meta *storage.SegmentMeta, q []
 	defer release()
 	ix := v.(index.Index)
 	w.LocalSearches.Add(1)
+	mLocalSearches.Inc()
 	return ix.SearchWithFilter(q, k, filter, p)
 }
 
@@ -134,6 +168,7 @@ func (w *Worker) BruteForceSearch(table *lsm.Table, meta *storage.SegmentMeta, q
 	release := w.acquire()
 	defer release()
 	w.BruteSearches.Add(1)
+	mBruteSearches.Inc()
 	rd := &storage.SegmentReader{Store: table.Store(), Meta: meta, Schema: table.Schema()}
 	vcolName := table.Options().IndexColumn
 	if vcolName == "" {

@@ -16,6 +16,7 @@ import (
 	"blendhouse/internal/exec"
 	"blendhouse/internal/index"
 	"blendhouse/internal/lsm"
+	"blendhouse/internal/obs"
 	"blendhouse/internal/plan"
 	"blendhouse/internal/sql"
 	"blendhouse/internal/storage"
@@ -27,6 +28,15 @@ import (
 	_ "blendhouse/internal/index/flat"
 	_ "blendhouse/internal/index/hnsw"
 	_ "blendhouse/internal/index/ivf"
+)
+
+// Engine-level query metrics. The cache and planner counters are
+// published lazily as callback gauges in New — the existing Stats()
+// methods stay the single source of truth; the registry just reads
+// them at snapshot time.
+var (
+	mQueries      = obs.Default().Counter("bh.query.total")
+	mQueryLatency = obs.Default().Histogram("bh.query.latency")
 )
 
 // Config assembles an engine.
@@ -114,7 +124,31 @@ func New(cfg Config) (*Engine, error) {
 		}
 		e.registerTable(t)
 	}
+	e.registerStatGauges()
 	return e, nil
+}
+
+// registerStatGauges publishes the engine's existing stat sources
+// (column cache, VW index caches, planner) as callback gauges: the
+// counters keep living where they are, and the registry evaluates
+// them only when a snapshot is taken — no second bookkeeping path.
+func (e *Engine) registerStatGauges() {
+	reg := obs.Default()
+	if cc := e.colCache; cc != nil {
+		reg.RegisterFunc("bh.cache.column.hits", func() int64 { h, _, _ := cc.Stats(); return h })
+		reg.RegisterFunc("bh.cache.column.misses", func() int64 { _, m, _ := cc.Stats(); return m })
+		reg.RegisterFunc("bh.cache.column.bypasses", func() int64 { _, _, b := cc.Stats(); return b })
+	}
+	if vw := e.cfg.VW; vw != nil {
+		reg.RegisterFunc("bh.cache.index.mem_hits", func() int64 { return vw.CacheStats().MemHits })
+		reg.RegisterFunc("bh.cache.index.disk_hits", func() int64 { return vw.CacheStats().DiskHits })
+		reg.RegisterFunc("bh.cache.index.remote_loads", func() int64 { return vw.CacheStats().RemoteLoads })
+		reg.RegisterFunc("bh.cache.index.failures", func() int64 { return vw.CacheStats().Failures })
+	}
+	pl := e.planner
+	reg.RegisterFunc("bh.plan.cache.hits", func() int64 { h, _, _ := pl.Stats(); return h })
+	reg.RegisterFunc("bh.plan.cache.misses", func() int64 { _, m, _ := pl.Stats(); return m })
+	reg.RegisterFunc("bh.plan.short_circuits", func() int64 { _, _, s := pl.Stats(); return s })
 }
 
 func (e *Engine) registerTable(t *lsm.Table) {
@@ -217,6 +251,10 @@ func (e *Engine) Exec(src string) (*exec.Result, error) {
 		return e.query(s)
 	case *sql.ShowTables:
 		return e.showTables(), nil
+	case *sql.ShowMetrics:
+		return e.showMetrics(), nil
+	case *sql.Explain:
+		return e.explain(s)
 	case *sql.Describe:
 		return e.describe(s.Name)
 	case *sql.Delete:
@@ -320,7 +358,17 @@ func (e *Engine) query(sel *sql.Select) (*exec.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.Executor(sel.Table).Run(ph)
+	return e.runTraced(sel.Table, ph, nil)
+}
+
+// runTraced executes a planned query, feeding the engine-level query
+// counter and latency histogram (tr may be nil = untraced).
+func (e *Engine) runTraced(table string, ph *plan.Physical, tr *obs.Trace) (*exec.Result, error) {
+	mQueries.Inc()
+	start := obs.Now()
+	res, err := e.Executor(table).RunTraced(ph, tr)
+	mQueryLatency.Observe(time.Since(start))
+	return res, err
 }
 
 // createTable maps the CREATE TABLE AST onto an LSM table.

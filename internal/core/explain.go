@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"blendhouse/internal/exec"
+	"blendhouse/internal/obs"
+	"blendhouse/internal/plan"
+	"blendhouse/internal/sql"
+)
+
+// planLetter maps strategies onto the paper's plan letters (§IV-A).
+func planLetter(s plan.Strategy) string {
+	switch s {
+	case plan.BruteForce:
+		return "A"
+	case plan.PreFilter:
+		return "B"
+	case plan.PostFilter:
+		return "C"
+	default:
+		return "?"
+	}
+}
+
+// explain handles EXPLAIN and EXPLAIN ANALYZE: it plans the wrapped
+// SELECT and prints the optimizer's choice with its cost breakdown;
+// ANALYZE additionally executes the query with a trace attached and
+// appends the recorded span tree and per-query cache tallies.
+func (e *Engine) explain(ex *sql.Explain) (*exec.Result, error) {
+	t := e.Table(ex.Query.Table)
+	if t == nil {
+		return nil, fmt.Errorf("core: table %q does not exist", ex.Query.Table)
+	}
+	ph, err := e.planner.Plan(ex.Query, t)
+	if err != nil {
+		return nil, err
+	}
+	lines := e.planLines(ph)
+	if ex.Analyze {
+		tr := obs.NewTrace("query")
+		start := obs.Now()
+		res, err := e.runTraced(ex.Query.Table, ph, tr)
+		if err != nil {
+			return nil, err
+		}
+		tr.Finish()
+		lines = append(lines, "")
+		lines = append(lines, fmt.Sprintf("executed: %d rows in %.3fms", len(res.Rows),
+			float64(time.Since(start).Microseconds())/1000))
+		lines = append(lines, tr.Lines()...)
+	}
+	out := &exec.Result{Columns: []string{"explain"}}
+	for _, l := range lines {
+		out.Rows = append(out.Rows, []any{l})
+	}
+	return out, nil
+}
+
+// planLines renders the optimizer decision for one physical plan.
+func (e *Engine) planLines(ph *plan.Physical) []string {
+	lg := ph.Logical
+	t := e.Table(lg.Table)
+	var lines []string
+	if !lg.IsVectorQuery() {
+		lines = append(lines, "plan: scalar scan")
+	} else {
+		lines = append(lines, fmt.Sprintf("plan: %s (%s)", planLetter(ph.Strategy), ph.Strategy))
+	}
+	lines = append(lines, fmt.Sprintf("table: %s (%d segments, %d rows)", lg.Table, t.SegmentCount(), t.Rows()))
+	if s, a, b, c, ok := e.planner.CostBreakdown(lg, t); ok {
+		lines = append(lines, fmt.Sprintf("selectivity: %.4g", s))
+		if ph.EstCost > 0 {
+			lines = append(lines, fmt.Sprintf("est_cost: A=%.3gs B=%.3gs C=%.3gs -> chose %s",
+				a, b, c, planLetter(ph.Strategy)))
+		}
+	}
+	switch {
+	case ph.ShortCircuited:
+		lines = append(lines, "optimizer: short-circuited (simple query fast path)")
+	case ph.FromCache:
+		lines = append(lines, "optimizer: plan cache hit (parameterized)")
+	}
+	if ex := e.Executor(lg.Table); ex != nil && ex.SemanticFraction > 0 && lg.IsVectorQuery() {
+		lines = append(lines, fmt.Sprintf("semantic pruning: fraction=%.4g min_segments=%d (adaptive widening on shortfall)",
+			ex.SemanticFraction, ex.MinSegments))
+	}
+	return lines
+}
+
+// showMetrics renders the process-wide registry as a two-column result.
+func (e *Engine) showMetrics() *exec.Result {
+	res := &exec.Result{Columns: []string{"metric", "value"}}
+	for _, kv := range obs.Default().Snapshot() {
+		res.Rows = append(res.Rows, []any{kv.Key, kv.Value})
+	}
+	return res
+}

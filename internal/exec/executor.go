@@ -11,9 +11,24 @@ import (
 	"blendhouse/internal/cluster"
 	"blendhouse/internal/index"
 	"blendhouse/internal/lsm"
+	"blendhouse/internal/obs"
 	"blendhouse/internal/plan"
 	"blendhouse/internal/storage"
 	"blendhouse/internal/vec"
+)
+
+// Execution metrics (SHOW METRICS / the -debug-addr endpoint). The
+// plan.* counters record which of the paper's plans A/B/C the
+// optimizer actually ran; widen_rounds counts adaptive semantic-prune
+// retries; segment_scans counts local-mode per-segment ANN/brute scans
+// (VW-mode scans land in the bh.vw.search.* counters).
+var (
+	mVecQueries  = obs.Default().Counter("bh.query.vector.total")
+	mPlanBrute   = obs.Default().Counter("bh.query.plan.brute_force")
+	mPlanPre     = obs.Default().Counter("bh.query.plan.pre_filter")
+	mPlanPost    = obs.Default().Counter("bh.query.plan.post_filter")
+	mWidenRounds = obs.Default().Counter("bh.query.widen_rounds")
+	mSegScans    = obs.Default().Counter("bh.exec.segment_scans")
 )
 
 // Executor runs physical plans against one table, either locally
@@ -50,13 +65,31 @@ type hit struct {
 
 // Run executes a physical plan.
 func (e *Executor) Run(ph *plan.Physical) (*Result, error) {
+	return e.RunTraced(ph, nil)
+}
+
+// RunTraced executes a physical plan, recording a span tree and cache
+// tallies on tr when non-nil (the execution half of EXPLAIN ANALYZE).
+// A nil trace makes every instrumentation call a no-op: no
+// allocations, no locks, so untraced bench numbers are unaffected.
+func (e *Executor) RunTraced(ph *plan.Physical, tr *obs.Trace) (*Result, error) {
 	lg := ph.Logical
+	root := tr.Span()
 	preds, err := compilePredicates(e.Table.Schema(), lg.ScalarPreds)
 	if err != nil {
 		return nil, err
 	}
 	if !lg.IsVectorQuery() {
-		return e.runScalar(lg, preds)
+		return e.runScalar(lg, preds, tr)
+	}
+	mVecQueries.Inc()
+	switch ph.Strategy {
+	case plan.BruteForce:
+		mPlanBrute.Inc()
+	case plan.PreFilter:
+		mPlanPre.Inc()
+	case plan.PostFilter:
+		mPlanPost.Inc()
 	}
 	k := lg.K
 	if k <= 0 {
@@ -64,45 +97,66 @@ func (e *Executor) Run(ph *plan.Physical) (*Result, error) {
 	}
 	params := lg.Params.WithDefaults(k)
 
+	runStrategy := func(metas []*storage.SegmentMeta, sp *obs.Span) ([]hit, error) {
+		switch ph.Strategy {
+		case plan.BruteForce:
+			return e.runBruteForce(lg, preds, metas, k, sp, tr)
+		case plan.PreFilter:
+			return e.runPreFilter(lg, preds, metas, k, params, sp, tr)
+		case plan.PostFilter:
+			return e.runPostFilter(lg, preds, metas, k, params, sp, tr)
+		default:
+			return nil, fmt.Errorf("exec: unknown strategy %v", ph.Strategy)
+		}
+	}
+
 	frac := e.SemanticFraction
+	round := 0
 	for {
+		total := e.Table.SegmentCount()
+		pruneSp := root.Child("prune")
 		metas, prunedSemantically := e.pruneSegments(lg, preds, frac)
+		pruneSp.SetInt("round", int64(round))
+		pruneSp.SetInt("segments_total", int64(total))
+		pruneSp.SetInt("segments_kept", int64(len(metas)))
+		pruneSp.SetBool("semantic", prunedSemantically)
+		if prunedSemantically {
+			pruneSp.SetFloat("fraction", frac)
+		}
+		pruneSp.End()
+
+		scanSp := root.Child("scan")
+		scanSp.Set("strategy", ph.Strategy.String())
 		var hits []hit
 		var err error
 		if lg.Range != nil {
-			hits, err = e.runRange(lg, preds, metas, params)
+			hits, err = e.runRange(lg, preds, metas, params, scanSp, tr)
 		} else {
-			switch ph.Strategy {
-			case plan.BruteForce:
-				hits, err = e.runBruteForce(lg, preds, metas, k)
-			case plan.PreFilter:
-				hits, err = e.runPreFilter(lg, preds, metas, k, params)
-			case plan.PostFilter:
-				hits, err = e.runPostFilter(lg, preds, metas, k, params)
-			default:
-				err = fmt.Errorf("exec: unknown strategy %v", ph.Strategy)
-			}
+			hits, err = runStrategy(metas, scanSp)
 		}
+		scanSp.SetInt("hits", int64(len(hits)))
+		scanSp.End()
 		if err != nil {
 			return nil, err
 		}
 		// Adaptive semantic widening (paper §IV-B): if pruning cost us
 		// results, re-run over more segments.
 		if prunedSemantically && len(hits) < k && lg.Range == nil {
+			mWidenRounds.Inc()
+			round++
 			frac = frac * 2
 			if frac < 1 {
 				continue
 			}
 			frac = 1 // final pass over everything
 			metas, _ := e.pruneSegments(lg, preds, 0)
-			switch ph.Strategy {
-			case plan.BruteForce:
-				hits, err = e.runBruteForce(lg, preds, metas, k)
-			case plan.PreFilter:
-				hits, err = e.runPreFilter(lg, preds, metas, k, params)
-			case plan.PostFilter:
-				hits, err = e.runPostFilter(lg, preds, metas, k, params)
-			}
+			finalSp := root.Child("scan")
+			finalSp.Set("strategy", ph.Strategy.String())
+			finalSp.Set("widen", "final")
+			finalSp.SetInt("segments_kept", int64(len(metas)))
+			hits, err = runStrategy(metas, finalSp)
+			finalSp.SetInt("hits", int64(len(hits)))
+			finalSp.End()
 			if err != nil {
 				return nil, err
 			}
@@ -111,7 +165,7 @@ func (e *Executor) Run(ph *plan.Physical) (*Result, error) {
 		if lg.Range == nil && len(hits) > k {
 			hits = hits[:k]
 		}
-		return e.assemble(lg, hits)
+		return e.assemble(lg, hits, root, tr)
 	}
 }
 
@@ -174,7 +228,7 @@ func mergeInt(existing [2]int64, nw [2]int64) [2]int64 {
 // (the structured scan of plans A and B) and subtracts the delete
 // bitmap. Returns nil when the segment has neither predicates nor
 // deletes (= unfiltered).
-func (e *Executor) predicateBitset(meta *storage.SegmentMeta, preds []compiledPred) (*bitset.Bitset, error) {
+func (e *Executor) predicateBitset(meta *storage.SegmentMeta, preds []compiledPred, tr *obs.Trace) (*bitset.Bitset, error) {
 	del, err := e.Table.DeleteBitmap(meta.Name)
 	if err != nil {
 		return nil, err
@@ -195,7 +249,7 @@ func (e *Executor) predicateBitset(meta *storage.SegmentMeta, preds []compiledPr
 			}
 			var c *storage.ColumnData
 			if e.ColCache != nil {
-				c, err = e.ColCache.ReadColumn(rd, p.col)
+				c, err = e.ColCache.ReadColumnTally(rd, p.col, tr.ColTally())
 			} else {
 				c, err = rd.ReadColumn(p.col)
 			}
@@ -220,10 +274,12 @@ func (e *Executor) predicateBitset(meta *storage.SegmentMeta, preds []compiledPr
 }
 
 // segmentIndex loads a segment's index for single-node execution.
-func (e *Executor) segmentIndex(meta *storage.SegmentMeta) (index.Index, error) {
+func (e *Executor) segmentIndex(meta *storage.SegmentMeta, tr *obs.Trace) (index.Index, error) {
 	if v, ok := e.localIdx.Load(meta.Name); ok {
+		tr.IdxTally().Hit()
 		return v.(index.Index), nil
 	}
+	tr.IdxTally().Miss()
 	ix, err := e.Table.OpenIndex(meta.Name)
 	if err != nil {
 		return nil, err
@@ -233,17 +289,24 @@ func (e *Executor) segmentIndex(meta *storage.SegmentMeta) (index.Index, error) 
 }
 
 // InvalidateLocalIndexes drops the single-node index cache (used after
-// compaction in long-running tests/benches).
+// compaction in long-running tests/benches). Keys are deleted in place
+// rather than swapping the map, which would race with concurrent loads.
 func (e *Executor) InvalidateLocalIndexes() {
-	e.localIdx = sync.Map{}
+	e.localIdx.Range(func(k, _ any) bool {
+		e.localIdx.Delete(k)
+		return true
+	})
 }
 
 // --- plan A: brute force -----------------------------------------------------
 
-func (e *Executor) runBruteForce(lg *plan.Logical, preds []compiledPred, metas []*storage.SegmentMeta, k int) ([]hit, error) {
+func (e *Executor) runBruteForce(lg *plan.Logical, preds []compiledPred, metas []*storage.SegmentMeta, k int, sp *obs.Span, tr *obs.Trace) ([]hit, error) {
 	var all []hit
 	for _, m := range metas {
-		bs, err := e.predicateBitset(m, preds)
+		ssp := sp.Child("segment " + m.Name)
+		ssp.SetInt("rows", int64(m.Rows))
+		mSegScans.Inc()
+		bs, err := e.predicateBitset(m, preds, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -256,14 +319,16 @@ func (e *Executor) runBruteForce(lg *plan.Logical, preds []compiledPred, metas [
 		} else {
 			rows = bs.Ones()
 		}
+		ssp.SetInt("filtered_rows", int64(len(rows)))
 		if len(rows) == 0 {
+			ssp.End()
 			continue
 		}
 		rd, err := e.Table.Reader(m.Name)
 		if err != nil {
 			return nil, err
 		}
-		vcol, err := e.readRows(rd, lg.VectorColumn, rows, len(rows))
+		vcol, err := e.readRows(rd, lg.VectorColumn, rows, len(rows), tr)
 		if err != nil {
 			return nil, err
 		}
@@ -272,20 +337,23 @@ func (e *Executor) runBruteForce(lg *plan.Logical, preds []compiledPred, metas [
 			d := vec.Distance(lg.Metric, lg.Distance.Query, vcol.Vector(i))
 			t.Push(index.Candidate{ID: int64(rows[i]), Dist: d})
 		}
-		for _, c := range t.Results() {
+		res := t.Results()
+		for _, c := range res {
 			all = append(all, hit{meta: m, offset: int(c.ID), dist: c.Dist})
 		}
+		ssp.SetInt("candidates", int64(len(res)))
+		ssp.End()
 	}
 	return all, nil
 }
 
 // --- plan B: pre-filter --------------------------------------------------------
 
-func (e *Executor) runPreFilter(lg *plan.Logical, preds []compiledPred, metas []*storage.SegmentMeta, k int, params index.SearchParams) ([]hit, error) {
+func (e *Executor) runPreFilter(lg *plan.Logical, preds []compiledPred, metas []*storage.SegmentMeta, k int, params index.SearchParams, sp *obs.Span, tr *obs.Trace) ([]hit, error) {
 	filters := map[string]*bitset.Bitset{}
 	searchable := metas[:0:0]
 	for _, m := range metas {
-		bs, err := e.predicateBitset(m, preds)
+		bs, err := e.predicateBitset(m, preds, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -301,6 +369,7 @@ func (e *Executor) runPreFilter(lg *plan.Logical, preds []compiledPred, metas []
 	if e.VW != nil {
 		cands, err := e.VW.Search(e.Table, searchable, lg.Distance.Query, k, cluster.SearchOptions{
 			Params: params, Filters: filters,
+			Span: sp, IdxTally: tr.IdxTally(),
 		})
 		if err != nil {
 			return nil, err
@@ -314,7 +383,10 @@ func (e *Executor) runPreFilter(lg *plan.Logical, preds []compiledPred, metas []
 	}
 	var all []hit
 	for _, m := range searchable {
-		ix, err := e.segmentIndex(m)
+		ssp := sp.Child("segment " + m.Name)
+		ssp.SetInt("rows", int64(m.Rows))
+		mSegScans.Inc()
+		ix, err := e.segmentIndex(m, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -325,6 +397,8 @@ func (e *Executor) runPreFilter(lg *plan.Logical, preds []compiledPred, metas []
 		for _, c := range cands {
 			all = append(all, hit{meta: m, offset: int(c.ID), dist: c.Dist})
 		}
+		ssp.SetInt("candidates", int64(len(cands)))
+		ssp.End()
 	}
 	return all, nil
 }
@@ -344,19 +418,24 @@ func metaIndex(metas []*storage.SegmentMeta) map[string]*storage.SegmentMeta {
 // predicate columns of the candidate rows), and iterates until k
 // qualifying rows per segment or exhaustion — Figure 2's SearchIterator
 // + partial-top-k-before-filter pipeline.
-func (e *Executor) runPostFilter(lg *plan.Logical, preds []compiledPred, metas []*storage.SegmentMeta, k int, params index.SearchParams) ([]hit, error) {
+func (e *Executor) runPostFilter(lg *plan.Logical, preds []compiledPred, metas []*storage.SegmentMeta, k int, params index.SearchParams, sp *obs.Span, tr *obs.Trace) ([]hit, error) {
 	var all []hit
 	for _, m := range metas {
-		hits, err := e.postFilterSegment(lg, preds, m, k, params)
+		ssp := sp.Child("segment " + m.Name)
+		ssp.SetInt("rows", int64(m.Rows))
+		mSegScans.Inc()
+		hits, err := e.postFilterSegment(lg, preds, m, k, params, ssp, tr)
 		if err != nil {
 			return nil, err
 		}
+		ssp.SetInt("candidates", int64(len(hits)))
+		ssp.End()
 		all = append(all, hits...)
 	}
 	return all, nil
 }
 
-func (e *Executor) postFilterSegment(lg *plan.Logical, preds []compiledPred, m *storage.SegmentMeta, k int, params index.SearchParams) ([]hit, error) {
+func (e *Executor) postFilterSegment(lg *plan.Logical, preds []compiledPred, m *storage.SegmentMeta, k int, params index.SearchParams, ssp *obs.Span, tr *obs.Trace) ([]hit, error) {
 	var it index.Iterator
 	var err error
 	if e.VW != nil {
@@ -369,9 +448,10 @@ func (e *Executor) postFilterSegment(lg *plan.Logical, preds []compiledPred, m *
 		if owner == nil {
 			return nil, fmt.Errorf("exec: no worker for segment %s", m.Name)
 		}
+		ssp.Set("worker", owner.ID)
 		it, err = owner.OpenIterator(e.Table, m, lg.Distance.Query, k, params)
 	} else {
-		ix, ierr := e.segmentIndex(m)
+		ix, ierr := e.segmentIndex(m, tr)
 		if ierr != nil {
 			return nil, ierr
 		}
@@ -395,6 +475,7 @@ func (e *Executor) postFilterSegment(lg *plan.Logical, preds []compiledPred, m *
 	if batch < 16 {
 		batch = 16
 	}
+	batches := 0
 	for len(out) < k {
 		cands, err := it.Next(batch)
 		if err != nil {
@@ -403,6 +484,7 @@ func (e *Executor) postFilterSegment(lg *plan.Logical, preds []compiledPred, m *
 		if len(cands) == 0 {
 			break
 		}
+		batches++
 		// Evaluate predicates only on the candidate rows.
 		rows := make([]int, 0, len(cands))
 		kept := make([]index.Candidate, 0, len(cands))
@@ -421,7 +503,7 @@ func (e *Executor) postFilterSegment(lg *plan.Logical, preds []compiledPred, m *
 			pass[i] = true
 		}
 		for _, p := range preds {
-			col, err := e.readRows(rd, p.col, rows, len(rows))
+			col, err := e.readRows(rd, p.col, rows, len(rows), tr)
 			if err != nil {
 				return nil, err
 			}
@@ -440,12 +522,13 @@ func (e *Executor) postFilterSegment(lg *plan.Logical, preds []compiledPred, m *
 			}
 		}
 	}
+	ssp.SetInt("batches", int64(batches))
 	return out, nil
 }
 
 // --- range search ---------------------------------------------------------------
 
-func (e *Executor) runRange(lg *plan.Logical, preds []compiledPred, metas []*storage.SegmentMeta, params index.SearchParams) ([]hit, error) {
+func (e *Executor) runRange(lg *plan.Logical, preds []compiledPred, metas []*storage.SegmentMeta, params index.SearchParams, sp *obs.Span, tr *obs.Trace) ([]hit, error) {
 	radius := lg.Range.Radius
 	// Internal distances: IP is negated, L2 is squared — translate the
 	// user-facing radius into index space.
@@ -457,33 +540,42 @@ func (e *Executor) runRange(lg *plan.Logical, preds []compiledPred, metas []*sto
 	}
 	var all []hit
 	for _, m := range metas {
-		bs, err := e.predicateBitset(m, preds)
+		bs, err := e.predicateBitset(m, preds, tr)
 		if err != nil {
 			return nil, err
 		}
 		if bs != nil && !bs.Any() {
 			continue
 		}
+		ssp := sp.Child("segment " + m.Name)
+		ssp.SetInt("rows", int64(m.Rows))
+		mSegScans.Inc()
 		var cands []index.Candidate
 		if e.VW != nil {
 			owner := e.VW.Worker(e.ownerOf(m))
 			if owner == nil {
+				ssp.End()
 				return nil, fmt.Errorf("exec: no worker for segment %s", m.Name)
 			}
+			ssp.Set("worker", owner.ID)
 			cands, err = owner.RangeSegment(e.Table, m, lg.Distance.Query, radius, params, bs)
 		} else {
-			ix, ierr := e.segmentIndex(m)
+			ix, ierr := e.segmentIndex(m, tr)
 			if ierr != nil {
+				ssp.End()
 				return nil, ierr
 			}
 			cands, err = ix.SearchWithRange(lg.Distance.Query, radius, bs, params)
 		}
 		if err != nil {
+			ssp.End()
 			return nil, err
 		}
 		for _, c := range cands {
 			all = append(all, hit{meta: m, offset: int(c.ID), dist: c.Dist})
 		}
+		ssp.SetInt("candidates", int64(len(cands)))
+		ssp.End()
 	}
 	if lg.K > 0 && len(all) > lg.K {
 		sortHits(all)
@@ -502,8 +594,10 @@ func (e *Executor) ownerOf(m *storage.SegmentMeta) string {
 
 // --- scalar-only queries ----------------------------------------------------------
 
-func (e *Executor) runScalar(lg *plan.Logical, preds []compiledPred) (*Result, error) {
+func (e *Executor) runScalar(lg *plan.Logical, preds []compiledPred, tr *obs.Trace) (*Result, error) {
 	metas, _ := e.pruneSegments(lg, preds, 0)
+	sp := tr.Span().Child("scalar-scan")
+	sp.SetInt("segments", int64(len(metas)))
 	type scalarRow struct {
 		meta   *storage.SegmentMeta
 		offset int
@@ -512,7 +606,7 @@ func (e *Executor) runScalar(lg *plan.Logical, preds []compiledPred) (*Result, e
 	}
 	var rows []scalarRow
 	for _, m := range metas {
-		bs, err := e.predicateBitset(m, preds)
+		bs, err := e.predicateBitset(m, preds, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -534,7 +628,7 @@ func (e *Executor) runScalar(lg *plan.Logical, preds []compiledPred) (*Result, e
 			if err != nil {
 				return nil, err
 			}
-			sortCol, err = e.readRows(rd, lg.OrderColumn, offsets, len(offsets))
+			sortCol, err = e.readRows(rd, lg.OrderColumn, offsets, len(offsets), tr)
 			if err != nil {
 				return nil, err
 			}
@@ -570,23 +664,28 @@ func (e *Executor) runScalar(lg *plan.Logical, preds []compiledPred) (*Result, e
 	for i, r := range rows {
 		hits[i] = hit{meta: r.meta, offset: r.offset, dist: float32(math.NaN())}
 	}
-	return e.assemble(lg, hits)
+	sp.SetInt("hits", int64(len(hits)))
+	sp.End()
+	return e.assemble(lg, hits, tr.Span(), tr)
 }
 
 // --- output assembly ---------------------------------------------------------------
 
 // readRows fetches rows of one column, through the adaptive column
 // cache when configured.
-func (e *Executor) readRows(rd *storage.SegmentReader, col string, rows []int, queryRows int) (*storage.ColumnData, error) {
+func (e *Executor) readRows(rd *storage.SegmentReader, col string, rows []int, queryRows int, tr *obs.Trace) (*storage.ColumnData, error) {
 	if e.ColCache != nil {
-		return e.ColCache.ReadRows(rd, col, rows, queryRows)
+		return e.ColCache.ReadRowsTally(rd, col, rows, queryRows, tr.ColTally())
 	}
 	return rd.ReadRows(col, rows)
 }
 
 // assemble fetches the projection columns for the final hits and
 // builds result rows in hit order.
-func (e *Executor) assemble(lg *plan.Logical, hits []hit) (*Result, error) {
+func (e *Executor) assemble(lg *plan.Logical, hits []hit, sp *obs.Span, tr *obs.Trace) (*Result, error) {
+	asp := sp.Child("assemble")
+	asp.SetInt("rows", int64(len(hits)))
+	defer asp.End()
 	cols := lg.Projection
 	if lg.Star {
 		cols = nil
@@ -626,7 +725,7 @@ func (e *Executor) assemble(lg *plan.Logical, hits []hit) (*Result, error) {
 			if c == lg.DistAlias && lg.DistAlias != "" {
 				continue
 			}
-			cd, err := e.readRows(rd, c, rows, len(hits))
+			cd, err := e.readRows(rd, c, rows, len(hits), tr)
 			if err != nil {
 				return nil, err
 			}

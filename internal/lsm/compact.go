@@ -5,7 +5,16 @@ import (
 	"sort"
 	"time"
 
+	"blendhouse/internal/obs"
 	"blendhouse/internal/storage"
+)
+
+// Compaction metrics (SHOW METRICS / the -debug-addr endpoint).
+var (
+	mCompactRuns     = obs.Default().Counter("bh.lsm.compaction.runs")
+	mCompactSegments = obs.Default().Counter("bh.lsm.compaction.segments_merged")
+	mCompactRows     = obs.Default().Counter("bh.lsm.compaction.rows_written")
+	mCompactDur      = obs.Default().Histogram("bh.lsm.compaction.duration")
 )
 
 // Background compaction (paper §III-B "Vector index compaction"):
@@ -42,6 +51,7 @@ func (t *Table) CompactOnce(policy CompactionPolicy) (int, error) {
 		return 0, nil
 	}
 	_ = group
+	compactStart := obs.Now()
 	// Read the group's live rows into one batch, applying deletes.
 	// The MaxMergeRows cap bounds how many segments this round
 	// actually merges; segments beyond the cap stay live untouched.
@@ -107,6 +117,10 @@ func (t *Table) CompactOnce(policy CompactionPolicy) (int, error) {
 			}
 		}
 	}
+	mCompactRuns.Inc()
+	mCompactSegments.Add(int64(len(mergedMetas)))
+	mCompactRows.Add(int64(merged.Len()))
+	mCompactDur.Observe(time.Since(compactStart))
 	return len(mergedMetas), nil
 }
 

@@ -1,0 +1,77 @@
+package lsm
+
+import (
+	"math"
+	"testing"
+)
+
+func bucketSum(h *Histogram) int64 {
+	var s int64
+	for _, c := range h.Buckets {
+		s += c
+	}
+	return s
+}
+
+// TestHistogramRescalePreservesMass widens the range repeatedly and
+// checks the two invariants the CBO relies on: no bucket mass is lost
+// or invented by rescaling, and Total only grows as values arrive.
+func TestHistogramRescalePreservesMass(t *testing.T) {
+	h := newHistogram()
+	h.add([]float64{10, 20, 30, 40, 50})
+	if h.Total != 5 || bucketSum(h) != 5 {
+		t.Fatalf("initial: total=%d sum=%d", h.Total, bucketSum(h))
+	}
+
+	prevTotal := h.Total
+	// Each batch widens the observed range on one or both sides.
+	batches := [][]float64{
+		{-100, -50},              // widen below
+		{500, 1000},              // widen above
+		{-1e6, 2e6},              // widen both, violently
+		{0, 1, 2, 3},             // inside the current range
+		{-1e6 - 1, 2e6 + 1, 0.5}, // nudge both edges
+	}
+	for i, b := range batches {
+		h.add(b)
+		if h.Total < prevTotal {
+			t.Fatalf("batch %d: Total shrank %d -> %d", i, prevTotal, h.Total)
+		}
+		if h.Total != prevTotal+int64(len(b)) {
+			t.Fatalf("batch %d: Total=%d, want %d", i, h.Total, prevTotal+int64(len(b)))
+		}
+		if got := bucketSum(h); got != h.Total {
+			t.Fatalf("batch %d: bucket mass %d != Total %d (rescale lost/invented counts)", i, got, h.Total)
+		}
+		prevTotal = h.Total
+	}
+	if h.Min > -1e6-1 || h.Max < 2e6+1 {
+		t.Fatalf("bounds did not widen: [%g, %g]", h.Min, h.Max)
+	}
+	// Full-range selectivity must be exactly 1 regardless of rescales.
+	if s := h.Selectivity(math.Inf(-1), math.Inf(1)); s != 1 {
+		t.Fatalf("full-range selectivity = %g, want 1", s)
+	}
+}
+
+// TestHistogramRescaleMonotoneSelectivity checks that widening the
+// queried range never decreases the estimate (monotonicity survives
+// the approximate redistribution).
+func TestHistogramRescaleMonotoneSelectivity(t *testing.T) {
+	h := newHistogram()
+	for i := 0; i < 100; i++ {
+		h.add([]float64{float64(i)})
+	}
+	h.add([]float64{-1000, 1000}) // force a rescale
+	prev := 0.0
+	for hi := -1000.0; hi <= 1000; hi += 50 {
+		s := h.Selectivity(math.Inf(-1), hi)
+		if s < prev {
+			t.Fatalf("selectivity decreased at hi=%g: %g -> %g", hi, prev, s)
+		}
+		prev = s
+	}
+	if prev != 1 {
+		t.Fatalf("selectivity at max = %g, want 1", prev)
+	}
+}

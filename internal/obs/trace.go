@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace is the per-query span tree behind EXPLAIN ANALYZE. It is
+// carried as a *Trace on the query path; a nil *Trace means tracing is
+// off, and every method (including the tally accessors and all Span
+// methods) is a no-op on a nil receiver — untraced queries pay zero
+// allocations for the instrumentation.
+type Trace struct {
+	root *Span
+	// ColCache tallies column-cache hit/miss/bypass per read.
+	ColCache CacheTally
+	// IdxCache tallies vector-index-cache hit/miss per load.
+	IdxCache CacheTally
+}
+
+// NewTrace starts a trace whose root span is named name.
+func NewTrace(name string) *Trace {
+	return &Trace{root: newSpan(name)}
+}
+
+// Span returns the root span (nil on a nil trace).
+func (t *Trace) Span() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish ends the root span.
+func (t *Trace) Finish() {
+	if t != nil {
+		t.root.End()
+	}
+}
+
+// ColTally returns the column-cache tally sink (nil on a nil trace).
+func (t *Trace) ColTally() *CacheTally {
+	if t == nil {
+		return nil
+	}
+	return &t.ColCache
+}
+
+// IdxTally returns the index-cache tally sink (nil on a nil trace).
+func (t *Trace) IdxTally() *CacheTally {
+	if t == nil {
+		return nil
+	}
+	return &t.IdxCache
+}
+
+// Lines renders the executed span tree plus the cache tallies as
+// indented text lines (the body of EXPLAIN ANALYZE).
+func (t *Trace) Lines() []string {
+	if t == nil {
+		return nil
+	}
+	var out []string
+	t.root.appendLines(&out, 0)
+	ch, cm, cb := t.ColCache.Values()
+	ih, im, _ := t.IdxCache.Values()
+	out = append(out, fmt.Sprintf("cache: column hits=%d misses=%d bypasses=%d | index hits=%d misses=%d",
+		ch, cm, cb, ih, im))
+	return out
+}
+
+// CacheTally accumulates cache hit/miss/bypass counts for one query.
+// All methods are nil-receiver-safe.
+type CacheTally struct {
+	hits, misses, bypasses int64
+	mu                     sync.Mutex
+}
+
+// Hit records a cache hit.
+func (c *CacheTally) Hit() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+}
+
+// Miss records a cache miss.
+func (c *CacheTally) Miss() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+}
+
+// Bypass records an admission-control bypass.
+func (c *CacheTally) Bypass() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.bypasses++
+	c.mu.Unlock()
+}
+
+// Values reads the tally.
+func (c *CacheTally) Values() (hits, misses, bypasses int64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.bypasses
+}
+
+// Attr is one span attribute.
+type Attr struct {
+	Key string
+	Val string
+}
+
+// Span is one timed node of a trace. Child creation and attribute
+// writes are safe from concurrent goroutines (the VW scatters
+// per-segment scans across workers).
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+func newSpan(name string) *Span {
+	return &Span{name: name, start: Now()}
+}
+
+// Child starts a new child span (nil-safe: returns nil on nil).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := newSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End stops the span's clock. Idempotent; later Ends keep the first
+// duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+	s.mu.Unlock()
+}
+
+// Set records a string attribute.
+func (s *Span) Set(key, val string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{key, val})
+	s.mu.Unlock()
+}
+
+// SetInt records an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.Set(key, fmt.Sprintf("%d", v))
+}
+
+// SetFloat records a float attribute with compact formatting.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.Set(key, fmt.Sprintf("%.4g", v))
+}
+
+// SetBool records a boolean attribute.
+func (s *Span) SetBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	s.Set(key, fmt.Sprintf("%t", v))
+}
+
+// SetDur records a duration attribute.
+func (s *Span) SetDur(key string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.Set(key, fmtDur(d))
+}
+
+// Name returns the span name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the measured duration (End's clock; zero if the
+// span never ended).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dur
+}
+
+// Children returns a snapshot of the child spans.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Attrs returns a snapshot of the attributes.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
+// Attr returns the value of the named attribute ("" when unset).
+func (s *Span) Attr(key string) string {
+	for _, a := range s.Attrs() {
+		if a.Key == key {
+			return a.Val
+		}
+	}
+	return ""
+}
+
+func (s *Span) appendLines(out *[]string, depth int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	name, dur := s.name, s.dur
+	attrs := append([]Attr(nil), s.attrs...)
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+
+	var b strings.Builder
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(name)
+	b.WriteString("  (")
+	b.WriteString(fmtDur(dur))
+	b.WriteString(")")
+	for _, a := range attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		b.WriteString(a.Val)
+	}
+	*out = append(*out, b.String())
+	for _, c := range children {
+		c.appendLines(out, depth+1)
+	}
+}
+
+// fmtDur renders a duration with sub-millisecond precision but without
+// the noise of full nanosecond strings.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpanTree(t *testing.T) {
+	tr := NewTrace("query")
+	root := tr.Span()
+	if root == nil {
+		t.Fatal("live trace must have a root span")
+	}
+	prune := root.Child("prune")
+	prune.SetInt("kept", 3)
+	prune.End()
+	scan := root.Child("scan")
+	scan.Set("strategy", "pre-filter")
+	seg := scan.Child("segment s1")
+	seg.SetInt("candidates", 10)
+	seg.End()
+	scan.End()
+	tr.ColTally().Hit()
+	tr.ColTally().Miss()
+	tr.IdxTally().Hit()
+	time.Sleep(time.Millisecond)
+	tr.Finish()
+
+	if root.Duration() <= 0 {
+		t.Fatal("finished root span must have positive duration")
+	}
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name() != "prune" || kids[1].Name() != "scan" {
+		t.Fatalf("unexpected children: %v", kids)
+	}
+	if got := kids[0].Attr("kept"); got != "3" {
+		t.Fatalf("prune kept attr = %q, want 3", got)
+	}
+	lines := tr.Lines()
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"query", "  prune", "  scan", "    segment s1", "strategy=pre-filter",
+		"cache: column hits=1 misses=1 bypasses=0 | index hits=1 misses=0"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("trace lines missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	tr := NewTrace("q")
+	sp := tr.Span().Child("scan")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c := sp.Child("seg")
+				c.SetInt("n", int64(j))
+				c.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(sp.Children()); got != 1600 {
+		t.Fatalf("children = %d, want 1600", got)
+	}
+}
+
+// TestNilTraceZeroAlloc certifies the zero-overhead-off guarantee: the
+// full instrumentation surface, driven with a nil trace, allocates
+// nothing.
+func TestNilTraceZeroAlloc(t *testing.T) {
+	var tr *Trace
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Span()
+		c := sp.Child("x")
+		c.Set("k", "v")
+		c.SetInt("n", 1)
+		c.SetFloat("f", 0.5)
+		c.SetBool("b", true)
+		c.SetDur("d", time.Second)
+		c.End()
+		tr.ColTally().Hit()
+		tr.ColTally().Miss()
+		tr.IdxTally().Bypass()
+		tr.Finish()
+		_ = tr.Lines()
+		_, _, _ = tr.ColTally().Values()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-trace instrumentation allocated %v per run, want 0", allocs)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTrace("q")
+	sp := tr.Span()
+	sp.End()
+	d := sp.Duration()
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	if sp.Duration() != d {
+		t.Fatal("second End must not overwrite the duration")
+	}
+}

@@ -157,6 +157,33 @@ func (pl *Planner) decide(lg *Logical, table *lsm.Table) *Physical {
 	return ph
 }
 
+// CostBreakdown re-evaluates all three plan costs (Equations 1-3) for
+// EXPLAIN output. ok is false for scalar-only queries, where the cost
+// model never runs. Call after Plan so the constants are calibrated.
+func (pl *Planner) CostBreakdown(lg *Logical, table *lsm.Table) (s, costA, costB, costC float64, ok bool) {
+	if !lg.IsVectorQuery() {
+		return 0, 0, 0, 0, false
+	}
+	s = Selectivity(table, lg.ScalarPreds)
+	n := table.Rows()
+	opts := table.Options()
+	graph := opts.IndexType == index.HNSW || opts.IndexType == index.HNSWSQ || opts.IndexType == index.DiskANN
+	k := lg.K
+	if k <= 0 {
+		k = 100
+	}
+	ef := lg.Params.Ef
+	if ef < k {
+		ef = k
+	}
+	beta, gamma := VisitFractions(struct {
+		Ef, Nprobe, Nlist, N int
+		Graph                bool
+	}{Ef: ef, Nprobe: lg.Params.Nprobe, Nlist: opts.IndexParams.Nlist, N: n, Graph: graph})
+	in := CostInputs{N: n, S: s, K: k, Beta: beta, Gamma: gamma}
+	return s, CostA(in, pl.costs), CostB(in, pl.costs), CostC(in, pl.costs), true
+}
+
 // isSimple classifies queries eligible for the short-circuit path:
 // one distance ORDER BY, a LIMIT, and at most two plain comparison
 // predicates — the shape of repetitive production hybrid queries.

@@ -49,6 +49,21 @@ type ShowTables struct{}
 
 func (*ShowTables) stmt() {}
 
+// ShowMetrics dumps the process-wide metrics registry.
+type ShowMetrics struct{}
+
+func (*ShowMetrics) stmt() {}
+
+// Explain wraps a SELECT: EXPLAIN prints the optimizer's plan choice
+// with cost estimates; EXPLAIN ANALYZE additionally executes the query
+// and prints the recorded span tree and cache tallies.
+type Explain struct {
+	Analyze bool
+	Query   *Select
+}
+
+func (*Explain) stmt() {}
+
 // Describe shows a table's schema and index definition.
 type Describe struct{ Name string }
 

@@ -1,0 +1,50 @@
+package sql
+
+import "testing"
+
+func TestParseExplain(t *testing.T) {
+	st, err := Parse("EXPLAIN SELECT id FROM images ORDER BY L2Distance(embedding, [1,2]) LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := st.(*Explain)
+	if !ok {
+		t.Fatalf("got %T, want *Explain", st)
+	}
+	if ex.Analyze {
+		t.Fatal("plain EXPLAIN parsed as ANALYZE")
+	}
+	if ex.Query == nil || ex.Query.Table != "images" {
+		t.Fatalf("wrapped select not parsed: %+v", ex.Query)
+	}
+}
+
+func TestParseExplainAnalyze(t *testing.T) {
+	st, err := Parse("explain analyze select * from t where score > 0.5 order by L2Distance(v, [0]) limit 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := st.(*Explain)
+	if !ok {
+		t.Fatalf("got %T, want *Explain", st)
+	}
+	if !ex.Analyze {
+		t.Fatal("ANALYZE flag not set")
+	}
+	if len(ex.Query.Where) != 1 {
+		t.Fatalf("wrapped WHERE lost: %+v", ex.Query.Where)
+	}
+}
+
+func TestParseShowMetrics(t *testing.T) {
+	st, err := Parse("SHOW METRICS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(*ShowMetrics); !ok {
+		t.Fatalf("got %T, want *ShowMetrics", st)
+	}
+	if _, err := Parse("SHOW NOTHING"); err == nil {
+		t.Fatal("SHOW NOTHING should fail")
+	}
+}

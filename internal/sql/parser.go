@@ -95,6 +95,8 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return p.parseDelete()
 	case p.isKw("OPTIMIZE"):
 		return p.parseOptimize()
+	case p.isKw("EXPLAIN"):
+		return p.parseExplain()
 	default:
 		return nil, fmt.Errorf("sql: unexpected statement start %q at %d", p.tok.Text, p.tok.Pos)
 	}
@@ -317,10 +319,34 @@ func (p *Parser) parseShow() (Statement, error) {
 	if err := p.advance(); err != nil {
 		return nil, err
 	}
-	if err := p.expectKw("TABLES"); err != nil {
+	switch {
+	case p.isKw("TABLES"):
+		return &ShowTables{}, p.advance()
+	case p.isKw("METRICS"):
+		return &ShowMetrics{}, p.advance()
+	default:
+		return nil, fmt.Errorf("sql: expected TABLES or METRICS at %d, got %q", p.tok.Pos, p.tok.Text)
+	}
+}
+
+// parseExplain parses EXPLAIN [ANALYZE] <select>.
+func (p *Parser) parseExplain() (Statement, error) {
+	if err := p.advance(); err != nil {
 		return nil, err
 	}
-	return &ShowTables{}, nil
+	ex := &Explain{}
+	if p.isKw("ANALYZE") {
+		ex.Analyze = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	st, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	ex.Query = st.(*Select)
+	return ex, nil
 }
 
 func (p *Parser) parseDescribe() (Statement, error) {
