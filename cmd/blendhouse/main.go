@@ -14,11 +14,14 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -35,6 +38,8 @@ func main() {
 		oneShot   = flag.String("e", "", "execute one statement and exit")
 		script    = flag.String("f", "", "execute statements from a file (semicolon-separated)")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /vars and pprof on this address (e.g. localhost:6060)")
+		timeout   = flag.Duration("timeout", 0, "per-statement timeout (0 = none); also settable at runtime with SET statement_timeout = <ms>")
+		maxPar    = flag.Int("max-parallelism", 0, "per-query segment fan-out (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -52,15 +57,17 @@ func main() {
 		ColumnCache:      &ccCfg,
 		SemanticFraction: 0.5,
 		AutoIndex:        true,
+		MaxParallelism:   *maxPar,
 	})
 	if err != nil {
 		fatal(err)
 	}
 
+	sess := &session{engine: engine, timeout: *timeout}
 	switch {
 	case *oneShot != "":
-		if err := runStatement(engine, *oneShot); err != nil {
-			fatal(err)
+		if err := sess.runStatement(*oneShot); err != nil {
+			fatalStmt(err)
 		}
 	case *script != "":
 		data, err := os.ReadFile(*script)
@@ -69,17 +76,31 @@ func main() {
 		}
 		for _, stmt := range splitStatements(string(data)) {
 			fmt.Printf("> %s\n", firstLine(stmt))
-			if err := runStatement(engine, stmt); err != nil {
-				fatal(err)
+			if err := sess.runStatement(stmt); err != nil {
+				fatalStmt(err)
 			}
 		}
 	default:
-		repl(engine)
+		sess.repl()
 	}
+}
+
+// session holds per-shell execution settings (statement timeout),
+// adjustable at runtime with SET.
+type session struct {
+	engine  *core.Engine
+	timeout time.Duration
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}
+
+// fatalStmt exits with the statement error classified by the engine
+// taxonomy (timeout vs cancel vs unknown table vs plan error).
+func fatalStmt(err error) {
+	fmt.Fprintln(os.Stderr, classifyError(err))
 	os.Exit(1)
 }
 
@@ -107,8 +128,9 @@ func serveDebug(addr string) {
 }
 
 // repl reads semicolon-terminated statements interactively.
-func repl(engine *core.Engine) {
-	fmt.Println("BlendHouse shell — end statements with ';'; also: SHOW TABLES, DESCRIBE t, DELETE FROM t WHERE id IN (...), OPTIMIZE TABLE t; \\q quits")
+func (sess *session) repl() {
+	engine := sess.engine
+	fmt.Println("BlendHouse shell — end statements with ';'; also: SHOW TABLES, DESCRIBE t, SET statement_timeout = <ms>, DELETE FROM t WHERE id IN (...), OPTIMIZE TABLE t; \\q quits")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var buf strings.Builder
@@ -134,8 +156,8 @@ func repl(engine *core.Engine) {
 		buf.WriteString(line)
 		buf.WriteByte('\n')
 		if strings.HasSuffix(trimmed, ";") {
-			if err := runStatement(engine, buf.String()); err != nil {
-				fmt.Println("error:", err)
+			if err := sess.runStatement(buf.String()); err != nil {
+				fmt.Println(classifyError(err))
 			}
 			buf.Reset()
 			fmt.Print("blendhouse> ")
@@ -146,19 +168,76 @@ func repl(engine *core.Engine) {
 }
 
 // runStatement executes one statement and prints the result table.
-func runStatement(engine *core.Engine, stmt string) error {
+// Shell-level settings (SET statement_timeout = <ms>) are intercepted
+// before reaching the engine.
+func (sess *session) runStatement(stmt string) error {
 	stmt = strings.TrimSpace(stmt)
 	if stmt == "" {
 		return nil
 	}
+	if handled, err := sess.handleSet(stmt); handled {
+		return err
+	}
 	start := obs.Now()
-	res, err := engine.Exec(stmt)
+	res, err := sess.engine.Query(context.Background(), stmt, core.QueryOptions{Timeout: sess.timeout})
 	if err != nil {
 		return err
 	}
 	printResult(res)
 	fmt.Printf("%d rows in %.3f ms\n", len(res.Rows), float64(time.Since(start).Microseconds())/1000)
 	return nil
+}
+
+// handleSet intercepts the shell-level SET statement_timeout = <ms>
+// setting (0 disables). Returns handled=false for anything else, which
+// then goes to the engine verbatim.
+func (sess *session) handleSet(stmt string) (bool, error) {
+	s := strings.TrimSuffix(strings.TrimSpace(stmt), ";")
+	fields := strings.Fields(s)
+	if len(fields) == 0 || !strings.EqualFold(fields[0], "SET") {
+		return false, nil
+	}
+	rest := strings.TrimSpace(s[len(fields[0]):])
+	name, value, ok := strings.Cut(rest, "=")
+	if !ok {
+		return true, fmt.Errorf("shell: SET wants <setting> = <value>")
+	}
+	name = strings.ToLower(strings.TrimSpace(name))
+	value = strings.TrimSpace(value)
+	switch name {
+	case "statement_timeout":
+		ms, err := strconv.ParseInt(value, 10, 64)
+		if err != nil || ms < 0 {
+			return true, fmt.Errorf("shell: statement_timeout wants a non-negative integer (milliseconds), got %q", value)
+		}
+		sess.timeout = time.Duration(ms) * time.Millisecond
+		if ms == 0 {
+			fmt.Println("OK: statement timeout disabled")
+		} else {
+			fmt.Printf("OK: statement timeout set to %dms\n", ms)
+		}
+		return true, nil
+	default:
+		return true, fmt.Errorf("shell: unknown setting %q (supported: statement_timeout)", name)
+	}
+}
+
+// classifyError prefixes engine taxonomy errors distinctly so a shell
+// user can tell a timeout from a cancel from a bad statement at a
+// glance.
+func classifyError(err error) string {
+	switch {
+	case errors.Is(err, core.ErrTimeout):
+		return "timeout: " + err.Error()
+	case errors.Is(err, core.ErrCanceled):
+		return "canceled: " + err.Error()
+	case errors.Is(err, core.ErrUnknownTable):
+		return "unknown table: " + err.Error()
+	case errors.Is(err, core.ErrPlan):
+		return "plan error: " + err.Error()
+	default:
+		return "error: " + err.Error()
+	}
 }
 
 func printResult(res *exec.Result) {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -76,7 +77,7 @@ func main() {
 	fmt.Println("VW started with 2 preloaded workers")
 
 	search := func(tag string) {
-		cands, err := vw.Search(tab, tab.Segments(), ds.Queries.Row(0), 5,
+		cands, err := vw.Search(context.Background(), tab, tab.Segments(), ds.Queries.Row(0), 5,
 			cluster.SearchOptions{Params: index.SearchParams{Ef: 64}})
 		if err != nil {
 			log.Fatal(err)

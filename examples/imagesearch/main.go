@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -77,7 +78,7 @@ func main() {
 		WHERE label = 'animal' AND published_time >= %d
 		ORDER BY L2Distance(embedding, %s) AS dist
 		LIMIT 10 SETTINGS ef_search=96`, tsLo, vecLit(q))
-	res, err := engine.Exec(sqlText)
+	res, err := engine.Exec(context.Background(), sqlText)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func main() {
 }
 
 func mustExec(e *core.Engine, sqlText string) {
-	if _, err := e.Exec(sqlText); err != nil {
+	if _, err := e.Exec(context.Background(), sqlText); err != nil {
 		log.Fatalf("%v\nstatement: %.80s", err, sqlText)
 	}
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -66,13 +67,13 @@ func main() {
 }
 
 func mustExec(e *core.Engine, sqlText string) {
-	if _, err := e.Exec(sqlText); err != nil {
+	if _, err := e.Exec(context.Background(), sqlText); err != nil {
 		log.Fatalf("%v\nstatement: %.80s", err, sqlText)
 	}
 }
 
 func show(e *core.Engine, sqlText string) {
-	res, err := e.Exec(sqlText)
+	res, err := e.Exec(context.Background(), sqlText)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -98,7 +99,7 @@ func main() {
 }
 
 func topChunk(e *core.Engine, q []float32) int64 {
-	res, err := e.Exec(fmt.Sprintf(
+	res, err := e.Exec(context.Background(), fmt.Sprintf(
 		`SELECT chunk_id FROM chunks ORDER BY L2Distance(embedding, %s) LIMIT 1`, vecLit(q)))
 	if err != nil {
 		log.Fatal(err)
@@ -107,13 +108,13 @@ func topChunk(e *core.Engine, q []float32) int64 {
 }
 
 func mustExec(e *core.Engine, sqlText string) {
-	if _, err := e.Exec(sqlText); err != nil {
+	if _, err := e.Exec(context.Background(), sqlText); err != nil {
 		log.Fatalf("%v\nstatement: %.80s", err, sqlText)
 	}
 }
 
 func show(e *core.Engine, sqlText string) {
-	res, err := e.Exec(sqlText)
+	res, err := e.Exec(context.Background(), sqlText)
 	if err != nil {
 		log.Fatal(err)
 	}

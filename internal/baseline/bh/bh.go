@@ -7,6 +7,7 @@
 package bh
 
 import (
+	"context"
 	"fmt"
 
 	"blendhouse/internal/baseline"
@@ -161,7 +162,7 @@ func (s *Store) Search(q []float32, k int, attrLo, attrHi int64, p index.SearchP
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.ex.Run(ph)
+	res, err := s.ex.Run(context.Background(), ph)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -98,7 +99,7 @@ func runFig11(cfg Config) (*Report, error) {
 	params := index.SearchParams{Ef: 64}
 	measure := func(opts cluster.SearchOptions) (time.Duration, error) {
 		t, err := MeasureSerial(cfg.Queries, func(qi int) error {
-			_, err := vw.Search(tab, metas, ds.Queries.Row(qi%ds.Queries.Rows()), 10, opts)
+			_, err := vw.Search(context.Background(), tab, metas, ds.Queries.Row(qi%ds.Queries.Rows()), 10, opts)
 			return err
 		})
 		return t.Mean, err

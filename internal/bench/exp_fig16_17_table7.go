@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -132,7 +133,7 @@ func runFig16(cfg Config) (*Report, error) {
 		planner := plan.NewPlanner(plan.PlannerConfig{})
 		// Warm index loads before measuring.
 		if ph, err := planner.Plan(laionQuery(ds, 0, 0.3, false), tab); err == nil {
-			if _, err := ex.Run(ph); err != nil {
+			if _, err := ex.Run(context.Background(), ph); err != nil {
 				return nil, err
 			}
 		}
@@ -142,7 +143,7 @@ func runFig16(cfg Config) (*Report, error) {
 			if err != nil {
 				return err
 			}
-			_, err = ex.Run(ph)
+			_, err = ex.Run(context.Background(), ph)
 			return err
 		})
 		if err != nil {
@@ -197,7 +198,7 @@ func runFig17(cfg Config) (*Report, error) {
 		}
 		// Warm one query (calibration etc.) before measuring.
 		if ph, err := planner.Plan(mkSel(0), tab); err == nil {
-			if _, err := ex.Run(ph); err != nil {
+			if _, err := ex.Run(context.Background(), ph); err != nil {
 				return nil, err
 			}
 		}
@@ -206,7 +207,7 @@ func runFig17(cfg Config) (*Report, error) {
 			if err != nil {
 				return err
 			}
-			_, err = ex.Run(ph)
+			_, err = ex.Run(context.Background(), ph)
 			return err
 		})
 		if err != nil {
@@ -271,7 +272,7 @@ func runTable7(cfg Config) (*Report, error) {
 		}
 		// Warm index and column caches before measuring.
 		if ph, err := planner.Plan(mkSel(0), tab); err == nil {
-			if _, err := ex.Run(ph); err != nil {
+			if _, err := ex.Run(context.Background(), ph); err != nil {
 				return nil, err
 			}
 		}
@@ -281,7 +282,7 @@ func runTable7(cfg Config) (*Report, error) {
 			if err != nil {
 				return err
 			}
-			res, err := ex.Run(ph)
+			res, err := ex.Run(context.Background(), ph)
 			if err != nil {
 				return err
 			}

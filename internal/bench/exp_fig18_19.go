@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -47,7 +48,7 @@ func runFig18(cfg Config) (*Report, error) {
 	// adding workers is what raises it.
 	const clientConcurrency = 16
 	runQuery := func(qi int) error {
-		cands, err := vw.Search(tab, metas, ds.Queries.Row(qi%ds.Queries.Rows()), 10, cluster.SearchOptions{Params: params})
+		cands, err := vw.Search(context.Background(), tab, metas, ds.Queries.Row(qi%ds.Queries.Rows()), 10, cluster.SearchOptions{Params: params})
 		if err != nil {
 			return err
 		}

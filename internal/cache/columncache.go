@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -58,25 +59,26 @@ func blockKey(table, seg, col string, block int) string {
 // reader is the underlying segment reader; queryRows is the total
 // number of rows the query is fetching, used for admission control.
 func (c *ColumnCache) ReadRows(reader *storage.SegmentReader, col string, rows []int, queryRows int) (*storage.ColumnData, error) {
-	return c.ReadRowsTally(reader, col, rows, queryRows, nil)
+	return c.ReadRowsTally(nil, reader, col, rows, queryRows, nil)
 }
 
-// ReadRowsTally is ReadRows with an optional per-query trace tally
+// ReadRowsTally is ReadRows with a context bounding the underlying
+// blob reads (nil = unbounded) and an optional per-query trace tally
 // (nil = untraced) recording hit/miss per block and admission-control
 // bypasses.
-func (c *ColumnCache) ReadRowsTally(reader *storage.SegmentReader, col string, rows []int, queryRows int, tally *obs.CacheTally) (*storage.ColumnData, error) {
+func (c *ColumnCache) ReadRowsTally(ctx context.Context, reader *storage.SegmentReader, col string, rows []int, queryRows int, tally *obs.CacheTally) (*storage.ColumnData, error) {
 	if c.cfg.RowLimit > 0 && queryRows > c.cfg.RowLimit {
 		// Too big: bypass so we don't thrash the hot set.
 		c.bypasses.Add(1)
 		tally.Bypass()
-		return reader.ReadRows(col, rows)
+		return reader.ReadRowsCtx(ctx, col, rows)
 	}
-	return c.readRowsCached(reader, col, rows, tally)
+	return c.readRowsCached(ctx, reader, col, rows, tally)
 }
 
 // readRowsCached fetches per-granule column pieces from the data
 // space, loading misses block by block.
-func (c *ColumnCache) readRowsCached(reader *storage.SegmentReader, col string, rows []int, tally *obs.CacheTally) (*storage.ColumnData, error) {
+func (c *ColumnCache) readRowsCached(ctx context.Context, reader *storage.SegmentReader, col string, rows []int, tally *obs.CacheTally) (*storage.ColumnData, error) {
 	ci, def := reader.Schema.Col(col)
 	if ci < 0 {
 		return nil, fmt.Errorf("cache: column %q not in schema", col)
@@ -126,7 +128,7 @@ func (c *ColumnCache) readRowsCached(reader *storage.SegmentReader, col string, 
 			} else {
 				tally.Miss()
 				var err error
-				blk, err = reader.ReadRows(col, blockRowsRange(starts[bi], cm.Blocks[bi].Rows))
+				blk, err = reader.ReadRowsCtx(ctx, col, blockRowsRange(starts[bi], cm.Blocks[bi].Rows))
 				if err != nil {
 					return nil, err
 				}
@@ -151,18 +153,19 @@ func blockRowsRange(start, n int) []int {
 // scan path of the pre-filter strategy reads entire predicate columns,
 // and caching their decoded form is part of §IV-C's adaptive caching.
 func (c *ColumnCache) ReadColumn(reader *storage.SegmentReader, col string) (*storage.ColumnData, error) {
-	return c.ReadColumnTally(reader, col, nil)
+	return c.ReadColumnTally(nil, reader, col, nil)
 }
 
-// ReadColumnTally is ReadColumn with an optional per-query trace tally.
-func (c *ColumnCache) ReadColumnTally(reader *storage.SegmentReader, col string, tally *obs.CacheTally) (*storage.ColumnData, error) {
+// ReadColumnTally is ReadColumn with a context bounding the blob read
+// and an optional per-query trace tally.
+func (c *ColumnCache) ReadColumnTally(ctx context.Context, reader *storage.SegmentReader, col string, tally *obs.CacheTally) (*storage.ColumnData, error) {
 	key := reader.Meta.Table + "/" + reader.Meta.Name + "/" + col + "/#all"
 	if v, ok := c.data.Get(key); ok {
 		tally.Hit()
 		return v.(*storage.ColumnData), nil
 	}
 	tally.Miss()
-	cd, err := reader.ReadColumn(col)
+	cd, err := reader.ReadColumnCtx(ctx, col)
 	if err != nil {
 		return nil, err
 	}

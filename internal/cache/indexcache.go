@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -93,13 +94,14 @@ func (c *IndexCache) ContainsMem(key string) bool {
 // tiers as needed: memory → local disk → remote. The loader runs at
 // most once per miss; its reported size drives memory accounting.
 func (c *IndexCache) Get(key string, loader IndexLoader) (any, error) {
-	return c.GetTally(key, loader, nil)
+	return c.GetTally(nil, key, loader, nil)
 }
 
-// GetTally is Get with an optional per-query trace tally (nil =
+// GetTally is Get with a context bounding the remote blob fetch on a
+// miss (nil = unbounded) and an optional per-query trace tally (nil =
 // untraced): a memory-tier hit tallies Hit, anything that had to load
 // from disk or remote tallies Miss.
-func (c *IndexCache) GetTally(key string, loader IndexLoader, tally *obs.CacheTally) (any, error) {
+func (c *IndexCache) GetTally(ctx context.Context, key string, loader IndexLoader, tally *obs.CacheTally) (any, error) {
 	if v, ok := c.mem.Get(key); ok {
 		c.memHits.Add(1)
 		tally.Hit()
@@ -114,7 +116,7 @@ func (c *IndexCache) GetTally(key string, loader IndexLoader, tally *obs.CacheTa
 		return v, nil
 	}
 	tally.Miss()
-	blob, fromDisk, err := c.fetchBlob(key)
+	blob, fromDisk, err := c.fetchBlob(ctx, key)
 	if err != nil {
 		c.failures.Add(1)
 		return nil, err
@@ -135,7 +137,7 @@ func (c *IndexCache) GetTally(key string, loader IndexLoader, tally *obs.CacheTa
 
 // fetchBlob reads the raw index blob, preferring local disk, and
 // populates the disk tier on a remote read.
-func (c *IndexCache) fetchBlob(key string) (blob []byte, fromDisk bool, err error) {
+func (c *IndexCache) fetchBlob(ctx context.Context, key string) (blob []byte, fromDisk bool, err error) {
 	if c.disk != nil {
 		if blob, err := c.disk.Get(key); err == nil {
 			return blob, true, nil
@@ -143,7 +145,7 @@ func (c *IndexCache) fetchBlob(key string) (blob []byte, fromDisk bool, err erro
 			return nil, false, err
 		}
 	}
-	blob, err = c.remote.Get(key)
+	blob, err = storage.GetCtx(ctx, c.remote, key)
 	if err != nil {
 		return nil, false, err
 	}

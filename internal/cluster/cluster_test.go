@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -79,7 +80,7 @@ func TestDistributedSearchMatchesOracle(t *testing.T) {
 	truth := ds.GroundTruth(tab.Options().IndexParams.Metric, 10, nil)
 	got := make([][]int64, ds.Queries.Rows())
 	for qi := 0; qi < ds.Queries.Rows(); qi++ {
-		cands, err := vw.Search(tab, tab.Segments(), ds.Queries.Row(qi), 10, SearchOptions{
+		cands, err := vw.Search(context.Background(), tab, tab.Segments(), ds.Queries.Row(qi), 10, SearchOptions{
 			Params: index.SearchParams{Ef: 64},
 		})
 		if err != nil {
@@ -134,7 +135,7 @@ func TestWorkerFailureRetriesOnReplica(t *testing.T) {
 	// Kill one worker; queries must still succeed (stateless workers,
 	// query-level retry of paper §II-E).
 	vw.Worker("w1").Fail()
-	cands, err := vw.Search(tab, tab.Segments(), ds.Queries.Row(0), 10, SearchOptions{
+	cands, err := vw.Search(context.Background(), tab, tab.Segments(), ds.Queries.Row(0), 10, SearchOptions{
 		Params: index.SearchParams{Ef: 64},
 	})
 	if err != nil {
@@ -145,7 +146,7 @@ func TestWorkerFailureRetriesOnReplica(t *testing.T) {
 	}
 	// Recover and confirm it serves again.
 	vw.Worker("w1").Recover()
-	if _, err := vw.Search(tab, tab.Segments(), ds.Queries.Row(1), 5, SearchOptions{Params: index.SearchParams{Ef: 32}}); err != nil {
+	if _, err := vw.Search(context.Background(), tab, tab.Segments(), ds.Queries.Row(1), 5, SearchOptions{Params: index.SearchParams{Ef: 32}}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -154,7 +155,7 @@ func TestAllWorkersDead(t *testing.T) {
 	vw, tab, ds := fixture(t, 2, false)
 	vw.Worker("w0").Fail()
 	vw.Worker("w1").Fail()
-	if _, err := vw.Search(tab, tab.Segments(), ds.Queries.Row(0), 5, SearchOptions{}); err == nil {
+	if _, err := vw.Search(context.Background(), tab, tab.Segments(), ds.Queries.Row(0), 5, SearchOptions{}); err == nil {
 		t.Fatal("search with no live workers should fail")
 	}
 }
@@ -195,7 +196,7 @@ func TestVectorSearchServingOnScaleUp(t *testing.T) {
 	}
 	// Some segments now map to w2, whose cache is cold; serving must
 	// proxy those scans to the previous owners.
-	cands, err := vw.Search(tab, tab.Segments(), ds.Queries.Row(0), 10, SearchOptions{
+	cands, err := vw.Search(context.Background(), tab, tab.Segments(), ds.Queries.Row(0), 10, SearchOptions{
 		Params: index.SearchParams{Ef: 64},
 	})
 	if err != nil {
@@ -233,7 +234,7 @@ func TestServingDisabledLoadsLocally(t *testing.T) {
 	vw.Preload(tab)
 	vw.AddWorker("w2")
 	before := vw.Worker("w2").CacheStats().RemoteLoads
-	_, err := vw.Search(tab, tab.Segments(), ds.Queries.Row(0), 10, SearchOptions{
+	_, err := vw.Search(context.Background(), tab, tab.Segments(), ds.Queries.Row(0), 10, SearchOptions{
 		Params:         index.SearchParams{Ef: 64},
 		DisableServing: true,
 	})
@@ -261,7 +262,7 @@ func TestTCPServingRoundTrip(t *testing.T) {
 	if _, err := vw.AddWorker("w2"); err != nil {
 		t.Fatal(err)
 	}
-	cands, err := vw.Search(tab, tab.Segments(), ds.Queries.Row(2), 10, SearchOptions{
+	cands, err := vw.Search(context.Background(), tab, tab.Segments(), ds.Queries.Row(2), 10, SearchOptions{
 		Params: index.SearchParams{Ef: 64},
 	})
 	if err != nil {
@@ -276,11 +277,11 @@ func TestBruteForceMatchesIndexOnEasyQuery(t *testing.T) {
 	vw, tab, ds := fixture(t, 1, false)
 	m := tab.Segments()[0]
 	w := vw.Worker("w0")
-	bf, err := w.BruteForceSearch(tab, m, ds.Queries.Row(0), 5, nil)
+	bf, err := w.BruteForceSearch(context.Background(), tab, m, ds.Queries.Row(0), 5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ix, err := w.SearchSegment(tab, m, ds.Queries.Row(0), 5, index.SearchParams{Ef: 64}, nil)
+	ix, err := w.SearchSegment(context.Background(), tab, m, ds.Queries.Row(0), 5, index.SearchParams{Ef: 64}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +306,7 @@ func TestSearchWithFilters(t *testing.T) {
 		}
 		filters[m.Name] = f
 	}
-	cands, err := vw.Search(tab, tab.Segments(), ds.Queries.Row(0), 10, SearchOptions{
+	cands, err := vw.Search(context.Background(), tab, tab.Segments(), ds.Queries.Row(0), 10, SearchOptions{
 		Params:  index.SearchParams{Ef: 64},
 		Filters: filters,
 	})
@@ -443,8 +444,12 @@ func TestWorkerSlotsLimitConcurrency(t *testing.T) {
 	done := make(chan struct{}, 2)
 	for i := 0; i < 2; i++ {
 		go func() {
-			release := w.acquire()
-			release()
+			release, err := w.acquire(nil)
+			if err != nil {
+				t.Error(err)
+			} else {
+				release()
+			}
 			done <- struct{}{}
 		}()
 	}
@@ -494,13 +499,13 @@ func TestMirroredVWFailover(t *testing.T) {
 	}
 	opts := SearchOptions{Params: index.SearchParams{Ef: 64}}
 	// Healthy primary: served by A.
-	if _, err := m.Search(tab, tab.Segments(), ds.Queries.Row(0), 10, opts); err != nil {
+	if _, err := m.Search(context.Background(), tab, tab.Segments(), ds.Queries.Row(0), 10, opts); err != nil {
 		t.Fatal(err)
 	}
 	// Kill every worker in A: queries fail over to B.
 	vwA.Worker("w0").Fail()
 	vwA.Worker("w1").Fail()
-	res, err := m.Search(tab, tab.Segments(), ds.Queries.Row(1), 10, opts)
+	res, err := m.Search(context.Background(), tab, tab.Segments(), ds.Queries.Row(1), 10, opts)
 	if err != nil {
 		t.Fatalf("failover search: %v", err)
 	}
@@ -510,7 +515,7 @@ func TestMirroredVWFailover(t *testing.T) {
 	// Kill B too: total failure surfaces an error naming both replicas.
 	vwB.Worker("r0").Fail()
 	vwB.Worker("r1").Fail()
-	if _, err := m.Search(tab, tab.Segments(), ds.Queries.Row(2), 10, opts); err == nil {
+	if _, err := m.Search(context.Background(), tab, tab.Segments(), ds.Queries.Row(2), 10, opts); err == nil {
 		t.Fatal("all-replica failure should error")
 	}
 	if _, err := NewMirroredVW(); err == nil {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 
 	"blendhouse/internal/lsm"
@@ -49,16 +50,21 @@ func (m *MirroredVW) Preload(t *lsm.Table) []error {
 
 // Search tries each replica in order, returning the first success.
 // Only genuine execution failures fall through; an empty result is a
-// valid answer and is returned as-is.
-func (m *MirroredVW) Search(table *lsm.Table, metas []*storage.SegmentMeta, q []float32, k int, opts SearchOptions) ([]SegmentCandidate, error) {
+// valid answer and is returned as-is. A cancelled or timed-out ctx
+// stops the fail-over chain — later replicas would just re-observe
+// the same dead context.
+func (m *MirroredVW) Search(ctx context.Context, table *lsm.Table, metas []*storage.SegmentMeta, q []float32, k int, opts SearchOptions) ([]SegmentCandidate, error) {
 	var firstErr error
 	for _, vw := range m.replicas {
-		res, err := vw.Search(table, metas, q, k, opts)
+		res, err := vw.Search(ctx, table, metas, q, k, opts)
 		if err == nil {
 			return res, nil
 		}
 		if firstErr == nil {
 			firstErr = err
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return nil, ctx.Err()
 		}
 	}
 	return nil, fmt.Errorf("cluster: all %d VW replicas failed: %w", len(m.replicas), firstErr)

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/rpc"
@@ -78,20 +79,22 @@ func (vw *VW) servingConfig() ServingConfig {
 }
 
 // serve executes the ANN scan for (table, meta) on the previous owner
-// pw on behalf of the requesting worker.
-func (vw *VW) serve(pw *Worker, table *lsm.Table, meta *storage.SegmentMeta, q []float32, k int, p index.SearchParams, filter *bitset.Bitset) ([]index.Candidate, error) {
+// pw on behalf of the requesting worker. ctx bounds the simulated
+// round trip (in-process transport) or the in-flight RPC wait (TCP
+// transport).
+func (vw *VW) serve(ctx context.Context, pw *Worker, table *lsm.Table, meta *storage.SegmentMeta, q []float32, k int, p index.SearchParams, filter *bitset.Bitset) ([]index.Candidate, error) {
 	cfg := vw.servingConfig()
 	mServingHops.Inc()
 	switch cfg.Transport {
 	case TransportTCP:
-		return vw.serveTCP(pw, table, meta, q, k, p, filter)
+		return vw.serveTCP(ctx, pw, table, meta, q, k, p, filter)
 	default:
-		if cfg.SimulatedRTT > 0 {
-			time.Sleep(cfg.SimulatedRTT)
+		if err := sleepCtx(ctx, cfg.SimulatedRTT); err != nil {
+			return nil, err
 		}
 		pw.ServedSearches.Add(1)
 		mServedSearches.Inc()
-		return pw.SearchSegment(table, meta, q, k, p, filter)
+		return pw.SearchSegment(ctx, table, meta, q, k, p, filter)
 	}
 }
 
@@ -146,7 +149,9 @@ func (s *SearchService) Search(args *SearchArgs, reply *SearchReply) error {
 	}
 	s.w.ServedSearches.Add(1)
 	mServedSearches.Inc()
-	res, err := s.w.SearchSegment(table, meta, args.Query, args.K,
+	// net/rpc carries no context across the wire; the server side runs
+	// unbounded and the caller abandons the wait on cancellation.
+	res, err := s.w.SearchSegment(nil, table, meta, args.Query, args.K,
 		index.SearchParams{Ef: args.Ef, Nprobe: args.Nprobe, RefineFactor: args.Refine}, filter)
 	if err != nil {
 		return err
@@ -213,8 +218,11 @@ func (w *Worker) StopRPC() {
 	}
 }
 
-// serveTCP issues the RPC to the previous owner's listener.
-func (vw *VW) serveTCP(pw *Worker, table *lsm.Table, meta *storage.SegmentMeta, q []float32, k int, p index.SearchParams, filter *bitset.Bitset) ([]index.Candidate, error) {
+// serveTCP issues the RPC to the previous owner's listener. The wait
+// on the in-flight call is abandoned when ctx fires (the server keeps
+// computing — net/rpc has no cross-wire cancellation — but the query
+// returns promptly).
+func (vw *VW) serveTCP(ctx context.Context, pw *Worker, table *lsm.Table, meta *storage.SegmentMeta, q []float32, k int, p index.SearchParams, filter *bitset.Bitset) ([]index.Candidate, error) {
 	vw.mu.RLock()
 	ep := vw.endpoints[pw.ID]
 	vw.mu.RUnlock()
@@ -246,8 +254,18 @@ func (vw *VW) serveTCP(pw *Worker, table *lsm.Table, meta *storage.SegmentMeta, 
 		args.Filter = fb
 	}
 	var reply SearchReply
-	if err := client.Call("Worker.Search", args, &reply); err != nil {
-		return nil, fmt.Errorf("cluster: rpc search via %s: %w", pw.ID, err)
+	call := client.Go("Worker.Search", args, &reply, make(chan *rpc.Call, 1))
+	if ctx != nil {
+		select {
+		case <-call.Done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	} else {
+		<-call.Done
+	}
+	if call.Error != nil {
+		return nil, fmt.Errorf("cluster: rpc search via %s: %w", pw.ID, call.Error)
 	}
 	out := make([]index.Candidate, len(reply.IDs))
 	for i := range reply.IDs {

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -234,7 +236,16 @@ type SearchOptions struct {
 // Search runs a distributed top-k over the given segments: schedule,
 // per-segment ANN scan (local, served, or brute-force), global merge.
 // Failed workers are retried on replicas (query-level retry, §II-E).
-func (vw *VW) Search(table *lsm.Table, metas []*storage.SegmentMeta, q []float32, k int, opts SearchOptions) ([]SegmentCandidate, error) {
+// ctx bounds every leg of the fan-out — slot waits, simulated service
+// times, index loads and serving RPC waits; cancelling it stops
+// pending per-segment scans before they start.
+func (vw *VW) Search(ctx context.Context, table *lsm.Table, metas []*storage.SegmentMeta, q []float32, k int, opts SearchOptions) ([]SegmentCandidate, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	assign := vw.ScheduleSegments(table, metas)
 	assigned := 0
 	for _, segs := range assign {
@@ -244,6 +255,10 @@ func (vw *VW) Search(table *lsm.Table, metas []*storage.SegmentMeta, q []float32
 		return nil, fmt.Errorf("cluster: %d of %d segments unassignable (no live workers in VW %s)",
 			len(metas)-assigned, len(metas), vw.cfg.Name)
 	}
+	// Per-query cancel: the first failing worker goroutine stops the
+	// rest of the fan-out instead of letting it run to completion.
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	type result struct {
 		cands []SegmentCandidate
 		err   error
@@ -256,7 +271,11 @@ func (vw *VW) Search(table *lsm.Table, metas []*storage.SegmentMeta, q []float32
 		go func() {
 			var all []SegmentCandidate
 			for _, m := range segs {
-				cands, err := vw.searchOneWithRetry(table, m, workerID, q, k, opts)
+				if err := gctx.Err(); err != nil {
+					ch <- result{nil, err}
+					return
+				}
+				cands, err := vw.searchOneWithRetry(gctx, table, m, workerID, q, k, opts)
 				if err != nil {
 					ch <- result{nil, err}
 					return
@@ -272,12 +291,20 @@ func (vw *VW) Search(table *lsm.Table, metas []*storage.SegmentMeta, q []float32
 	var firstErr error
 	for i := 0; i < jobs; i++ {
 		r := <-ch
-		if r.err != nil && firstErr == nil {
-			firstErr = r.err
+		if r.err != nil {
+			// Prefer a root-cause error over cancellations induced by
+			// our own cancel() below.
+			if firstErr == nil || (isCtxErr(firstErr) && ctx.Err() == nil && !isCtxErr(r.err)) {
+				firstErr = r.err
+			}
+			cancel()
 		}
 		merged = append(merged, r.cands...)
 	}
 	if firstErr != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return nil, firstErr
 	}
 	sortSegmentCandidates(merged)
@@ -292,6 +319,11 @@ type SegmentCandidate struct {
 	Segment string
 	Offset  int64
 	Dist    float32
+}
+
+// isCtxErr reports whether err is a context cancellation/deadline.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 func sortSegmentCandidates(cs []SegmentCandidate) {
@@ -309,7 +341,7 @@ func sortSegmentCandidates(cs []SegmentCandidate) {
 // searchOneWithRetry searches one segment on the designated worker,
 // applying the serving path on cache miss and retrying on a replica
 // if the worker dies mid-query.
-func (vw *VW) searchOneWithRetry(table *lsm.Table, m *storage.SegmentMeta, workerID string, q []float32, k int, opts SearchOptions) ([]index.Candidate, error) {
+func (vw *VW) searchOneWithRetry(ctx context.Context, table *lsm.Table, m *storage.SegmentMeta, workerID string, q []float32, k int, opts SearchOptions) ([]index.Candidate, error) {
 	filter := opts.Filters[m.Name]
 	sp := opts.Span.Child("segment " + m.Name)
 	defer sp.End()
@@ -321,7 +353,7 @@ func (vw *VW) searchOneWithRetry(table *lsm.Table, m *storage.SegmentMeta, worke
 		}
 		if opts.ForceBruteForce {
 			sp.Set("scan", "brute-force")
-			return w.BruteForceSearch(table, m, q, k, filter)
+			return w.BruteForceSearch(ctx, table, m, q, k, filter)
 		}
 		// Vector search serving: if this worker lacks the index in
 		// memory, proxy to the previous owner that still has it warm.
@@ -333,7 +365,7 @@ func (vw *VW) searchOneWithRetry(table *lsm.Table, m *storage.SegmentMeta, worke
 					opts.IdxTally.Miss()
 					sp.Set("served_by", prev)
 					rpcStart := obs.Now()
-					res, err := vw.serve(pw, table, m, q, k, opts.Params, filter)
+					res, err := vw.serve(ctx, pw, table, m, q, k, opts.Params, filter)
 					rtt := time.Since(rpcStart)
 					mServingRTT.Observe(rtt)
 					sp.SetDur("rpc_rtt", rtt)
@@ -341,17 +373,24 @@ func (vw *VW) searchOneWithRetry(table *lsm.Table, m *storage.SegmentMeta, worke
 				}
 			}
 		}
-		return w.searchSegment(table, m, q, k, opts.Params, filter, opts.IdxTally)
+		return w.searchSegment(ctx, table, m, q, k, opts.Params, filter, opts.IdxTally)
 	}
 	res, err := tryWorker(workerID)
 	if err == nil {
 		// Post-processing (fetch/filter/merge) runs on the assigned
 		// worker regardless of where the ANN scan executed.
 		if w := vw.Worker(workerID); w != nil {
-			w.chargePost()
+			if perr := w.chargePost(ctx); perr != nil {
+				return nil, perr
+			}
 		}
 		sp.SetInt("candidates", int64(len(res)))
 		return res, nil
+	}
+	// A cancelled/timed-out query must not fail over: the replicas
+	// would just re-observe the same dead context.
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
 	}
 	// Query-level retry on replicas (paper §II-E).
 	for _, id := range vw.replicasFor(table, m.Name) {
@@ -362,6 +401,9 @@ func (vw *VW) searchOneWithRetry(table *lsm.Table, m *storage.SegmentMeta, worke
 			sp.Set("retried_on", id)
 			sp.SetInt("candidates", int64(len(res)))
 			return res, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
 		}
 	}
 	return nil, err

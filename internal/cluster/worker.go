@@ -8,6 +8,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -64,24 +65,69 @@ func newWorker(id string, vw *VW, cfg cache.Config, slots int) *Worker {
 	return w
 }
 
-// acquire blocks until the worker has a free compute slot and charges
-// the simulated per-scan service time, if configured.
-func (w *Worker) acquire() func() {
-	w.slots <- struct{}{}
-	if c := w.vw.cfg.SimulatedScanCost; c > 0 {
-		time.Sleep(c)
+// sleepCtx sleeps for d unless ctx fires first (nil ctx = plain
+// sleep). All simulated service times go through here so a cancelled
+// query releases worker capacity promptly.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
 	}
-	return func() { <-w.slots }
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// acquire blocks until the worker has a free compute slot (or ctx
+// fires) and charges the simulated per-scan service time, if
+// configured.
+func (w *Worker) acquire(ctx context.Context) (func(), error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		select {
+		case w.slots <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	} else {
+		w.slots <- struct{}{}
+	}
+	if err := sleepCtx(ctx, w.vw.cfg.SimulatedScanCost); err != nil {
+		<-w.slots
+		return nil, err
+	}
+	return func() { <-w.slots }, nil
 }
 
 // chargePost charges the simulated per-segment post-processing time
 // on this worker's capacity (see VWConfig.SimulatedPostCost).
-func (w *Worker) chargePost() {
-	if c := w.vw.cfg.SimulatedPostCost; c > 0 {
-		w.slots <- struct{}{}
-		time.Sleep(c)
-		<-w.slots
+func (w *Worker) chargePost(ctx context.Context) error {
+	c := w.vw.cfg.SimulatedPostCost
+	if c <= 0 {
+		return nil
 	}
+	if ctx != nil {
+		select {
+		case w.slots <- struct{}{}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	} else {
+		w.slots <- struct{}{}
+	}
+	err := sleepCtx(ctx, c)
+	<-w.slots
+	return err
 }
 
 // Alive reports whether the worker is serving.
@@ -129,25 +175,30 @@ func (w *Worker) HasIndexInMem(table *lsm.Table, seg string) bool {
 // loading the index through the hierarchical cache as needed. filter
 // is offset-indexed over the segment's rows; deleted rows must
 // already be cleared in it (or pass nil and handle deletes upstream).
-func (w *Worker) SearchSegment(table *lsm.Table, meta *storage.SegmentMeta, q []float32, k int, p index.SearchParams, filter *bitset.Bitset) ([]index.Candidate, error) {
-	return w.searchSegment(table, meta, q, k, p, filter, nil)
+// ctx bounds the slot wait, the simulated service time and the index
+// load (nil = unbounded).
+func (w *Worker) SearchSegment(ctx context.Context, table *lsm.Table, meta *storage.SegmentMeta, q []float32, k int, p index.SearchParams, filter *bitset.Bitset) ([]index.Candidate, error) {
+	return w.searchSegment(ctx, table, meta, q, k, p, filter, nil)
 }
 
 // searchSegment is SearchSegment with an optional index-cache trace
 // tally (nil = untraced).
-func (w *Worker) searchSegment(table *lsm.Table, meta *storage.SegmentMeta, q []float32, k int, p index.SearchParams, filter *bitset.Bitset, tally *obs.CacheTally) ([]index.Candidate, error) {
+func (w *Worker) searchSegment(ctx context.Context, table *lsm.Table, meta *storage.SegmentMeta, q []float32, k int, p index.SearchParams, filter *bitset.Bitset, tally *obs.CacheTally) ([]index.Candidate, error) {
 	if !w.Alive() {
 		return nil, fmt.Errorf("cluster: worker %s is down", w.ID)
 	}
-	release := w.acquire()
+	release, err := w.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
 	key := table.IndexKeyOf(meta.Name)
-	v, err := w.cache.GetTally(key, table.IndexLoaderFor(meta), tally)
+	v, err := w.cache.GetTally(ctx, key, table.IndexLoaderFor(meta), tally)
 	if err != nil {
 		release() // BruteForceSearch acquires its own slot
 		if storage.IsNotFound(err) {
 			// Segment has no index (e.g. table without INDEX clause):
 			// brute-force fallback.
-			return w.BruteForceSearch(table, meta, q, k, filter)
+			return w.BruteForceSearch(ctx, table, meta, q, k, filter)
 		}
 		return nil, err
 	}
@@ -161,11 +212,14 @@ func (w *Worker) searchSegment(table *lsm.Table, meta *storage.SegmentMeta, q []
 // BruteForceSearch is the fallback of paper §II-D: read the vector
 // column from (remote) storage and compute exact distances. This is
 // what vector search serving exists to avoid.
-func (w *Worker) BruteForceSearch(table *lsm.Table, meta *storage.SegmentMeta, q []float32, k int, filter *bitset.Bitset) ([]index.Candidate, error) {
+func (w *Worker) BruteForceSearch(ctx context.Context, table *lsm.Table, meta *storage.SegmentMeta, q []float32, k int, filter *bitset.Bitset) ([]index.Candidate, error) {
 	if !w.Alive() {
 		return nil, fmt.Errorf("cluster: worker %s is down", w.ID)
 	}
-	release := w.acquire()
+	release, err := w.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
 	defer release()
 	w.BruteSearches.Add(1)
 	mBruteSearches.Inc()
@@ -174,7 +228,7 @@ func (w *Worker) BruteForceSearch(table *lsm.Table, meta *storage.SegmentMeta, q
 	if vcolName == "" {
 		vcolName = table.Schema().VectorColumn().Name
 	}
-	col, err := rd.ReadColumn(vcolName)
+	col, err := rd.ReadColumnCtx(ctx, vcolName)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: brute-force read of %s: %w", meta.Name, err)
 	}
@@ -190,14 +244,17 @@ func (w *Worker) BruteForceSearch(table *lsm.Table, meta *storage.SegmentMeta, q
 }
 
 // RangeSegment runs a range scan over one segment.
-func (w *Worker) RangeSegment(table *lsm.Table, meta *storage.SegmentMeta, q []float32, radius float32, p index.SearchParams, filter *bitset.Bitset) ([]index.Candidate, error) {
+func (w *Worker) RangeSegment(ctx context.Context, table *lsm.Table, meta *storage.SegmentMeta, q []float32, radius float32, p index.SearchParams, filter *bitset.Bitset) ([]index.Candidate, error) {
 	if !w.Alive() {
 		return nil, fmt.Errorf("cluster: worker %s is down", w.ID)
 	}
-	release := w.acquire()
+	release, err := w.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
 	defer release()
 	key := table.IndexKeyOf(meta.Name)
-	v, err := w.cache.Get(key, table.IndexLoaderFor(meta))
+	v, err := w.cache.GetTally(ctx, key, table.IndexLoaderFor(meta), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -206,12 +263,12 @@ func (w *Worker) RangeSegment(table *lsm.Table, meta *storage.SegmentMeta, q []f
 }
 
 // OpenIterator opens an incremental search over one segment's index.
-func (w *Worker) OpenIterator(table *lsm.Table, meta *storage.SegmentMeta, q []float32, initialK int, p index.SearchParams) (index.Iterator, error) {
+func (w *Worker) OpenIterator(ctx context.Context, table *lsm.Table, meta *storage.SegmentMeta, q []float32, initialK int, p index.SearchParams) (index.Iterator, error) {
 	if !w.Alive() {
 		return nil, fmt.Errorf("cluster: worker %s is down", w.ID)
 	}
 	key := table.IndexKeyOf(meta.Name)
-	v, err := w.cache.Get(key, table.IndexLoaderFor(meta))
+	v, err := w.cache.GetTally(ctx, key, table.IndexLoaderFor(meta), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -220,7 +277,8 @@ func (w *Worker) OpenIterator(table *lsm.Table, meta *storage.SegmentMeta, q []f
 }
 
 // Preload pulls the given segments' indexes through the cache tiers
-// (paper §II-D "Cache-aware vector index preload").
+// (paper §II-D "Cache-aware vector index preload"). Best-effort and
+// unbounded: preload runs ahead of queries, not inside one.
 func (w *Worker) Preload(table *lsm.Table, metas []*storage.SegmentMeta) []error {
 	var errs []error
 	for _, m := range metas {

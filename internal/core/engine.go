@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -55,6 +56,10 @@ type Config struct {
 	// SemanticFraction enables semantic segment pruning on clustered
 	// tables (0 disables; the paper's experiments use ~0.25).
 	SemanticFraction float64
+	// MaxParallelism bounds per-query segment fan-out in the executor
+	// (0 = GOMAXPROCS). Individual queries can override it via
+	// QueryOptions.MaxParallelism.
+	MaxParallelism int
 	// MinSegments floors the semantic cut.
 	MinSegments int
 	// SegmentRows caps ingest segment size (default 8192).
@@ -161,6 +166,7 @@ func (e *Engine) registerTable(t *lsm.Table) {
 	e.execs[t.Name()] = &exec.Executor{
 		Table: t, VW: e.cfg.VW, ColCache: e.colCache,
 		SemanticFraction: frac, MinSegments: e.cfg.MinSegments,
+		MaxParallelism: e.cfg.MaxParallelism,
 	}
 	e.mu.Unlock()
 	if e.cfg.VW != nil {
@@ -223,12 +229,57 @@ func (e *Engine) Tables() []string {
 	return out
 }
 
-// Exec parses and executes one SQL statement. DDL and DML return a
-// single status row; SELECT returns its result set.
-func (e *Engine) Exec(src string) (*exec.Result, error) {
+// QueryOptions tunes one statement execution.
+type QueryOptions struct {
+	// Timeout, when positive, bounds the statement with a derived
+	// deadline; expiry surfaces as ErrTimeout.
+	Timeout time.Duration
+	// MaxParallelism overrides the engine's per-query segment fan-out
+	// for this statement (0 = engine default).
+	MaxParallelism int
+	// Trace, when non-nil, records the span tree and cache tallies of
+	// the execution (the programmatic form of EXPLAIN ANALYZE).
+	Trace *obs.Trace
+}
+
+// Exec parses and executes one SQL statement under ctx. DDL and DML
+// return a single status row; SELECT returns its result set.
+// Cancellation and deadline expiry surface as ErrCanceled/ErrTimeout.
+func (e *Engine) Exec(ctx context.Context, src string) (*exec.Result, error) {
+	return e.Query(ctx, src, QueryOptions{})
+}
+
+// ExecString executes one SQL statement without a context.
+//
+// Deprecated: use Exec(ctx, src) or Query(ctx, src, opts); this shim
+// exists for pre-context callers and runs with context.Background().
+func (e *Engine) ExecString(src string) (*exec.Result, error) {
+	return e.Exec(context.Background(), src)
+}
+
+// Query is Exec with per-statement options (timeout, parallelism
+// override, trace). All statement errors are classified by the
+// taxonomy in errors.go.
+func (e *Engine) Query(ctx context.Context, src string, opts QueryOptions) (*exec.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, wrapCtxErr(err)
+	}
+	res, err := e.exec(ctx, src, opts)
+	return res, wrapCtxErr(err)
+}
+
+func (e *Engine) exec(ctx context.Context, src string, opts QueryOptions) (*exec.Result, error) {
 	st, err := sql.Parse(src)
 	if err != nil {
-		return nil, err
+		return nil, planErr(err)
 	}
 	switch s := st.(type) {
 	case *sql.CreateTable:
@@ -248,13 +299,13 @@ func (e *Engine) Exec(src string) (*exec.Result, error) {
 		}
 		return statusResult(fmt.Sprintf("OK: inserted %d rows into %s", n, s.Table)), nil
 	case *sql.Select:
-		return e.query(s)
+		return e.query(ctx, s, opts)
 	case *sql.ShowTables:
 		return e.showTables(), nil
 	case *sql.ShowMetrics:
 		return e.showMetrics(), nil
 	case *sql.Explain:
-		return e.explain(s)
+		return e.explain(ctx, s, opts)
 	case *sql.Describe:
 		return e.describe(s.Name)
 	case *sql.Delete:
@@ -286,7 +337,7 @@ func (e *Engine) showTables() *exec.Result {
 func (e *Engine) describe(name string) (*exec.Result, error) {
 	t := e.Table(name)
 	if t == nil {
-		return nil, fmt.Errorf("core: table %q does not exist", name)
+		return nil, unknownTableErr(name)
 	}
 	res := &exec.Result{Columns: []string{"column", "type", "extra"}}
 	opts := t.Options()
@@ -316,7 +367,7 @@ func (e *Engine) describe(name string) (*exec.Result, error) {
 func (e *Engine) delete(d *sql.Delete) (*exec.Result, error) {
 	t := e.Table(d.Table)
 	if t == nil {
-		return nil, fmt.Errorf("core: table %q does not exist", d.Table)
+		return nil, unknownTableErr(d.Table)
 	}
 	n, err := t.DeleteByKey(d.Column, d.Keys)
 	if err != nil {
@@ -332,7 +383,7 @@ func (e *Engine) delete(d *sql.Delete) (*exec.Result, error) {
 func (e *Engine) optimize(name string) (*exec.Result, error) {
 	t := e.Table(name)
 	if t == nil {
-		return nil, fmt.Errorf("core: table %q does not exist", name)
+		return nil, unknownTableErr(name)
 	}
 	merged, err := t.CompactAll(lsm.CompactionPolicy{MinSegments: 2})
 	if err != nil {
@@ -349,24 +400,26 @@ func statusResult(msg string) *exec.Result {
 }
 
 // query plans and runs a SELECT.
-func (e *Engine) query(sel *sql.Select) (*exec.Result, error) {
+func (e *Engine) query(ctx context.Context, sel *sql.Select, opts QueryOptions) (*exec.Result, error) {
 	t := e.Table(sel.Table)
 	if t == nil {
-		return nil, fmt.Errorf("core: table %q does not exist", sel.Table)
+		return nil, unknownTableErr(sel.Table)
 	}
 	ph, err := e.planner.Plan(sel, t)
 	if err != nil {
-		return nil, err
+		return nil, planErr(err)
 	}
-	return e.runTraced(sel.Table, ph, nil)
+	return e.runTraced(ctx, sel.Table, ph, opts)
 }
 
 // runTraced executes a planned query, feeding the engine-level query
-// counter and latency histogram (tr may be nil = untraced).
-func (e *Engine) runTraced(table string, ph *plan.Physical, tr *obs.Trace) (*exec.Result, error) {
+// counter and latency histogram (opts.Trace may be nil = untraced).
+func (e *Engine) runTraced(ctx context.Context, table string, ph *plan.Physical, opts QueryOptions) (*exec.Result, error) {
 	mQueries.Inc()
 	start := obs.Now()
-	res, err := e.Executor(table).RunTraced(ph, tr)
+	res, err := e.Executor(table).RunWith(ctx, ph, exec.RunOptions{
+		Trace: opts.Trace, MaxParallelism: opts.MaxParallelism,
+	})
 	mQueryLatency.Observe(time.Since(start))
 	return res, err
 }

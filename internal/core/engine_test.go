@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -76,7 +77,7 @@ func seedImages(t *testing.T, e *Engine) *dataset.Dataset {
 
 func mustExec(t *testing.T, e *Engine, src string) *exec.Result {
 	t.Helper()
-	res, err := e.Exec(src)
+	res, err := e.Exec(context.Background(), src)
 	if err != nil {
 		t.Fatalf("Exec(%.80s...): %v", src, err)
 	}
@@ -279,10 +280,10 @@ func TestDropTable(t *testing.T) {
 	e := newEngine(t, Config{})
 	seedImages(t, e)
 	mustExec(t, e, `DROP TABLE images`)
-	if _, err := e.Exec(`SELECT id FROM images LIMIT 1`); err == nil {
+	if _, err := e.Exec(context.Background(), `SELECT id FROM images LIMIT 1`); err == nil {
 		t.Fatal("query after drop should fail")
 	}
-	if _, err := e.Exec(`DROP TABLE images`); err == nil {
+	if _, err := e.Exec(context.Background(), `DROP TABLE images`); err == nil {
 		t.Fatal("double drop should fail")
 	}
 	// Blobs gone.
@@ -317,12 +318,12 @@ func TestCreateTableErrors(t *testing.T) {
 		`CREATE TABLE t (id UInt64, v Array(Float32), INDEX a v TYPE HNSW('DIM=2'), INDEX b v TYPE FLAT('DIM=2'))`,
 	}
 	for _, src := range bad {
-		if _, err := e.Exec(src); err == nil {
+		if _, err := e.Exec(context.Background(), src); err == nil {
 			t.Errorf("Exec(%q) unexpectedly succeeded", src)
 		}
 	}
 	mustExec(t, e, `CREATE TABLE t (id UInt64)`)
-	if _, err := e.Exec(`CREATE TABLE t (id UInt64)`); err == nil {
+	if _, err := e.Exec(context.Background(), `CREATE TABLE t (id UInt64)`); err == nil {
 		t.Error("duplicate create should fail")
 	}
 }
@@ -338,7 +339,7 @@ func TestInsertTypeErrors(t *testing.T) {
 		`INSERT INTO nope VALUES (1, [0.1, 0.2])`, // table
 	}
 	for _, src := range bad {
-		if _, err := e.Exec(src); err == nil {
+		if _, err := e.Exec(context.Background(), src); err == nil {
 			t.Errorf("Exec(%q) unexpectedly succeeded", src)
 		}
 	}
@@ -499,7 +500,7 @@ func TestShowTablesAndDescribe(t *testing.T) {
 	if !foundIdx {
 		t.Fatalf("index annotation missing: %v", d.Rows)
 	}
-	if _, err := e.Exec(`DESCRIBE nope`); err == nil {
+	if _, err := e.Exec(context.Background(), `DESCRIBE nope`); err == nil {
 		t.Fatal("describe missing table should fail")
 	}
 }
@@ -584,7 +585,7 @@ func TestConcurrentQueriesWholeStack(t *testing.T) {
 				default:
 					sqlText = `SELECT id FROM images WHERE id BETWEEN 10 AND 20 LIMIT 5`
 				}
-				if _, err := e.Exec(sqlText); err != nil {
+				if _, err := e.Exec(context.Background(), sqlText); err != nil {
 					errs <- err
 					return
 				}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -28,20 +29,22 @@ func planLetter(s plan.Strategy) string {
 // SELECT and prints the optimizer's choice with its cost breakdown;
 // ANALYZE additionally executes the query with a trace attached and
 // appends the recorded span tree and per-query cache tallies.
-func (e *Engine) explain(ex *sql.Explain) (*exec.Result, error) {
+func (e *Engine) explain(ctx context.Context, ex *sql.Explain, opts QueryOptions) (*exec.Result, error) {
 	t := e.Table(ex.Query.Table)
 	if t == nil {
-		return nil, fmt.Errorf("core: table %q does not exist", ex.Query.Table)
+		return nil, unknownTableErr(ex.Query.Table)
 	}
 	ph, err := e.planner.Plan(ex.Query, t)
 	if err != nil {
-		return nil, err
+		return nil, planErr(err)
 	}
-	lines := e.planLines(ph)
+	lines := e.planLines(ph, opts.MaxParallelism)
 	if ex.Analyze {
 		tr := obs.NewTrace("query")
 		start := obs.Now()
-		res, err := e.runTraced(ex.Query.Table, ph, tr)
+		tracedOpts := opts
+		tracedOpts.Trace = tr
+		res, err := e.runTraced(ctx, ex.Query.Table, ph, tracedOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -59,7 +62,8 @@ func (e *Engine) explain(ex *sql.Explain) (*exec.Result, error) {
 }
 
 // planLines renders the optimizer decision for one physical plan.
-func (e *Engine) planLines(ph *plan.Physical) []string {
+// maxPar is the per-statement parallelism override (0 = default).
+func (e *Engine) planLines(ph *plan.Physical, maxPar int) []string {
 	lg := ph.Logical
 	t := e.Table(lg.Table)
 	var lines []string
@@ -82,9 +86,12 @@ func (e *Engine) planLines(ph *plan.Physical) []string {
 	case ph.FromCache:
 		lines = append(lines, "optimizer: plan cache hit (parameterized)")
 	}
-	if ex := e.Executor(lg.Table); ex != nil && ex.SemanticFraction > 0 && lg.IsVectorQuery() {
-		lines = append(lines, fmt.Sprintf("semantic pruning: fraction=%.4g min_segments=%d (adaptive widening on shortfall)",
-			ex.SemanticFraction, ex.MinSegments))
+	if ex := e.Executor(lg.Table); ex != nil {
+		if ex.SemanticFraction > 0 && lg.IsVectorQuery() {
+			lines = append(lines, fmt.Sprintf("semantic pruning: fraction=%.4g min_segments=%d (adaptive widening on shortfall)",
+				ex.SemanticFraction, ex.MinSegments))
+		}
+		lines = append(lines, fmt.Sprintf("parallelism: %d (per-segment worker pool)", ex.Parallelism(maxPar)))
 	}
 	return lines
 }

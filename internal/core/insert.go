@@ -20,7 +20,7 @@ import (
 func (e *Engine) insert(ins *sql.Insert) (int, error) {
 	t := e.Table(ins.Table)
 	if t == nil {
-		return 0, fmt.Errorf("core: table %q does not exist", ins.Table)
+		return 0, unknownTableErr(ins.Table)
 	}
 	var rows [][]any
 	if ins.Infile != "" {

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -33,7 +34,8 @@ var (
 
 // Executor runs physical plans against one table, either locally
 // (VW == nil, indexes cached in-process) or distributed across a
-// virtual warehouse.
+// virtual warehouse. Per-segment work within a query runs on a
+// bounded worker pool; see RunOptions.MaxParallelism.
 type Executor struct {
 	Table *lsm.Table
 	VW    *cluster.VW
@@ -46,8 +48,21 @@ type Executor struct {
 	SemanticFraction float64
 	// MinSegments floors the semantic cut.
 	MinSegments int
+	// MaxParallelism bounds the per-query segment fan-out (0 =
+	// GOMAXPROCS). Individual runs can override it via RunOptions.
+	MaxParallelism int
 
 	localIdx sync.Map // segment name -> index.Index
+}
+
+// RunOptions tunes one execution.
+type RunOptions struct {
+	// Trace records a span tree and cache tallies for EXPLAIN ANALYZE
+	// (nil = untraced; instrumentation is then a no-op).
+	Trace *obs.Trace
+	// MaxParallelism overrides the executor's segment fan-out for this
+	// run (0 = executor default).
+	MaxParallelism int
 }
 
 // Result is a materialized query result.
@@ -63,16 +78,33 @@ type hit struct {
 	dist   float32
 }
 
-// Run executes a physical plan.
-func (e *Executor) Run(ph *plan.Physical) (*Result, error) {
-	return e.RunTraced(ph, nil)
+// Run executes a physical plan under ctx: a fired deadline or cancel
+// stops remaining segment scans, widening rounds and in-flight remote
+// reads promptly, returning the context's error.
+func (e *Executor) Run(ctx context.Context, ph *plan.Physical) (*Result, error) {
+	return e.RunWith(ctx, ph, RunOptions{})
 }
 
-// RunTraced executes a physical plan, recording a span tree and cache
-// tallies on tr when non-nil (the execution half of EXPLAIN ANALYZE).
-// A nil trace makes every instrumentation call a no-op: no
-// allocations, no locks, so untraced bench numbers are unaffected.
-func (e *Executor) RunTraced(ph *plan.Physical, tr *obs.Trace) (*Result, error) {
+// RunTraced is Run with a span tree and cache tallies recorded on tr
+// when non-nil (the execution half of EXPLAIN ANALYZE). A nil trace
+// makes every instrumentation call a no-op: no allocations, no locks,
+// so untraced bench numbers are unaffected.
+func (e *Executor) RunTraced(ctx context.Context, ph *plan.Physical, tr *obs.Trace) (*Result, error) {
+	return e.RunWith(ctx, ph, RunOptions{Trace: tr})
+}
+
+// RunWith executes a physical plan with explicit per-run options.
+// Results are deterministic: any parallelism degree returns exactly
+// the rows (and ordering) of sequential execution.
+func (e *Executor) RunWith(ctx context.Context, ph *plan.Physical, opts RunOptions) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tr := opts.Trace
+	par := e.parallelism(opts.MaxParallelism)
 	lg := ph.Logical
 	root := tr.Span()
 	preds, err := compilePredicates(e.Table.Schema(), lg.ScalarPreds)
@@ -80,7 +112,7 @@ func (e *Executor) RunTraced(ph *plan.Physical, tr *obs.Trace) (*Result, error) 
 		return nil, err
 	}
 	if !lg.IsVectorQuery() {
-		return e.runScalar(lg, preds, tr)
+		return e.runScalar(ctx, lg, preds, par, tr)
 	}
 	mVecQueries.Inc()
 	switch ph.Strategy {
@@ -100,11 +132,11 @@ func (e *Executor) RunTraced(ph *plan.Physical, tr *obs.Trace) (*Result, error) 
 	runStrategy := func(metas []*storage.SegmentMeta, sp *obs.Span) ([]hit, error) {
 		switch ph.Strategy {
 		case plan.BruteForce:
-			return e.runBruteForce(lg, preds, metas, k, sp, tr)
+			return e.runBruteForce(ctx, lg, preds, metas, k, par, sp, tr)
 		case plan.PreFilter:
-			return e.runPreFilter(lg, preds, metas, k, params, sp, tr)
+			return e.runPreFilter(ctx, lg, preds, metas, k, par, params, sp, tr)
 		case plan.PostFilter:
-			return e.runPostFilter(lg, preds, metas, k, params, sp, tr)
+			return e.runPostFilter(ctx, lg, preds, metas, k, par, params, sp, tr)
 		default:
 			return nil, fmt.Errorf("exec: unknown strategy %v", ph.Strategy)
 		}
@@ -113,6 +145,9 @@ func (e *Executor) RunTraced(ph *plan.Physical, tr *obs.Trace) (*Result, error) 
 	frac := e.SemanticFraction
 	round := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		total := e.Table.SegmentCount()
 		pruneSp := root.Child("prune")
 		metas, prunedSemantically := e.pruneSegments(lg, preds, frac)
@@ -130,7 +165,7 @@ func (e *Executor) RunTraced(ph *plan.Physical, tr *obs.Trace) (*Result, error) 
 		var hits []hit
 		var err error
 		if lg.Range != nil {
-			hits, err = e.runRange(lg, preds, metas, params, scanSp, tr)
+			hits, err = e.runRange(ctx, lg, preds, metas, par, params, scanSp, tr)
 		} else {
 			hits, err = runStrategy(metas, scanSp)
 		}
@@ -165,7 +200,7 @@ func (e *Executor) RunTraced(ph *plan.Physical, tr *obs.Trace) (*Result, error) 
 		if lg.Range == nil && len(hits) > k {
 			hits = hits[:k]
 		}
-		return e.assemble(lg, hits, root, tr)
+		return e.assemble(ctx, lg, hits, par, root, tr)
 	}
 }
 
@@ -228,8 +263,8 @@ func mergeInt(existing [2]int64, nw [2]int64) [2]int64 {
 // (the structured scan of plans A and B) and subtracts the delete
 // bitmap. Returns nil when the segment has neither predicates nor
 // deletes (= unfiltered).
-func (e *Executor) predicateBitset(meta *storage.SegmentMeta, preds []compiledPred, tr *obs.Trace) (*bitset.Bitset, error) {
-	del, err := e.Table.DeleteBitmap(meta.Name)
+func (e *Executor) predicateBitset(ctx context.Context, meta *storage.SegmentMeta, preds []compiledPred, tr *obs.Trace) (*bitset.Bitset, error) {
+	del, err := e.Table.DeleteBitmapCtx(ctx, meta.Name)
 	if err != nil {
 		return nil, err
 	}
@@ -249,9 +284,9 @@ func (e *Executor) predicateBitset(meta *storage.SegmentMeta, preds []compiledPr
 			}
 			var c *storage.ColumnData
 			if e.ColCache != nil {
-				c, err = e.ColCache.ReadColumnTally(rd, p.col, tr.ColTally())
+				c, err = e.ColCache.ReadColumnTally(ctx, rd, p.col, tr.ColTally())
 			} else {
-				c, err = rd.ReadColumn(p.col)
+				c, err = rd.ReadColumnCtx(ctx, p.col)
 			}
 			if err != nil {
 				return nil, err
@@ -274,13 +309,13 @@ func (e *Executor) predicateBitset(meta *storage.SegmentMeta, preds []compiledPr
 }
 
 // segmentIndex loads a segment's index for single-node execution.
-func (e *Executor) segmentIndex(meta *storage.SegmentMeta, tr *obs.Trace) (index.Index, error) {
+func (e *Executor) segmentIndex(ctx context.Context, meta *storage.SegmentMeta, tr *obs.Trace) (index.Index, error) {
 	if v, ok := e.localIdx.Load(meta.Name); ok {
 		tr.IdxTally().Hit()
 		return v.(index.Index), nil
 	}
 	tr.IdxTally().Miss()
-	ix, err := e.Table.OpenIndex(meta.Name)
+	ix, err := e.Table.OpenIndexCtx(ctx, meta.Name)
 	if err != nil {
 		return nil, err
 	}
@@ -300,13 +335,11 @@ func (e *Executor) InvalidateLocalIndexes() {
 
 // --- plan A: brute force -----------------------------------------------------
 
-func (e *Executor) runBruteForce(lg *plan.Logical, preds []compiledPred, metas []*storage.SegmentMeta, k int, sp *obs.Span, tr *obs.Trace) ([]hit, error) {
-	var all []hit
-	for _, m := range metas {
-		ssp := sp.Child("segment " + m.Name)
+func (e *Executor) runBruteForce(ctx context.Context, lg *plan.Logical, preds []compiledPred, metas []*storage.SegmentMeta, k, par int, sp *obs.Span, tr *obs.Trace) ([]hit, error) {
+	return e.scanSegments(ctx, metas, k, par, sp, func(ctx context.Context, m *storage.SegmentMeta, ssp *obs.Span) ([]hit, error) {
 		ssp.SetInt("rows", int64(m.Rows))
 		mSegScans.Inc()
-		bs, err := e.predicateBitset(m, preds, tr)
+		bs, err := e.predicateBitset(ctx, m, preds, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -321,14 +354,13 @@ func (e *Executor) runBruteForce(lg *plan.Logical, preds []compiledPred, metas [
 		}
 		ssp.SetInt("filtered_rows", int64(len(rows)))
 		if len(rows) == 0 {
-			ssp.End()
-			continue
+			return nil, nil
 		}
 		rd, err := e.Table.Reader(m.Name)
 		if err != nil {
 			return nil, err
 		}
-		vcol, err := e.readRows(rd, lg.VectorColumn, rows, len(rows), tr)
+		vcol, err := e.readRows(ctx, rd, lg.VectorColumn, rows, len(rows), tr)
 		if err != nil {
 			return nil, err
 		}
@@ -338,36 +370,40 @@ func (e *Executor) runBruteForce(lg *plan.Logical, preds []compiledPred, metas [
 			t.Push(index.Candidate{ID: int64(rows[i]), Dist: d})
 		}
 		res := t.Results()
-		for _, c := range res {
-			all = append(all, hit{meta: m, offset: int(c.ID), dist: c.Dist})
+		out := make([]hit, len(res))
+		for i, c := range res {
+			out[i] = hit{meta: m, offset: int(c.ID), dist: c.Dist}
 		}
 		ssp.SetInt("candidates", int64(len(res)))
-		ssp.End()
-	}
-	return all, nil
+		return out, nil
+	})
 }
 
 // --- plan B: pre-filter --------------------------------------------------------
 
-func (e *Executor) runPreFilter(lg *plan.Logical, preds []compiledPred, metas []*storage.SegmentMeta, k int, params index.SearchParams, sp *obs.Span, tr *obs.Trace) ([]hit, error) {
-	filters := map[string]*bitset.Bitset{}
-	searchable := metas[:0:0]
-	for _, m := range metas {
-		bs, err := e.predicateBitset(m, preds, tr)
+func (e *Executor) runPreFilter(ctx context.Context, lg *plan.Logical, preds []compiledPred, metas []*storage.SegmentMeta, k, par int, params index.SearchParams, sp *obs.Span, tr *obs.Trace) ([]hit, error) {
+	if e.VW != nil {
+		// Distributed mode: the structured scan (per-segment predicate
+		// bitsets) fans out on the local pool, then the VW scatters the
+		// ANN scans across workers.
+		bitsets, err := gatherSegments(ctx, metas, par, func(ctx context.Context, _ int, m *storage.SegmentMeta) (*bitset.Bitset, error) {
+			return e.predicateBitset(ctx, m, preds, tr)
+		})
 		if err != nil {
 			return nil, err
 		}
-		if bs != nil && !bs.Any() {
-			continue // nothing qualifies in this segment
+		filters := map[string]*bitset.Bitset{}
+		searchable := metas[:0:0]
+		for i, m := range metas {
+			if bs := bitsets[i]; bs == nil || bs.Any() {
+				filters[m.Name] = bitsets[i]
+				searchable = append(searchable, m)
+			}
 		}
-		filters[m.Name] = bs
-		searchable = append(searchable, m)
-	}
-	if len(searchable) == 0 {
-		return nil, nil
-	}
-	if e.VW != nil {
-		cands, err := e.VW.Search(e.Table, searchable, lg.Distance.Query, k, cluster.SearchOptions{
+		if len(searchable) == 0 {
+			return nil, nil
+		}
+		cands, err := e.VW.Search(ctx, e.Table, searchable, lg.Distance.Query, k, cluster.SearchOptions{
 			Params: params, Filters: filters,
 			Span: sp, IdxTally: tr.IdxTally(),
 		})
@@ -381,26 +417,33 @@ func (e *Executor) runPreFilter(lg *plan.Logical, preds []compiledPred, metas []
 		}
 		return out, nil
 	}
-	var all []hit
-	for _, m := range searchable {
-		ssp := sp.Child("segment " + m.Name)
+	// Local mode: fuse structured scan + ANN scan per segment on the
+	// worker pool.
+	return e.scanSegments(ctx, metas, k, par, sp, func(ctx context.Context, m *storage.SegmentMeta, ssp *obs.Span) ([]hit, error) {
+		bs, err := e.predicateBitset(ctx, m, preds, tr)
+		if err != nil {
+			return nil, err
+		}
+		if bs != nil && !bs.Any() {
+			return nil, nil // nothing qualifies in this segment
+		}
 		ssp.SetInt("rows", int64(m.Rows))
 		mSegScans.Inc()
-		ix, err := e.segmentIndex(m, tr)
+		ix, err := e.segmentIndex(ctx, m, tr)
 		if err != nil {
 			return nil, err
 		}
-		cands, err := ix.SearchWithFilter(lg.Distance.Query, k, filters[m.Name], params)
+		cands, err := ix.SearchWithFilter(lg.Distance.Query, k, bs, params)
 		if err != nil {
 			return nil, err
 		}
-		for _, c := range cands {
-			all = append(all, hit{meta: m, offset: int(c.ID), dist: c.Dist})
+		out := make([]hit, len(cands))
+		for i, c := range cands {
+			out[i] = hit{meta: m, offset: int(c.ID), dist: c.Dist}
 		}
 		ssp.SetInt("candidates", int64(len(cands)))
-		ssp.End()
-	}
-	return all, nil
+		return out, nil
+	})
 }
 
 func metaIndex(metas []*storage.SegmentMeta) map[string]*storage.SegmentMeta {
@@ -417,25 +460,22 @@ func metaIndex(metas []*storage.SegmentMeta) map[string]*storage.SegmentMeta {
 // candidate batch against the scalar predicates (reading only the
 // predicate columns of the candidate rows), and iterates until k
 // qualifying rows per segment or exhaustion — Figure 2's SearchIterator
-// + partial-top-k-before-filter pipeline.
-func (e *Executor) runPostFilter(lg *plan.Logical, preds []compiledPred, metas []*storage.SegmentMeta, k int, params index.SearchParams, sp *obs.Span, tr *obs.Trace) ([]hit, error) {
-	var all []hit
-	for _, m := range metas {
-		ssp := sp.Child("segment " + m.Name)
+// + partial-top-k-before-filter pipeline. Segments run concurrently on
+// the worker pool.
+func (e *Executor) runPostFilter(ctx context.Context, lg *plan.Logical, preds []compiledPred, metas []*storage.SegmentMeta, k, par int, params index.SearchParams, sp *obs.Span, tr *obs.Trace) ([]hit, error) {
+	return e.scanSegments(ctx, metas, k, par, sp, func(ctx context.Context, m *storage.SegmentMeta, ssp *obs.Span) ([]hit, error) {
 		ssp.SetInt("rows", int64(m.Rows))
 		mSegScans.Inc()
-		hits, err := e.postFilterSegment(lg, preds, m, k, params, ssp, tr)
+		hits, err := e.postFilterSegment(ctx, lg, preds, m, k, params, ssp, tr)
 		if err != nil {
 			return nil, err
 		}
 		ssp.SetInt("candidates", int64(len(hits)))
-		ssp.End()
-		all = append(all, hits...)
-	}
-	return all, nil
+		return hits, nil
+	})
 }
 
-func (e *Executor) postFilterSegment(lg *plan.Logical, preds []compiledPred, m *storage.SegmentMeta, k int, params index.SearchParams, ssp *obs.Span, tr *obs.Trace) ([]hit, error) {
+func (e *Executor) postFilterSegment(ctx context.Context, lg *plan.Logical, preds []compiledPred, m *storage.SegmentMeta, k int, params index.SearchParams, ssp *obs.Span, tr *obs.Trace) ([]hit, error) {
 	var it index.Iterator
 	var err error
 	if e.VW != nil {
@@ -449,9 +489,9 @@ func (e *Executor) postFilterSegment(lg *plan.Logical, preds []compiledPred, m *
 			return nil, fmt.Errorf("exec: no worker for segment %s", m.Name)
 		}
 		ssp.Set("worker", owner.ID)
-		it, err = owner.OpenIterator(e.Table, m, lg.Distance.Query, k, params)
+		it, err = owner.OpenIterator(ctx, e.Table, m, lg.Distance.Query, k, params)
 	} else {
-		ix, ierr := e.segmentIndex(m, tr)
+		ix, ierr := e.segmentIndex(ctx, m, tr)
 		if ierr != nil {
 			return nil, ierr
 		}
@@ -462,7 +502,7 @@ func (e *Executor) postFilterSegment(lg *plan.Logical, preds []compiledPred, m *
 	}
 	defer it.Close()
 
-	del, err := e.Table.DeleteBitmap(m.Name)
+	del, err := e.Table.DeleteBitmapCtx(ctx, m.Name)
 	if err != nil {
 		return nil, err
 	}
@@ -477,6 +517,9 @@ func (e *Executor) postFilterSegment(lg *plan.Logical, preds []compiledPred, m *
 	}
 	batches := 0
 	for len(out) < k {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cands, err := it.Next(batch)
 		if err != nil {
 			return nil, err
@@ -503,7 +546,7 @@ func (e *Executor) postFilterSegment(lg *plan.Logical, preds []compiledPred, m *
 			pass[i] = true
 		}
 		for _, p := range preds {
-			col, err := e.readRows(rd, p.col, rows, len(rows), tr)
+			col, err := e.readRows(ctx, rd, p.col, rows, len(rows), tr)
 			if err != nil {
 				return nil, err
 			}
@@ -528,7 +571,7 @@ func (e *Executor) postFilterSegment(lg *plan.Logical, preds []compiledPred, m *
 
 // --- range search ---------------------------------------------------------------
 
-func (e *Executor) runRange(lg *plan.Logical, preds []compiledPred, metas []*storage.SegmentMeta, params index.SearchParams, sp *obs.Span, tr *obs.Trace) ([]hit, error) {
+func (e *Executor) runRange(ctx context.Context, lg *plan.Logical, preds []compiledPred, metas []*storage.SegmentMeta, par int, params index.SearchParams, sp *obs.Span, tr *obs.Trace) ([]hit, error) {
 	radius := lg.Range.Radius
 	// Internal distances: IP is negated, L2 is squared — translate the
 	// user-facing radius into index space.
@@ -538,44 +581,45 @@ func (e *Executor) runRange(lg *plan.Logical, preds []compiledPred, metas []*sto
 	case vec.InnerProduct:
 		radius = -radius
 	}
-	var all []hit
-	for _, m := range metas {
-		bs, err := e.predicateBitset(m, preds, tr)
+	// Range results are unbounded (k = 0): every in-radius hit must
+	// survive the merge before the final truncation.
+	all, err := e.scanSegments(ctx, metas, 0, par, sp, func(ctx context.Context, m *storage.SegmentMeta, ssp *obs.Span) ([]hit, error) {
+		bs, err := e.predicateBitset(ctx, m, preds, tr)
 		if err != nil {
 			return nil, err
 		}
 		if bs != nil && !bs.Any() {
-			continue
+			return nil, nil
 		}
-		ssp := sp.Child("segment " + m.Name)
 		ssp.SetInt("rows", int64(m.Rows))
 		mSegScans.Inc()
 		var cands []index.Candidate
 		if e.VW != nil {
 			owner := e.VW.Worker(e.ownerOf(m))
 			if owner == nil {
-				ssp.End()
 				return nil, fmt.Errorf("exec: no worker for segment %s", m.Name)
 			}
 			ssp.Set("worker", owner.ID)
-			cands, err = owner.RangeSegment(e.Table, m, lg.Distance.Query, radius, params, bs)
+			cands, err = owner.RangeSegment(ctx, e.Table, m, lg.Distance.Query, radius, params, bs)
 		} else {
-			ix, ierr := e.segmentIndex(m, tr)
+			ix, ierr := e.segmentIndex(ctx, m, tr)
 			if ierr != nil {
-				ssp.End()
 				return nil, ierr
 			}
 			cands, err = ix.SearchWithRange(lg.Distance.Query, radius, bs, params)
 		}
 		if err != nil {
-			ssp.End()
 			return nil, err
 		}
-		for _, c := range cands {
-			all = append(all, hit{meta: m, offset: int(c.ID), dist: c.Dist})
+		out := make([]hit, len(cands))
+		for i, c := range cands {
+			out[i] = hit{meta: m, offset: int(c.ID), dist: c.Dist}
 		}
 		ssp.SetInt("candidates", int64(len(cands)))
-		ssp.End()
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if lg.K > 0 && len(all) > lg.K {
 		sortHits(all)
@@ -594,7 +638,7 @@ func (e *Executor) ownerOf(m *storage.SegmentMeta) string {
 
 // --- scalar-only queries ----------------------------------------------------------
 
-func (e *Executor) runScalar(lg *plan.Logical, preds []compiledPred, tr *obs.Trace) (*Result, error) {
+func (e *Executor) runScalar(ctx context.Context, lg *plan.Logical, preds []compiledPred, par int, tr *obs.Trace) (*Result, error) {
 	metas, _ := e.pruneSegments(lg, preds, 0)
 	sp := tr.Span().Child("scalar-scan")
 	sp.SetInt("segments", int64(len(metas)))
@@ -604,9 +648,11 @@ func (e *Executor) runScalar(lg *plan.Logical, preds []compiledPred, tr *obs.Tra
 		sortV  float64
 		sortS  string
 	}
-	var rows []scalarRow
-	for _, m := range metas {
-		bs, err := e.predicateBitset(m, preds, tr)
+	// Segments scan concurrently; the positional gather keeps segment
+	// order, so the concatenation (and therefore the stable sort and
+	// LIMIT below) matches sequential execution exactly.
+	perSeg, err := gatherSegments(ctx, metas, par, func(ctx context.Context, _ int, m *storage.SegmentMeta) ([]scalarRow, error) {
+		bs, err := e.predicateBitset(ctx, m, preds, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -620,7 +666,7 @@ func (e *Executor) runScalar(lg *plan.Logical, preds []compiledPred, tr *obs.Tra
 			offsets = bs.Ones()
 		}
 		if len(offsets) == 0 {
-			continue
+			return nil, nil
 		}
 		var sortCol *storage.ColumnData
 		if lg.OrderColumn != "" {
@@ -628,11 +674,12 @@ func (e *Executor) runScalar(lg *plan.Logical, preds []compiledPred, tr *obs.Tra
 			if err != nil {
 				return nil, err
 			}
-			sortCol, err = e.readRows(rd, lg.OrderColumn, offsets, len(offsets), tr)
+			sortCol, err = e.readRows(ctx, rd, lg.OrderColumn, offsets, len(offsets), tr)
 			if err != nil {
 				return nil, err
 			}
 		}
+		rows := make([]scalarRow, 0, len(offsets))
 		for i, off := range offsets {
 			r := scalarRow{meta: m, offset: off}
 			if sortCol != nil {
@@ -647,6 +694,14 @@ func (e *Executor) runScalar(lg *plan.Logical, preds []compiledPred, tr *obs.Tra
 			}
 			rows = append(rows, r)
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []scalarRow
+	for _, rs := range perSeg {
+		rows = append(rows, rs...)
 	}
 	if lg.OrderColumn != "" {
 		sort.SliceStable(rows, func(i, j int) bool {
@@ -666,23 +721,24 @@ func (e *Executor) runScalar(lg *plan.Logical, preds []compiledPred, tr *obs.Tra
 	}
 	sp.SetInt("hits", int64(len(hits)))
 	sp.End()
-	return e.assemble(lg, hits, tr.Span(), tr)
+	return e.assemble(ctx, lg, hits, par, tr.Span(), tr)
 }
 
 // --- output assembly ---------------------------------------------------------------
 
 // readRows fetches rows of one column, through the adaptive column
 // cache when configured.
-func (e *Executor) readRows(rd *storage.SegmentReader, col string, rows []int, queryRows int, tr *obs.Trace) (*storage.ColumnData, error) {
+func (e *Executor) readRows(ctx context.Context, rd *storage.SegmentReader, col string, rows []int, queryRows int, tr *obs.Trace) (*storage.ColumnData, error) {
 	if e.ColCache != nil {
-		return e.ColCache.ReadRowsTally(rd, col, rows, queryRows, tr.ColTally())
+		return e.ColCache.ReadRowsTally(ctx, rd, col, rows, queryRows, tr.ColTally())
 	}
-	return rd.ReadRows(col, rows)
+	return rd.ReadRowsCtx(ctx, col, rows)
 }
 
 // assemble fetches the projection columns for the final hits and
-// builds result rows in hit order.
-func (e *Executor) assemble(lg *plan.Logical, hits []hit, sp *obs.Span, tr *obs.Trace) (*Result, error) {
+// builds result rows in hit order. Column fetches fan out per segment
+// on the worker pool.
+func (e *Executor) assemble(ctx context.Context, lg *plan.Logical, hits []hit, par int, sp *obs.Span, tr *obs.Trace) (*Result, error) {
 	asp := sp.Child("assemble")
 	asp.SetInt("rows", int64(len(hits)))
 	defer asp.End()
@@ -701,18 +757,26 @@ func (e *Executor) assemble(lg *plan.Logical, hits []hit, sp *obs.Span, tr *obs.
 		return res, nil
 	}
 	// Group hits by segment, fetch each needed column once per
-	// segment, then emit in global order.
+	// segment (concurrently across segments), then emit in global
+	// order.
 	bySeg := map[string][]int{} // segment -> indices into hits
+	var segOrder []*storage.SegmentMeta
 	for i, h := range hits {
+		if _, seen := bySeg[h.meta.Name]; !seen {
+			segOrder = append(segOrder, h.meta)
+		}
 		bySeg[h.meta.Name] = append(bySeg[h.meta.Name], i)
 	}
 	type colKey struct{ seg, col string }
-	fetched := map[colKey]*storage.ColumnData{}
-	rowPos := map[string]map[int]int{} // seg -> hit idx -> position in fetched rows
-	for seg, idxs := range bySeg {
-		rd, err := e.Table.Reader(seg)
+	type segFetch struct {
+		cols map[string]*storage.ColumnData
+		pos  map[int]int // hit idx -> position in fetched rows
+	}
+	fetches, err := gatherSegments(ctx, segOrder, par, func(ctx context.Context, _ int, m *storage.SegmentMeta) (segFetch, error) {
+		idxs := bySeg[m.Name]
+		rd, err := e.Table.Reader(m.Name)
 		if err != nil {
-			return nil, err
+			return segFetch{}, err
 		}
 		rows := make([]int, len(idxs))
 		pos := map[int]int{}
@@ -720,16 +784,28 @@ func (e *Executor) assemble(lg *plan.Logical, hits []hit, sp *obs.Span, tr *obs.
 			rows[i] = hits[hi].offset
 			pos[hi] = i
 		}
-		rowPos[seg] = pos
+		sf := segFetch{cols: map[string]*storage.ColumnData{}, pos: pos}
 		for _, c := range cols {
 			if c == lg.DistAlias && lg.DistAlias != "" {
 				continue
 			}
-			cd, err := e.readRows(rd, c, rows, len(hits), tr)
+			cd, err := e.readRows(ctx, rd, c, rows, len(hits), tr)
 			if err != nil {
-				return nil, err
+				return segFetch{}, err
 			}
-			fetched[colKey{seg, c}] = cd
+			sf.cols[c] = cd
+		}
+		return sf, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fetched := map[colKey]*storage.ColumnData{}
+	rowPos := map[string]map[int]int{}
+	for i, m := range segOrder {
+		rowPos[m.Name] = fetches[i].pos
+		for c, cd := range fetches[i].cols {
+			fetched[colKey{m.Name, c}] = cd
 		}
 	}
 	for hi, h := range hits {

@@ -10,6 +10,7 @@
 package lsm
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sync"
@@ -286,13 +287,19 @@ func (t *Table) Centroids() *vec.Matrix {
 // DeleteBitmap returns the segment's delete bitmap, loading it from
 // the store on first use. A nil return means no rows are deleted.
 func (t *Table) DeleteBitmap(seg string) (*bitset.Bitset, error) {
+	return t.DeleteBitmapCtx(nil, seg)
+}
+
+// DeleteBitmapCtx is DeleteBitmap bounded by a context: a fired
+// deadline aborts the (remote) blob read on a cache miss.
+func (t *Table) DeleteBitmapCtx(ctx context.Context, seg string) (*bitset.Bitset, error) {
 	t.mu.RLock()
 	if d, ok := t.deletes[seg]; ok {
 		t.mu.RUnlock()
 		return d, nil
 	}
 	t.mu.RUnlock()
-	blob, err := t.store.Get(storage.DeleteBitmapKey(t.opts.Name, seg))
+	blob, err := storage.GetCtx(ctx, t.store, storage.DeleteBitmapKey(t.opts.Name, seg))
 	if storage.IsNotFound(err) {
 		return nil, nil
 	}
@@ -324,13 +331,19 @@ func (t *Table) Reader(seg string) (*storage.SegmentReader, error) {
 // bypassing any cache (workers wrap this with the hierarchical
 // cache; tests and single-node paths call it directly).
 func (t *Table) OpenIndex(seg string) (index.Index, error) {
+	return t.OpenIndexCtx(nil, seg)
+}
+
+// OpenIndexCtx is OpenIndex bounded by a context: a fired deadline or
+// cancel aborts the index blob read.
+func (t *Table) OpenIndexCtx(ctx context.Context, seg string) (index.Index, error) {
 	t.mu.RLock()
 	m, ok := t.segments[seg]
 	t.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("lsm: segment %q not live", seg)
 	}
-	return t.loadIndexForMeta(m)
+	return t.loadIndexForMetaCtx(ctx, m)
 }
 
 // IndexKeyOf returns the blob key of a segment's ANN index.
@@ -391,7 +404,11 @@ func (t *Table) wireRefine(ix index.Index, meta *storage.SegmentMeta) {
 }
 
 func (t *Table) loadIndexForMeta(m *storage.SegmentMeta) (index.Index, error) {
-	blob, err := t.store.Get(storage.IndexKey(t.opts.Name, m.Name, t.opts.IndexColumn))
+	return t.loadIndexForMetaCtx(nil, m)
+}
+
+func (t *Table) loadIndexForMetaCtx(ctx context.Context, m *storage.SegmentMeta) (index.Index, error) {
+	blob, err := storage.GetCtx(ctx, t.store, storage.IndexKey(t.opts.Name, m.Name, t.opts.IndexColumn))
 	if err != nil {
 		return nil, err
 	}

@@ -13,6 +13,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -50,6 +51,45 @@ type BlobStore interface {
 	Delete(key string) error
 	// List returns all keys with the prefix, sorted.
 	List(prefix string) ([]string, error)
+}
+
+// CtxReader is optionally implemented by stores whose read operations
+// can be bounded by a context — a fired deadline interrupts the
+// operation (including any modeled network latency) instead of letting
+// it run to completion. Stores without per-operation cost don't need
+// it; the GetCtx/GetRangeCtx helpers fall back to a plain read after a
+// cheap cancellation check.
+type CtxReader interface {
+	GetCtx(ctx context.Context, key string) ([]byte, error)
+	GetRangeCtx(ctx context.Context, key string, off, length int64) ([]byte, error)
+}
+
+// GetCtx reads a full value honoring ctx: the read is skipped when ctx
+// is already done, and stores implementing CtxReader abort mid-transfer
+// when it fires.
+func GetCtx(ctx context.Context, s BlobStore, key string) ([]byte, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if cr, ok := s.(CtxReader); ok {
+			return cr.GetCtx(ctx, key)
+		}
+	}
+	return s.Get(key)
+}
+
+// GetRangeCtx is GetCtx for range reads.
+func GetRangeCtx(ctx context.Context, s BlobStore, key string, off, length int64) ([]byte, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if cr, ok := s.(CtxReader); ok {
+			return cr.GetRangeCtx(ctx, key, off, length)
+		}
+	}
+	return s.GetRange(key, off, length)
 }
 
 // MemStore is an in-memory BlobStore for tests and single-process use.
@@ -295,12 +335,31 @@ func (s *RemoteStore) Snapshot() Stats {
 }
 
 func (s *RemoteStore) charge(nbytes int64) {
+	_ = s.chargeCtx(nil, nbytes)
+}
+
+// chargeCtx models the operation cost but gives up early when ctx
+// fires — the mechanism that lets a canceled query abandon an
+// in-flight "network" transfer instead of waiting it out.
+func (s *RemoteStore) chargeCtx(ctx context.Context, nbytes int64) error {
 	d := s.cfg.OpLatency
 	if s.cfg.BytesPerSecond > 0 {
 		d += time.Duration(float64(nbytes) / float64(s.cfg.BytesPerSecond) * float64(time.Second))
 	}
-	if d > 0 {
+	if d <= 0 {
+		return nil
+	}
+	if ctx == nil {
 		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -314,8 +373,16 @@ func (s *RemoteStore) Put(key string, data []byte) error {
 
 // Get implements BlobStore.
 func (s *RemoteStore) Get(key string) ([]byte, error) {
+	return s.GetCtx(nil, key)
+}
+
+// GetCtx implements CtxReader: the modeled transfer cost is abandoned
+// when ctx fires.
+func (s *RemoteStore) GetCtx(ctx context.Context, key string) ([]byte, error) {
 	data, err := s.backing.Get(key)
-	s.charge(int64(len(data)))
+	if cerr := s.chargeCtx(ctx, int64(len(data))); cerr != nil {
+		return nil, cerr
+	}
 	s.gets.Add(1)
 	s.bytesRead.Add(int64(len(data)))
 	return data, err
@@ -323,8 +390,15 @@ func (s *RemoteStore) Get(key string) ([]byte, error) {
 
 // GetRange implements BlobStore.
 func (s *RemoteStore) GetRange(key string, off, length int64) ([]byte, error) {
+	return s.GetRangeCtx(nil, key, off, length)
+}
+
+// GetRangeCtx implements CtxReader.
+func (s *RemoteStore) GetRangeCtx(ctx context.Context, key string, off, length int64) ([]byte, error) {
 	data, err := s.backing.GetRange(key, off, length)
-	s.charge(int64(len(data)))
+	if cerr := s.chargeCtx(ctx, int64(len(data))); cerr != nil {
+		return nil, cerr
+	}
 	s.gets.Add(1)
 	s.bytesRead.Add(int64(len(data)))
 	return data, err

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -302,11 +303,17 @@ func (r *SegmentReader) colMeta(name string) (*ColumnMeta, *ColumnDef, error) {
 
 // ReadColumn fetches an entire column with one blob read.
 func (r *SegmentReader) ReadColumn(name string) (*ColumnData, error) {
+	return r.ReadColumnCtx(nil, name)
+}
+
+// ReadColumnCtx is ReadColumn bounded by a context: a fired deadline or
+// cancel aborts the (remote) blob read.
+func (r *SegmentReader) ReadColumnCtx(ctx context.Context, name string) (*ColumnData, error) {
 	cm, def, err := r.colMeta(name)
 	if err != nil {
 		return nil, err
 	}
-	blob, err := r.Store.Get(ColumnKey(r.Meta.Table, r.Meta.Name, name))
+	blob, err := GetCtx(ctx, r.Store, ColumnKey(r.Meta.Table, r.Meta.Name, name))
 	if err != nil {
 		return nil, err
 	}
@@ -327,6 +334,12 @@ func (r *SegmentReader) ReadColumn(name string) (*ColumnData, error) {
 // with rows. This is the reduced-granularity read path: remote reads
 // are one GetRange per needed granule, not the whole column.
 func (r *SegmentReader) ReadRows(name string, rows []int) (*ColumnData, error) {
+	return r.ReadRowsCtx(nil, name, rows)
+}
+
+// ReadRowsCtx is ReadRows bounded by a context: each granule fetch
+// checks for cancellation and aborts in-flight remote range reads.
+func (r *SegmentReader) ReadRowsCtx(ctx context.Context, name string, rows []int) (*ColumnData, error) {
 	cm, def, err := r.colMeta(name)
 	if err != nil {
 		return nil, err
@@ -357,7 +370,7 @@ func (r *SegmentReader) ReadRows(name string, rows []int) (*ColumnData, error) {
 	decoded := map[int]*ColumnData{}
 	for bi := range needed {
 		b := cm.Blocks[bi]
-		blob, err := r.Store.GetRange(ColumnKey(r.Meta.Table, r.Meta.Name, name), b.Offset, b.Length)
+		blob, err := GetRangeCtx(ctx, r.Store, ColumnKey(r.Meta.Table, r.Meta.Name, name), b.Offset, b.Length)
 		if err != nil {
 			return nil, err
 		}
