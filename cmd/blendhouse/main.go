@@ -1,15 +1,23 @@
 // Command blendhouse is an interactive SQL shell (and one-shot SQL
-// runner) over a BlendHouse engine. State persists to a blob-store
-// directory, so tables survive restarts:
+// runner) over a BlendHouse engine, plus a network query server.
+// State persists to a blob-store directory, so tables survive
+// restarts:
 //
 //	blendhouse -data ./bhdata                # interactive shell
 //	blendhouse -data ./bhdata -e "SELECT..." # one-shot statement
 //	blendhouse -data ./bhdata -f setup.sql   # run a script
+//	blendhouse serve -data ./bhdata -addr 127.0.0.1:8428
+//	                                         # HTTP query server (pkg/client)
 //
 // The dialect is the paper's (Example 1): CREATE TABLE with INDEX ...
 // TYPE HNSW('DIM=...'), PARTITION BY, CLUSTER BY ... INTO n BUCKETS;
 // INSERT ... VALUES / CSV INFILE; SELECT ... WHERE ... ORDER BY
 // L2Distance(col, [..]) LIMIT k [SETTINGS ef_search=..].
+//
+// Serve mode hosts POST /v1/query and /v1/exec (see internal/server)
+// with admission control and per-connection SET sessions, drains
+// gracefully on SIGTERM/SIGINT, and can host the debug endpoint
+// (-debug-addr) under the same lifecycle.
 package main
 
 import (
@@ -18,21 +26,25 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"net/http"
-	"net/http/pprof"
 	"os"
-	"strconv"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"blendhouse/internal/cache"
 	"blendhouse/internal/core"
 	"blendhouse/internal/exec"
 	"blendhouse/internal/obs"
+	"blendhouse/internal/server"
 	"blendhouse/internal/storage"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
 	var (
 		dataDir   = flag.String("data", "./bhdata", "blob store directory")
 		oneShot   = flag.String("e", "", "execute one statement and exit")
@@ -43,27 +55,24 @@ func main() {
 	)
 	flag.Parse()
 
+	// The debug endpoint binds synchronously so a bad address fails the
+	// process here instead of dying silently inside a goroutine, and it
+	// drains cleanly when the shell exits.
+	var debug *server.DebugServer
 	if *debugAddr != "" {
-		go serveDebug(*debugAddr)
+		var err error
+		if debug, err = server.NewDebug(*debugAddr); err != nil {
+			fatal(err)
+		}
+		defer debug.Drain(time.Second)
 	}
 
-	store, err := storage.NewFSStore(*dataDir)
-	if err != nil {
-		fatal(err)
-	}
-	ccCfg := cache.DefaultColumnCacheConfig()
-	engine, err := core.New(core.Config{
-		Store:            store,
-		ColumnCache:      &ccCfg,
-		SemanticFraction: 0.5,
-		AutoIndex:        true,
-		MaxParallelism:   *maxPar,
-	})
+	engine, err := openEngine(*dataDir, *maxPar)
 	if err != nil {
 		fatal(err)
 	}
 
-	sess := &session{engine: engine, timeout: *timeout}
+	sess := &session{engine: engine, vars: server.NewSession(*timeout, 0)}
 	switch {
 	case *oneShot != "":
 		if err := sess.runStatement(*oneShot); err != nil {
@@ -85,11 +94,110 @@ func main() {
 	}
 }
 
-// session holds per-shell execution settings (statement timeout),
-// adjustable at runtime with SET.
+// openEngine builds the standard shell/server engine over a
+// filesystem store.
+func openEngine(dataDir string, maxPar int) (*core.Engine, error) {
+	store, err := storage.NewFSStore(dataDir)
+	if err != nil {
+		return nil, err
+	}
+	ccCfg := cache.DefaultColumnCacheConfig()
+	return core.New(core.Config{
+		Store:            store,
+		ColumnCache:      &ccCfg,
+		SemanticFraction: 0.5,
+		AutoIndex:        true,
+		MaxParallelism:   maxPar,
+	})
+}
+
+// runServe hosts the network query server (and optionally the debug
+// endpoint) under one lifecycle: SIGTERM/SIGINT starts a graceful
+// drain — stop accepting, finish in-flight statements up to
+// -drain-timeout — and the process exits 0 only on a clean drain.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("blendhouse serve", flag.ExitOnError)
+	var (
+		dataDir      = fs.String("data", "./bhdata", "blob store directory")
+		addr         = fs.String("addr", "127.0.0.1:8428", "query API listen address (POST /v1/query, /v1/exec)")
+		debugAddr    = fs.String("debug-addr", "", "also serve /metrics, /vars and pprof on this address")
+		maxConc      = fs.Int("max-concurrent", 0, "statements executing at once (0 = 2×GOMAXPROCS)")
+		maxQueue     = fs.Int("max-queue", 0, "admission wait-queue bound; beyond it statements shed with 429 (0 = 4×max-concurrent, negative = no queue)")
+		queueTimeout = fs.Duration("queue-timeout", 0, "shed statements queued longer than this (0 = wait for the statement deadline)")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "grace for in-flight statements on shutdown")
+		timeout      = fs.Duration("timeout", 0, "default per-session statement timeout (sessions adjust with SET statement_timeout)")
+		maxPar       = fs.Int("max-parallelism", 0, "per-query segment fan-out (0 = GOMAXPROCS)")
+	)
+	fs.Parse(args)
+
+	engine, err := openEngine(*dataDir, *maxPar)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Engine: engine,
+		Addr:   *addr,
+		Admission: server.AdmissionConfig{
+			MaxConcurrent: *maxConc,
+			MaxQueue:      *maxQueue,
+			QueueTimeout:  *queueTimeout,
+		},
+		DrainTimeout:   *drainTimeout,
+		SessionTimeout: *timeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		fatal(err)
+	}
+	var debug *server.DebugServer
+	debugErr := make(<-chan error) // nil-like: blocks forever when unused
+	if *debugAddr != "" {
+		if debug, err = server.NewDebug(*debugAddr); err != nil {
+			fatal(err)
+		}
+		debugErr = debug.Err()
+		fmt.Printf("blendhouse debug endpoint on http://%s\n", debug.Addr())
+	}
+	adm := srv.Admission()
+	fmt.Printf("blendhouse serving on http://%s (max-concurrent=%d, max-queue=%d)\n",
+		srv.Addr(), adm.Capacity(), adm.QueueBound())
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("received %v, draining (up to %v)...\n", sig, *drainTimeout)
+		code := 0
+		if err := srv.Drain(); err != nil {
+			fmt.Fprintln(os.Stderr, "drain:", err)
+			code = 1
+		}
+		if debug != nil {
+			if err := debug.Drain(time.Second); err != nil {
+				fmt.Fprintln(os.Stderr, "debug drain:", err)
+				code = 1
+			}
+		}
+		engine.Close()
+		if code == 0 {
+			fmt.Println("drained cleanly")
+		}
+		os.Exit(code)
+	case err := <-srv.Err():
+		fatal(fmt.Errorf("query server failed: %w", err))
+	case err := <-debugErr:
+		fatal(fmt.Errorf("debug server failed: %w", err))
+	}
+}
+
+// session holds the shell's single implicit session: the same SET
+// variables (statement_timeout, max_parallelism) a network client gets
+// per connection, handled by the same code.
 type session struct {
-	engine  *core.Engine
-	timeout time.Duration
+	engine *core.Engine
+	vars   *server.Session
 }
 
 func fatal(err error) {
@@ -104,33 +212,10 @@ func fatalStmt(err error) {
 	os.Exit(1)
 }
 
-// serveDebug exposes the metrics registry and Go's pprof handlers on a
-// dedicated mux (not http.DefaultServeMux, so nothing leaks onto other
-// servers the process might open).
-func serveDebug(addr string) {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		obs.Default().WriteText(w)
-	})
-	mux.HandleFunc("/vars", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		obs.Default().WriteJSON(w)
-	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	if err := http.ListenAndServe(addr, mux); err != nil {
-		fmt.Fprintln(os.Stderr, "debug server:", err)
-	}
-}
-
 // repl reads semicolon-terminated statements interactively.
 func (sess *session) repl() {
 	engine := sess.engine
-	fmt.Println("BlendHouse shell — end statements with ';'; also: SHOW TABLES, DESCRIBE t, SET statement_timeout = <ms>, DELETE FROM t WHERE id IN (...), OPTIMIZE TABLE t; \\q quits")
+	fmt.Println("BlendHouse shell — end statements with ';'; also: SHOW TABLES, DESCRIBE t, SET statement_timeout = <ms>, SET max_parallelism = <n>, DELETE FROM t WHERE id IN (...), OPTIMIZE TABLE t; \\q quits")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var buf strings.Builder
@@ -168,58 +253,31 @@ func (sess *session) repl() {
 }
 
 // runStatement executes one statement and prints the result table.
-// Shell-level settings (SET statement_timeout = <ms>) are intercepted
-// before reaching the engine.
+// Session settings (SET statement_timeout / max_parallelism) are
+// intercepted before reaching the engine.
 func (sess *session) runStatement(stmt string) error {
 	stmt = strings.TrimSpace(stmt)
 	if stmt == "" {
 		return nil
 	}
-	if handled, err := sess.handleSet(stmt); handled {
-		return err
+	if handled, msg, err := sess.vars.HandleSet(stmt); handled {
+		if err != nil {
+			return err
+		}
+		fmt.Println(msg)
+		return nil
 	}
 	start := obs.Now()
-	res, err := sess.engine.Query(context.Background(), stmt, core.QueryOptions{Timeout: sess.timeout})
+	res, err := sess.engine.Query(context.Background(), stmt, core.QueryOptions{
+		Timeout:        sess.vars.Timeout(),
+		MaxParallelism: sess.vars.MaxParallelism(),
+	})
 	if err != nil {
 		return err
 	}
 	printResult(res)
 	fmt.Printf("%d rows in %.3f ms\n", len(res.Rows), float64(time.Since(start).Microseconds())/1000)
 	return nil
-}
-
-// handleSet intercepts the shell-level SET statement_timeout = <ms>
-// setting (0 disables). Returns handled=false for anything else, which
-// then goes to the engine verbatim.
-func (sess *session) handleSet(stmt string) (bool, error) {
-	s := strings.TrimSuffix(strings.TrimSpace(stmt), ";")
-	fields := strings.Fields(s)
-	if len(fields) == 0 || !strings.EqualFold(fields[0], "SET") {
-		return false, nil
-	}
-	rest := strings.TrimSpace(s[len(fields[0]):])
-	name, value, ok := strings.Cut(rest, "=")
-	if !ok {
-		return true, fmt.Errorf("shell: SET wants <setting> = <value>")
-	}
-	name = strings.ToLower(strings.TrimSpace(name))
-	value = strings.TrimSpace(value)
-	switch name {
-	case "statement_timeout":
-		ms, err := strconv.ParseInt(value, 10, 64)
-		if err != nil || ms < 0 {
-			return true, fmt.Errorf("shell: statement_timeout wants a non-negative integer (milliseconds), got %q", value)
-		}
-		sess.timeout = time.Duration(ms) * time.Millisecond
-		if ms == 0 {
-			fmt.Println("OK: statement timeout disabled")
-		} else {
-			fmt.Printf("OK: statement timeout set to %dms\n", ms)
-		}
-		return true, nil
-	default:
-		return true, fmt.Errorf("shell: unknown setting %q (supported: statement_timeout)", name)
-	}
 }
 
 // classifyError prefixes engine taxonomy errors distinctly so a shell

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"blendhouse/internal/core"
+	"blendhouse/internal/obs"
+	"blendhouse/internal/server"
+	"blendhouse/internal/storage"
+	"blendhouse/pkg/client"
+)
+
+func init() {
+	register("serving", "Network serving throughput/latency vs concurrent clients (PR 3 admission + HTTP tier)", runServing)
+}
+
+// servingConcurrencies are the client-concurrency levels of
+// BENCH_pr3.json (the acceptance floor is ≥ 3 levels).
+var servingConcurrencies = []int{1, 2, 4, 8, 16}
+
+// runServing measures the query server end to end: engine on a
+// latency-modeled remote store, real TCP listener, pkg/client callers
+// at increasing concurrency. Reported QPS/latency therefore include
+// JSON encoding, the admission gate and loopback HTTP — the serving
+// overhead the in-process benchmarks can't see.
+func runServing(cfg Config) (*Report, error) {
+	ds := prodLike(cfg)
+	store := storage.NewRemoteStore(storage.NewMemStore(), storage.RemoteConfig{
+		OpLatency: 200 * time.Microsecond, BytesPerSecond: 1 << 30,
+	})
+	engine, err := core.New(core.Config{Store: store, SegmentRows: 2000})
+	if err != nil {
+		return nil, err
+	}
+	defer engine.Close()
+	ctx := context.Background()
+	if _, err := engine.Exec(ctx, fmt.Sprintf(`CREATE TABLE bench_serving (
+		id UInt64,
+		attr Int64,
+		embedding Array(Float32),
+		INDEX ann_idx embedding TYPE HNSW('DIM=%d','M=16','EF_CONSTRUCTION=100')
+	) ORDER BY id`, ds.Spec.Dim)); err != nil {
+		return nil, err
+	}
+	attrs := seqAttrs(ds.Vectors.Rows())
+	var sb strings.Builder
+	for i := 0; i < ds.Vectors.Rows(); i++ {
+		if sb.Len() == 0 {
+			sb.WriteString("INSERT INTO bench_serving VALUES ")
+		} else {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "(%d, %d, %s)", i, attrs[i], vecSQL(ds.Vectors.Row(i)))
+		if sb.Len() > 4<<20 {
+			if _, err := engine.Exec(ctx, sb.String()); err != nil {
+				return nil, err
+			}
+			sb.Reset()
+		}
+	}
+	if sb.Len() > 0 {
+		if _, err := engine.Exec(ctx, sb.String()); err != nil {
+			return nil, err
+		}
+	}
+
+	// Fixed admission sizing so results don't depend on the box's
+	// GOMAXPROCS: 4 concurrent statements, queue deep enough that the
+	// 16-client level queues instead of shedding (sheds are reported
+	// so a regression shows up as a nonzero column, not a silent skew).
+	srv, err := server.New(server.Config{
+		Engine:    engine,
+		Addr:      "127.0.0.1:0",
+		Admission: server.AdmissionConfig{MaxConcurrent: 4, MaxQueue: 64},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	defer srv.Drain()
+
+	lo, hi := selRange(ds.Vectors.Rows(), 0.5)
+	queryFor := func(qi int) string {
+		return fmt.Sprintf(`SELECT id, dist FROM bench_serving WHERE attr >= %d AND attr <= %d ORDER BY L2Distance(embedding, %s) AS dist LIMIT 10`,
+			lo, hi, vecSQL(ds.Queries.Row(qi%ds.Queries.Rows())))
+	}
+
+	rep := &Report{
+		ID:      "serving",
+		Title:   "Concurrent-clients throughput/latency through the HTTP serving tier",
+		Headers: []string{"clients", "qps", "mean_ms", "p99_ms", "shed"},
+	}
+	shedFull := obs.Default().Counter("bh.server.admission.shed.queue_full")
+	shedTime := obs.Default().Counter("bh.server.admission.shed.queue_timeout")
+	n := cfg.Queries * 4
+	for _, conc := range servingConcurrencies {
+		c, err := client.New(client.Config{BaseURL: "http://" + srv.Addr()})
+		if err != nil {
+			return nil, err
+		}
+		// One warm query per level keeps index/column cache effects
+		// comparable across concurrencies.
+		if _, err := c.Query(ctx, queryFor(0)); err != nil {
+			c.Close()
+			return nil, err
+		}
+		shedBefore := shedFull.Value() + shedTime.Value()
+		tm, err := MeasureConcurrent(n, conc, func(qi int) error {
+			_, err := c.Query(ctx, queryFor(qi))
+			return err
+		})
+		c.Close()
+		if err != nil {
+			return nil, err
+		}
+		rep.AddRow(fmt.Sprint(conc),
+			fmt.Sprintf("%.1f", tm.QPS),
+			fmt.Sprintf("%.2f", float64(tm.Mean.Microseconds())/1000),
+			fmt.Sprintf("%.2f", float64(tm.P99.Microseconds())/1000),
+			fmt.Sprint(shedFull.Value()+shedTime.Value()-shedBefore))
+	}
+	rep.Note("end-to-end: pkg/client → HTTP/JSON → admission (%d slots, queue %d) → Engine.Query over a 200µs/op remote store; %d queries per level",
+		srv.Admission().Capacity(), srv.Admission().QueueBound(), n)
+	rep.Note("shape check: QPS should rise with clients until the admission/worker ceiling, with p99 growing as queueing sets in")
+	return rep, nil
+}
+
+// vecSQL renders a vector literal for the SQL dialect.
+func vecSQL(v []float32) string {
+	parts := make([]string, len(v))
+	for i, f := range v {
+		parts[i] = fmt.Sprintf("%g", f)
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}

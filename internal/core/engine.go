@@ -6,6 +6,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -421,6 +422,12 @@ func (e *Engine) runTraced(ctx context.Context, table string, ph *plan.Physical,
 		Trace: opts.Trace, MaxParallelism: opts.MaxParallelism,
 	})
 	mQueryLatency.Observe(time.Since(start))
+	if errors.Is(err, exec.ErrInvalidQuery) {
+		// Execution-time statement validation (unknown predicate
+		// column, type mismatch) is the statement's fault: fold it into
+		// the plan class so callers see a 4xx-style failure.
+		err = planErr(err)
+	}
 	return res, err
 }
 
@@ -490,7 +497,7 @@ func (e *Engine) dropTable(name string) error {
 	delete(e.execs, name)
 	e.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("core: table %q does not exist", name)
+		return unknownTableErr(name)
 	}
 	keys, err := e.cfg.Store.List("tables/" + t.Name() + "/")
 	if err != nil {

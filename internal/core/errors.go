@@ -26,6 +26,14 @@ var (
 	ErrPlan         = errors.New("planning failed")
 )
 
+// Taxonomy returns every sentinel of the engine error taxonomy. It is
+// the single source of truth for layers that must handle each failure
+// class exhaustively (the HTTP status mapping in internal/server tests
+// itself against this list).
+func Taxonomy() []error {
+	return []error{ErrCanceled, ErrTimeout, ErrUnknownTable, ErrPlan}
+}
+
 // wrapCtxErr tags context cancellations/deadlines with the engine
 // taxonomy; every other error passes through unchanged.
 func wrapCtxErr(err error) error {

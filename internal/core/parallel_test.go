@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"blendhouse/internal/storage"
+	"blendhouse/internal/testutil"
 )
 
 // TestSequentialParallelEquivalence is the determinism contract of the
@@ -121,16 +122,7 @@ func TestQueryCancellation(t *testing.T) {
 		t.Fatalf("cancelled query took %v to return", elapsed)
 	}
 	// All pool workers must have exited.
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		if runtime.NumGoroutine() <= before {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutines leaked: before=%d now=%d", before, runtime.NumGoroutine())
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	testutil.CheckNoLeaks(t, before)
 }
 
 // TestQueryTimeout drives the QueryOptions.Timeout path (and therefore

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -64,6 +65,12 @@ type RunOptions struct {
 	// run (0 = executor default).
 	MaxParallelism int
 }
+
+// ErrInvalidQuery tags execution-time validation failures that are the
+// statement's fault (unknown column in a predicate, type mismatch), as
+// opposed to engine faults. The core layer folds it into its ErrPlan
+// class so network servers answer 4xx, not 5xx.
+var ErrInvalidQuery = errors.New("exec: invalid query")
 
 // Result is a materialized query result.
 type Result struct {

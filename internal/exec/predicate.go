@@ -33,12 +33,15 @@ type compiledPred struct {
 }
 
 // compilePredicates type-checks and compiles the scalar conjuncts.
+// Failures (unknown column, type mismatch) are the statement's fault,
+// not the engine's, so they are tagged ErrInvalidQuery for callers
+// that map errors onto a user/server fault split.
 func compilePredicates(schema *storage.Schema, preds []sql.Predicate) ([]compiledPred, error) {
 	out := make([]compiledPred, 0, len(preds))
 	for _, p := range preds {
 		cp, err := compileOne(schema, p)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %w", ErrInvalidQuery, err)
 		}
 		out = append(out, *cp)
 	}

@@ -47,6 +47,16 @@ type Gauge struct{ v atomic.Int64 }
 // Set stores n.
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
+// Add moves the gauge by delta (negative to decrease) — the shape
+// used by level-style gauges such as in-flight request counts.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
 // Value reads the gauge.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 

@@ -50,6 +50,37 @@ func TestRegistryConcurrency(t *testing.T) {
 	}
 }
 
+// TestGaugeDeltas certifies the level-gauge arithmetic (in-flight
+// request counts) under concurrency: balanced Inc/Dec and ±Add must
+// return the gauge to zero.
+func TestGaugeDeltas(t *testing.T) {
+	g := &Gauge{}
+	g.Set(5)
+	g.Add(3)
+	g.Dec()
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	g.Set(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Inc()
+				g.Add(2)
+				g.Add(-2)
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Fatalf("balanced deltas left gauge at %d, want 0", got)
+	}
+}
+
 func TestHistogramQuantiles(t *testing.T) {
 	h := &Histogram{}
 	// 1000 observations spread 1..1000 µs.

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"blendhouse/internal/obs"
+)
+
+// DebugHandler builds the operational mux — /metrics and /vars over
+// the obs registry, plus Go's pprof — on a dedicated mux (never
+// http.DefaultServeMux, so nothing leaks onto the query server).
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		obs.Default().WriteText(w)
+	})
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		obs.Default().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DebugServer hosts DebugHandler with the same lifecycle discipline as
+// the query server: the bind error surfaces from NewDebug instead of
+// dying silently inside a goroutine, and Drain shuts it down
+// gracefully.
+type DebugServer struct {
+	lc *httpLifecycle
+}
+
+// NewDebug binds addr and starts serving the debug mux in the
+// background.
+func NewDebug(addr string) (*DebugServer, error) {
+	lc, err := startHTTP(&http.Server{
+		Handler:           DebugHandler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &DebugServer{lc: lc}, nil
+}
+
+// Addr reports the bound address (resolves ":0").
+func (d *DebugServer) Addr() string { return d.lc.addr() }
+
+// Err delivers the serve loop's terminal error (nil after clean
+// drain).
+func (d *DebugServer) Err() <-chan error { return d.lc.err }
+
+// Drain gracefully shuts the debug server down (0 = wait
+// indefinitely for in-flight scrapes).
+func (d *DebugServer) Drain(timeout time.Duration) error {
+	return d.lc.drain(timeout)
+}

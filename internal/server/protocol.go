@@ -1,0 +1,84 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// NDJSONContentType is the streaming response content type of
+// /v1/query. A request opts in by sending "Accept:
+// application/x-ndjson"; the default is one application/json object.
+const NDJSONContentType = "application/x-ndjson"
+
+// QueryRequest is the POST body of /v1/query and /v1/exec.
+type QueryRequest struct {
+	// Query is one SQL statement (the shell dialect, plus SET
+	// statement_timeout / max_parallelism handled session-side).
+	Query string `json:"query"`
+	// TimeoutMS bounds this statement (0 = session default). The
+	// deadline propagates into Engine.Query, so expiry cancels segment
+	// scans and remote reads, not just the response.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MaxParallelism overrides per-query segment fan-out
+	// (0 = session default, then engine default).
+	MaxParallelism int `json:"max_parallelism,omitempty"`
+}
+
+// QueryResponse is the non-streaming (application/json) result.
+type QueryResponse struct {
+	Columns   []string `json:"columns"`
+	Rows      [][]any  `json:"rows"`
+	RowCount  int      `json:"row_count"`
+	ElapsedMS float64  `json:"elapsed_ms"`
+}
+
+// StreamHeader is the first NDJSON line of a streaming response.
+type StreamHeader struct {
+	Columns []string `json:"columns"`
+}
+
+// StreamTrailer is the last NDJSON line: either Done with the row
+// count, or Error when execution failed after the header was sent
+// (the HTTP status is already 200 by then; the trailer is the only
+// place left to signal failure).
+type StreamTrailer struct {
+	Done      bool       `json:"done"`
+	RowCount  int        `json:"row_count"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+	Error     *WireError `json:"error,omitempty"`
+}
+
+// WireError is the machine-readable error body (see status.go for the
+// code vocabulary and the status mapping).
+type WireError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Retryable promises the statement never executed, so resending is
+	// safe even for INSERT/DELETE.
+	Retryable bool `json:"retryable"`
+}
+
+// ErrorBody wraps WireError as the top-level JSON error response.
+type ErrorBody struct {
+	Error WireError `json:"error"`
+}
+
+// writeJSON writes v with the given status as application/json.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeError maps err and writes the standard error body. Sheds get a
+// Retry-After hint so well-behaved clients pace their backoff.
+func writeError(w http.ResponseWriter, err error) {
+	status, code := StatusFor(err)
+	if code == CodeShed || code == CodeDraining {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, ErrorBody{Error: WireError{
+		Code: code, Message: err.Error(), Retryable: Retryable(code),
+	}})
+}

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Session holds per-connection execution settings, adjustable at
+// runtime with SET. The server binds one Session to each client TCP
+// connection (http.Server.ConnContext), so a client that reuses its
+// connection — as pkg/client does — sees SET variables persist across
+// statements exactly like a database session. The shell reuses the
+// same type for its single implicit session.
+//
+// Supported variables:
+//
+//	SET statement_timeout = <ms>   (0 disables)
+//	SET max_parallelism  = <n>     (0 = engine default)
+type Session struct {
+	mu      sync.Mutex
+	timeout time.Duration
+	maxPar  int
+}
+
+// NewSession builds a session with initial defaults (as set by server
+// or shell flags).
+func NewSession(timeout time.Duration, maxParallelism int) *Session {
+	return &Session{timeout: timeout, maxPar: maxParallelism}
+}
+
+// Timeout returns the session statement timeout (0 = none).
+func (s *Session) Timeout() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.timeout
+}
+
+// MaxParallelism returns the session fan-out override (0 = default).
+func (s *Session) MaxParallelism() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxPar
+}
+
+// Vars renders the current settings (SHOW SESSION, status responses).
+func (s *Session) Vars() map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return map[string]string{
+		"statement_timeout": strconv.FormatInt(s.timeout.Milliseconds(), 10),
+		"max_parallelism":   strconv.Itoa(s.maxPar),
+	}
+}
+
+// HandleSet intercepts a SET statement. It returns handled=false when
+// stmt is not a SET (the statement then goes to the engine verbatim),
+// and otherwise a confirmation message or an error for an unknown
+// variable / bad value.
+func (s *Session) HandleSet(stmt string) (handled bool, msg string, err error) {
+	trimmed := strings.TrimSuffix(strings.TrimSpace(stmt), ";")
+	fields := strings.Fields(trimmed)
+	if len(fields) == 0 || !strings.EqualFold(fields[0], "SET") {
+		return false, "", nil
+	}
+	rest := strings.TrimSpace(trimmed[len(fields[0]):])
+	name, value, ok := strings.Cut(rest, "=")
+	if !ok {
+		return true, "", fmt.Errorf("session: SET wants <variable> = <value>")
+	}
+	name = strings.ToLower(strings.TrimSpace(name))
+	value = strings.TrimSpace(value)
+	switch name {
+	case "statement_timeout":
+		ms, err := strconv.ParseInt(value, 10, 64)
+		if err != nil || ms < 0 {
+			return true, "", fmt.Errorf("session: statement_timeout wants a non-negative integer (milliseconds), got %q", value)
+		}
+		s.mu.Lock()
+		s.timeout = time.Duration(ms) * time.Millisecond
+		s.mu.Unlock()
+		if ms == 0 {
+			return true, "OK: statement timeout disabled", nil
+		}
+		return true, fmt.Sprintf("OK: statement timeout set to %dms", ms), nil
+	case "max_parallelism":
+		n, err := strconv.Atoi(value)
+		if err != nil || n < 0 {
+			return true, "", fmt.Errorf("session: max_parallelism wants a non-negative integer, got %q", value)
+		}
+		s.mu.Lock()
+		s.maxPar = n
+		s.mu.Unlock()
+		if n == 0 {
+			return true, "OK: max_parallelism reset to engine default", nil
+		}
+		return true, fmt.Sprintf("OK: max_parallelism set to %d", n), nil
+	default:
+		return true, "", fmt.Errorf("session: unknown variable %q (supported: statement_timeout, max_parallelism)", name)
+	}
+}

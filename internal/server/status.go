@@ -1,0 +1,70 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+
+	"blendhouse/internal/core"
+)
+
+// ErrDraining is returned to statements arriving after graceful drain
+// began. Like ErrShed it is safe to retry — the statement never
+// started — but against a different replica: this one is going away.
+var ErrDraining = errors.New("server: draining, not accepting statements")
+
+// StatusClientClosedRequest is nginx's non-standard 499 ("client
+// closed request"), used when the statement died because the caller's
+// context was canceled — no standard 4xx says that, and 5xx would
+// wrongly blame the server.
+const StatusClientClosedRequest = 499
+
+// Machine-readable error codes carried in ErrorBody.Code. Clients
+// branch on these (or on the HTTP status) instead of parsing messages.
+const (
+	CodeTimeout      = "TIMEOUT"
+	CodeCanceled     = "CANCELED"
+	CodeUnknownTable = "UNKNOWN_TABLE"
+	CodePlan         = "PLAN"
+	CodeShed         = "SHED"
+	CodeDraining     = "DRAINING"
+	CodeBadRequest   = "BAD_REQUEST"
+	CodeSession      = "SESSION"
+	CodeInternal     = "INTERNAL"
+)
+
+// StatusFor maps an error from the serving path to its HTTP status and
+// machine-readable code. The core taxonomy maps exhaustively (tested
+// against core.Taxonomy()):
+//
+//	core.ErrTimeout      → 504 TIMEOUT       (statement deadline fired)
+//	core.ErrCanceled     → 499 CANCELED      (caller went away)
+//	core.ErrUnknownTable → 404 UNKNOWN_TABLE
+//	core.ErrPlan         → 400 PLAN          (parse/plan/validation)
+//	ErrShed              → 429 SHED          (admission queue full/timeout)
+//	ErrDraining          → 503 DRAINING      (graceful shutdown under way)
+//	anything else        → 500 INTERNAL
+func StatusFor(err error) (status int, code string) {
+	switch {
+	case errors.Is(err, core.ErrTimeout):
+		return http.StatusGatewayTimeout, CodeTimeout
+	case errors.Is(err, core.ErrCanceled):
+		return StatusClientClosedRequest, CodeCanceled
+	case errors.Is(err, core.ErrUnknownTable):
+		return http.StatusNotFound, CodeUnknownTable
+	case errors.Is(err, core.ErrPlan):
+		return http.StatusBadRequest, CodePlan
+	case errors.Is(err, ErrShed):
+		return http.StatusTooManyRequests, CodeShed
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, CodeDraining
+	default:
+		return http.StatusInternalServerError, CodeInternal
+	}
+}
+
+// Retryable reports whether an error code promises the statement was
+// never executed, making a retry safe even for DML. This is the
+// server-side contract pkg/client's retry policy leans on.
+func Retryable(code string) bool {
+	return code == CodeShed || code == CodeDraining
+}

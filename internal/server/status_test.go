@@ -1,0 +1,74 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"blendhouse/internal/core"
+)
+
+// TestStatusMappingExhaustive walks core.Taxonomy() — the engine's own
+// list of failure classes — and asserts every sentinel maps to a
+// distinct, non-500 status with a non-INTERNAL code. Adding a sentinel
+// to the taxonomy without teaching StatusFor about it fails here.
+func TestStatusMappingExhaustive(t *testing.T) {
+	seenStatus := map[int]error{}
+	seenCode := map[string]error{}
+	for _, sentinel := range core.Taxonomy() {
+		// Wrapped the way real errors arrive (fmt.Errorf %w chains).
+		err := fmt.Errorf("outer: %w", fmt.Errorf("core: %w (cause)", sentinel))
+		status, code := StatusFor(err)
+		if status == http.StatusInternalServerError || code == CodeInternal {
+			t.Errorf("taxonomy sentinel %v unmapped: got %d %s", sentinel, status, code)
+			continue
+		}
+		if prev, dup := seenStatus[status]; dup {
+			t.Errorf("status %d shared by %v and %v", status, prev, sentinel)
+		}
+		if prev, dup := seenCode[code]; dup {
+			t.Errorf("code %s shared by %v and %v", code, prev, sentinel)
+		}
+		seenStatus[status] = sentinel
+		seenCode[code] = sentinel
+	}
+}
+
+func TestStatusMappingServingErrors(t *testing.T) {
+	cases := []struct {
+		err        error
+		wantStatus int
+		wantCode   string
+	}{
+		{fmt.Errorf("x: %w", ErrShed), http.StatusTooManyRequests, CodeShed},
+		{fmt.Errorf("x: %w", ErrDraining), http.StatusServiceUnavailable, CodeDraining},
+		{core.ErrTimeout, http.StatusGatewayTimeout, CodeTimeout},
+		{core.ErrCanceled, StatusClientClosedRequest, CodeCanceled},
+		{core.ErrUnknownTable, http.StatusNotFound, CodeUnknownTable},
+		{core.ErrPlan, http.StatusBadRequest, CodePlan},
+		{errors.New("disk on fire"), http.StatusInternalServerError, CodeInternal},
+	}
+	for _, c := range cases {
+		status, code := StatusFor(c.err)
+		if status != c.wantStatus || code != c.wantCode {
+			t.Errorf("StatusFor(%v) = %d %s, want %d %s", c.err, status, code, c.wantStatus, c.wantCode)
+		}
+	}
+}
+
+// TestRetryableContract pins which codes promise the statement never
+// executed — the contract pkg/client's retry policy relies on.
+func TestRetryableContract(t *testing.T) {
+	retryable := map[string]bool{
+		CodeShed:     true,
+		CodeDraining: true,
+	}
+	all := []string{CodeTimeout, CodeCanceled, CodeUnknownTable, CodePlan,
+		CodeShed, CodeDraining, CodeBadRequest, CodeSession, CodeInternal}
+	for _, code := range all {
+		if got := Retryable(code); got != retryable[code] {
+			t.Errorf("Retryable(%s) = %v, want %v", code, got, retryable[code])
+		}
+	}
+}

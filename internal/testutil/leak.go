@@ -1,0 +1,26 @@
+// Package testutil holds small helpers shared across package tests.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// CheckNoLeaks fails the test unless the process goroutine count
+// returns to at most before within two seconds. Capture before with
+// runtime.NumGoroutine() ahead of the work under test; the polling
+// loop tolerates the scheduler's lag in reaping finished goroutines.
+func CheckNoLeaks(t testing.TB, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: before=%d now=%d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

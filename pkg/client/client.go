@@ -1,0 +1,296 @@
+// Package client is the Go client for a BlendHouse query server
+// (internal/server, hosted by `blendhouse serve`). It speaks the
+// /v1/query + /v1/exec JSON protocol with:
+//
+//   - connection reuse — one http.Transport pool per Client, so
+//     sequential statements ride one TCP connection and server-side
+//     SET session variables persist across them;
+//   - retries with jittered exponential backoff, but only on failures
+//     the server promises never executed the statement (429 SHED, 503
+//     DRAINING) or where the request never reached it (dial errors) —
+//     safe even for INSERT/DELETE;
+//   - typed errors mirroring the engine taxonomy (errors.go), so
+//     remote callers branch on errors.Is(err, client.ErrTimeout)
+//     exactly like in-process callers do on core.ErrTimeout;
+//   - NDJSON streaming (QueryStream) for results too large to
+//     materialize a JSON body for.
+//
+// The package deliberately depends only on the standard library — it
+// mirrors the wire types instead of importing the server.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Options tunes one statement.
+type Options struct {
+	// Timeout bounds the statement server-side (sent as timeout_ms and
+	// enforced inside the engine, queue wait included). 0 = the
+	// session's statement_timeout.
+	Timeout time.Duration
+	// MaxParallelism overrides per-query segment fan-out (0 = session,
+	// then engine default).
+	MaxParallelism int
+}
+
+// Config assembles a Client.
+type Config struct {
+	// BaseURL locates the server, e.g. "http://127.0.0.1:8428".
+	BaseURL string
+	// HTTPClient overrides the transport (nil = a dedicated pooled
+	// transport; see New).
+	HTTPClient *http.Client
+	// MaxRetries bounds retry attempts after the first try
+	// (default 4; negative disables retries).
+	MaxRetries int
+	// RetryBase is the first backoff delay (default 50ms); each retry
+	// doubles it, jittered ±50%, capped at RetryMax (default 2s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+}
+
+// Client talks to one BlendHouse server. Safe for concurrent use.
+type Client struct {
+	cfg  Config
+	http *http.Client
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New builds a client. The default transport keeps idle connections
+// alive so sequential statements reuse one connection (and therefore
+// one server session).
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("client: Config.BaseURL is required")
+	}
+	cfg.BaseURL = strings.TrimRight(cfg.BaseURL, "/")
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 4
+	} else if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 50 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 2 * time.Second
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        16,
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	return &Client{cfg: cfg, http: hc, rng: rand.New(rand.NewSource(time.Now().UnixNano()))}, nil
+}
+
+// Result is a materialized remote query result. Numeric values decode
+// as json.Number (not float64), preserving the server's exact wire
+// representation.
+type Result struct {
+	Columns   []string `json:"columns"`
+	Rows      [][]any  `json:"rows"`
+	RowCount  int      `json:"row_count"`
+	ElapsedMS float64  `json:"elapsed_ms"`
+}
+
+// wire request/response bodies (mirrors internal/server/protocol.go).
+type queryRequest struct {
+	Query          string `json:"query"`
+	TimeoutMS      int64  `json:"timeout_ms,omitempty"`
+	MaxParallelism int    `json:"max_parallelism,omitempty"`
+}
+
+type wireError struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+}
+
+type errorBody struct {
+	Error wireError `json:"error"`
+}
+
+// Query executes one statement and materializes the result.
+func (c *Client) Query(ctx context.Context, query string) (*Result, error) {
+	return c.QueryWith(ctx, query, Options{})
+}
+
+// QueryWith is Query with per-statement options.
+func (c *Client) QueryWith(ctx context.Context, query string, opts Options) (*Result, error) {
+	return c.roundTrip(ctx, "/v1/query", query, opts, "")
+}
+
+// Exec executes a DDL/DML statement (CREATE TABLE, INSERT, DELETE,
+// OPTIMIZE, SET …) and returns its status result. Exec retries under
+// exactly the same never-executed guarantee as Query, so a retried
+// INSERT cannot double-apply.
+func (c *Client) Exec(ctx context.Context, query string) (*Result, error) {
+	return c.roundTrip(ctx, "/v1/exec", query, Options{}, "")
+}
+
+// Set adjusts a session variable (SET <name> = <value>) on the
+// connection pool's session. Call it before concurrent queries: with
+// several pooled connections, only the connection that carried the SET
+// remembers it, so per-statement Options are the safer way to tune a
+// single query.
+func (c *Client) Set(ctx context.Context, name, value string) error {
+	_, err := c.Exec(ctx, fmt.Sprintf("SET %s = %s", name, value))
+	return err
+}
+
+// Close releases idle connections (and with them, server sessions).
+func (c *Client) Close() {
+	c.http.CloseIdleConnections()
+}
+
+// roundTrip posts the statement with retry/backoff and decodes the
+// JSON result (or, with accept set, returns the raw response via
+// streamResp).
+func (c *Client) roundTrip(ctx context.Context, route, query string, opts Options, accept string) (*Result, error) {
+	resp, err := c.doRetry(ctx, route, query, opts, accept)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	dec.UseNumber()
+	var res Result
+	if err := dec.Decode(&res); err != nil {
+		return nil, fmt.Errorf("client: decoding response: %w", err)
+	}
+	return &res, nil
+}
+
+// doRetry runs the POST until success, a terminal error, or retry
+// exhaustion. Only never-executed failures are retried.
+func (c *Client) doRetry(ctx context.Context, route, query string, opts Options, accept string) (*http.Response, error) {
+	req := queryRequest{Query: query, MaxParallelism: opts.MaxParallelism}
+	if opts.Timeout > 0 {
+		req.TimeoutMS = opts.Timeout.Milliseconds()
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			if err := c.backoff(ctx, attempt); err != nil {
+				return nil, wrapCtxErr(err)
+			}
+		}
+		resp, err := c.post(ctx, route, body, accept)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, wrapCtxErr(ctx.Err())
+			}
+			if !dialFailure(err) {
+				return nil, fmt.Errorf("client: %w", err)
+			}
+			lastErr = fmt.Errorf("client: %w", err) // never reached the server: retry
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			return resp, nil
+		}
+		apiErr := decodeAPIError(resp)
+		if apiErr.Retryable {
+			lastErr = apiErr
+			continue
+		}
+		return nil, apiErr
+	}
+	return nil, fmt.Errorf("%w (after %d attempts)", lastErr, c.cfg.MaxRetries+1)
+}
+
+func (c *Client) post(ctx context.Context, route string, body []byte, accept string) (*http.Response, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+route, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if accept != "" {
+		hreq.Header.Set("Accept", accept)
+	}
+	return c.http.Do(hreq)
+}
+
+// backoff sleeps the jittered exponential delay for attempt (1-based),
+// or returns early with the context's error.
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	d := c.cfg.RetryBase << uint(attempt-1)
+	if d > c.cfg.RetryMax {
+		d = c.cfg.RetryMax
+	}
+	// Full ±50% jitter decorrelates clients that were shed together —
+	// without it they all come back in lockstep and get shed again.
+	c.mu.Lock()
+	jitter := 0.5 + c.rng.Float64()
+	c.mu.Unlock()
+	d = time.Duration(float64(d) * jitter)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// wrapCtxErr maps the caller's context errors onto the client
+// taxonomy.
+func wrapCtxErr(err error) error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", ErrTimeout, err)
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return err
+}
+
+// dialFailure reports whether the request never reached the server
+// (connection refused/unreachable), which makes a resend safe.
+func dialFailure(err error) bool {
+	var opErr *net.OpError
+	return errors.As(err, &opErr) && opErr.Op == "dial"
+}
+
+// decodeAPIError drains resp into an *APIError (synthesizing one when
+// the body isn't the standard shape).
+func decodeAPIError(resp *http.Response) *APIError {
+	defer resp.Body.Close()
+	var eb errorBody
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err := json.Unmarshal(data, &eb); err != nil || eb.Error.Code == "" {
+		return &APIError{
+			StatusCode: resp.StatusCode,
+			Code:       "INTERNAL",
+			Message:    strings.TrimSpace(string(data)),
+		}
+	}
+	return &APIError{
+		StatusCode: resp.StatusCode,
+		Code:       eb.Error.Code,
+		Message:    eb.Error.Message,
+		Retryable:  eb.Error.Retryable,
+	}
+}

@@ -1,0 +1,67 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Client-side error taxonomy, mirroring the engine taxonomy of PR 2
+// plus the two serving-layer classes. Every error returned by Query /
+// Exec / QueryStream matches at most one sentinel under errors.Is, so
+// callers branch on failure class without string matching:
+//
+//	ErrTimeout      — the statement deadline fired (server 504 TIMEOUT,
+//	                  or the client-side context deadline)
+//	ErrCanceled     — the caller's context was canceled (or server 499)
+//	ErrUnknownTable — 404 UNKNOWN_TABLE
+//	ErrPlan         — 400 PLAN: the statement failed to parse/plan
+//	ErrShed         — 429 SHED: admission queue full; retried
+//	                  automatically, surfaced only once retries exhaust
+//	ErrDraining     — 503 DRAINING: server shutting down; also retried
+var (
+	ErrTimeout      = errors.New("client: query timed out")
+	ErrCanceled     = errors.New("client: query canceled")
+	ErrUnknownTable = errors.New("client: unknown table")
+	ErrPlan         = errors.New("client: planning failed")
+	ErrShed         = errors.New("client: request shed by admission control")
+	ErrDraining     = errors.New("client: server draining")
+)
+
+// APIError is a structured server error response. Unwrap yields the
+// matching taxonomy sentinel, so errors.Is(err, client.ErrPlan) and
+// errors.As(err, *APIError) both work on the same value.
+type APIError struct {
+	// StatusCode is the HTTP status the server answered with.
+	StatusCode int
+	// Code is the machine-readable code from the error body
+	// (TIMEOUT, SHED, …).
+	Code string
+	// Message is the human-readable server message.
+	Message string
+	// Retryable reports the server's promise that the statement never
+	// executed (sheds and drains), making resend safe even for DML.
+	Retryable bool
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server %d %s: %s", e.StatusCode, e.Code, e.Message)
+}
+
+// Unwrap maps the wire code onto the client taxonomy.
+func (e *APIError) Unwrap() error {
+	switch e.Code {
+	case "TIMEOUT":
+		return ErrTimeout
+	case "CANCELED":
+		return ErrCanceled
+	case "UNKNOWN_TABLE":
+		return ErrUnknownTable
+	case "PLAN", "BAD_REQUEST", "SESSION":
+		return ErrPlan
+	case "SHED":
+		return ErrShed
+	case "DRAINING":
+		return ErrDraining
+	}
+	return nil
+}
