@@ -35,6 +35,7 @@ import (
 	"blendhouse/internal/cache"
 	"blendhouse/internal/core"
 	"blendhouse/internal/exec"
+	"blendhouse/internal/lsm"
 	"blendhouse/internal/obs"
 	"blendhouse/internal/server"
 	"blendhouse/internal/storage"
@@ -52,6 +53,9 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /vars and pprof on this address (e.g. localhost:6060)")
 		timeout   = flag.Duration("timeout", 0, "per-statement timeout (0 = none); also settable at runtime with SET statement_timeout = <ms>")
 		maxPar    = flag.Int("max-parallelism", 0, "per-query segment fan-out (0 = GOMAXPROCS)")
+		useWAL    = flag.Bool("wal", true, "real-time write path: group-committed WAL + searchable memtable (off = cut segments synchronously per INSERT)")
+		flushRows = flag.Int("flush-rows", 0, "seal and flush the memtable after this many rows (0 = default)")
+		flushMS   = flag.Duration("flush-interval", 0, "background flush period for partial memtables (0 = default)")
 	)
 	flag.Parse()
 
@@ -67,10 +71,11 @@ func main() {
 		defer debug.Drain(time.Second)
 	}
 
-	engine, err := openEngine(*dataDir, *maxPar)
+	engine, err := openEngine(*dataDir, *maxPar, walConfig(*useWAL, *flushRows, *flushMS))
 	if err != nil {
 		fatal(err)
 	}
+	defer engine.Close() // drain the WAL flushers so acked rows reach segments
 
 	sess := &session{engine: engine, vars: server.NewSession(*timeout, 0)}
 	switch {
@@ -96,7 +101,7 @@ func main() {
 
 // openEngine builds the standard shell/server engine over a
 // filesystem store.
-func openEngine(dataDir string, maxPar int) (*core.Engine, error) {
+func openEngine(dataDir string, maxPar int, wal *lsm.WALConfig) (*core.Engine, error) {
 	store, err := storage.NewFSStore(dataDir)
 	if err != nil {
 		return nil, err
@@ -108,7 +113,24 @@ func openEngine(dataDir string, maxPar int) (*core.Engine, error) {
 		SemanticFraction: 0.5,
 		AutoIndex:        true,
 		MaxParallelism:   maxPar,
+		WAL:              wal,
 	})
+}
+
+// walConfig translates the -wal/-flush-* flags into the engine's
+// write-path config (nil = synchronous segment cutting, the pre-WAL
+// behaviour).
+func walConfig(enabled bool, flushRows int, flushInterval time.Duration) *lsm.WALConfig {
+	if !enabled {
+		return nil
+	}
+	return &lsm.WALConfig{
+		MaxMemRows:    flushRows,
+		FlushInterval: flushInterval,
+		OnError: func(err error) {
+			fmt.Fprintln(os.Stderr, "wal flush:", err)
+		},
+	}
 }
 
 // runServe hosts the network query server (and optionally the debug
@@ -127,10 +149,13 @@ func runServe(args []string) {
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "grace for in-flight statements on shutdown")
 		timeout      = fs.Duration("timeout", 0, "default per-session statement timeout (sessions adjust with SET statement_timeout)")
 		maxPar       = fs.Int("max-parallelism", 0, "per-query segment fan-out (0 = GOMAXPROCS)")
+		useWAL       = fs.Bool("wal", true, "real-time write path: group-committed WAL + searchable memtable (off = cut segments synchronously per INSERT)")
+		flushRows    = fs.Int("flush-rows", 0, "seal and flush the memtable after this many rows (0 = default)")
+		flushMS      = fs.Duration("flush-interval", 0, "background flush period for partial memtables (0 = default)")
 	)
 	fs.Parse(args)
 
-	engine, err := openEngine(*dataDir, *maxPar)
+	engine, err := openEngine(*dataDir, *maxPar, walConfig(*useWAL, *flushRows, *flushMS))
 	if err != nil {
 		fatal(err)
 	}

@@ -78,7 +78,12 @@ type Config struct {
 	// collapsed into a goroutine for the single-process deployment.
 	// Stop it with Engine.Close.
 	CompactionInterval time.Duration
-	Seed               int64
+	// WAL, when non-nil, enables the real-time write path on every
+	// table: INSERT/DELETE group-commit to a durable per-table log and
+	// become query-visible immediately via the memtable; a background
+	// flusher cuts L0 segments. Engine.Close drains it.
+	WAL  *lsm.WALConfig
+	Seed int64
 }
 
 // Engine is a BlendHouse instance.
@@ -128,7 +133,9 @@ func New(cfg Config) (*Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: recovering table %q: %w", name, err)
 		}
-		e.registerTable(t)
+		if err := e.registerTable(t); err != nil {
+			return nil, fmt.Errorf("core: recovering table %q: %w", name, err)
+		}
 	}
 	e.registerStatGauges()
 	return e, nil
@@ -157,7 +164,12 @@ func (e *Engine) registerStatGauges() {
 	reg.RegisterFunc("bh.plan.short_circuits", func() int64 { _, _, s := pl.Stats(); return s })
 }
 
-func (e *Engine) registerTable(t *lsm.Table) {
+func (e *Engine) registerTable(t *lsm.Table) error {
+	if e.cfg.WAL != nil {
+		if err := t.EnableWAL(*e.cfg.WAL); err != nil {
+			return err
+		}
+	}
 	e.mu.Lock()
 	e.tables[t.Name()] = t
 	frac := 0.0
@@ -193,13 +205,29 @@ func (e *Engine) registerTable(t *lsm.Table) {
 			}
 		}()
 	}
+	return nil
 }
 
-// Close stops background compaction loops. Safe to call multiple
-// times; the engine remains usable for queries afterwards (only the
-// background work stops).
+// Close stops background compaction loops and drains every table's
+// WAL: in-flight group commits land, the memtables flush into
+// segments, and the logs truncate to empty. Safe to call multiple
+// times; the engine remains usable for queries afterwards (DML falls
+// back to the synchronous segment path).
 func (e *Engine) Close() {
-	e.closeOnce.Do(func() { close(e.stopCompaction) })
+	e.closeOnce.Do(func() {
+		close(e.stopCompaction)
+		e.mu.RLock()
+		tables := make([]*lsm.Table, 0, len(e.tables))
+		for _, t := range e.tables {
+			tables = append(tables, t)
+		}
+		e.mu.RUnlock()
+		for _, t := range tables {
+			// Best-effort: a failed final flush leaves the rows in the
+			// WAL, where the next Open replays them.
+			_ = t.CloseWAL()
+		}
+	})
 }
 
 // Table returns a table handle, or nil.
@@ -294,7 +322,7 @@ func (e *Engine) exec(ctx context.Context, src string, opts QueryOptions) (*exec
 		}
 		return statusResult("OK: dropped table " + s.Name), nil
 	case *sql.Insert:
-		n, err := e.insert(s)
+		n, err := e.insert(ctx, s)
 		if err != nil {
 			return nil, err
 		}
@@ -310,7 +338,7 @@ func (e *Engine) exec(ctx context.Context, src string, opts QueryOptions) (*exec
 	case *sql.Describe:
 		return e.describe(s.Name)
 	case *sql.Delete:
-		return e.delete(s)
+		return e.delete(ctx, s)
 	case *sql.Optimize:
 		return e.optimize(s.Name)
 	default:
@@ -329,7 +357,7 @@ func (e *Engine) showTables() *exec.Result {
 		if t.Options().IndexColumn != "" {
 			idx = fmt.Sprintf("%s(%s)", t.Options().IndexType, t.Options().IndexColumn)
 		}
-		res.Rows = append(res.Rows, []any{n, int64(t.Rows()), int64(t.SegmentCount()), idx})
+		res.Rows = append(res.Rows, []any{n, int64(t.Rows() + t.MemRows()), int64(t.SegmentCount()), idx})
 	}
 	return res
 }
@@ -364,13 +392,14 @@ func (e *Engine) describe(name string) (*exec.Result, error) {
 }
 
 // delete marks rows deleted by key (multi-version path: delete bitmap
-// now, physical removal at the next compaction).
-func (e *Engine) delete(d *sql.Delete) (*exec.Result, error) {
+// now, physical removal at the next compaction). With the WAL enabled
+// the delete record is durable before this acks.
+func (e *Engine) delete(ctx context.Context, d *sql.Delete) (*exec.Result, error) {
 	t := e.Table(d.Table)
 	if t == nil {
 		return nil, unknownTableErr(d.Table)
 	}
-	n, err := t.DeleteByKey(d.Column, d.Keys)
+	n, err := t.DeleteByKeyCtx(ctx, d.Column, d.Keys)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"os"
@@ -16,8 +17,10 @@ import (
 // performs partitioning, semantic bucketing and pipelined index
 // building automatically, exactly as the paper's Example 1 promises
 // ("BlendHouse handles partitioning and index building
-// automatically").
-func (e *Engine) insert(ins *sql.Insert) (int, error) {
+// automatically"). With the WAL enabled the batch is group-committed
+// to the durable log and is query-visible when this returns; segment
+// cutting happens in the background flusher.
+func (e *Engine) insert(ctx context.Context, ins *sql.Insert) (int, error) {
 	t := e.Table(ins.Table)
 	if t == nil {
 		return 0, unknownTableErr(ins.Table)
@@ -36,7 +39,7 @@ func (e *Engine) insert(ins *sql.Insert) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := t.Insert(batch); err != nil {
+	if err := t.InsertCtx(ctx, batch); err != nil {
 		return 0, err
 	}
 	// New segments invalidate the executor's local index snapshot.

@@ -17,6 +17,7 @@ import (
 	"blendhouse/internal/plan"
 	"blendhouse/internal/storage"
 	"blendhouse/internal/vec"
+	"blendhouse/internal/wal"
 )
 
 // Execution metrics (SHOW METRICS / the -debug-addr endpoint). The
@@ -118,8 +119,12 @@ func (e *Executor) RunWith(ctx context.Context, ph *plan.Physical, opts RunOptio
 	if err != nil {
 		return nil, err
 	}
+	// One consistent view of segments + memtable snapshots for the
+	// whole query: a concurrent memtable flush can't duplicate or drop
+	// rows mid-execution.
+	view := e.Table.View()
 	if !lg.IsVectorQuery() {
-		return e.runScalar(ctx, lg, preds, par, tr)
+		return e.runScalar(ctx, lg, preds, par, view, tr)
 	}
 	mVecQueries.Inc()
 	switch ph.Strategy {
@@ -149,15 +154,27 @@ func (e *Executor) RunWith(ctx context.Context, ph *plan.Physical, opts RunOptio
 		}
 	}
 
+	// Unflushed rows: brute-force the memtable snapshots once — they
+	// are immune to semantic widening (never pruned) but their hits
+	// count toward k before a widening round is declared necessary.
+	var memHits []hit
+	if len(view.Mem) > 0 && lg.Range == nil {
+		memSp := root.Child("mem-scan")
+		memHits = memTopK(lg, preds, view.Mem, k)
+		memSp.SetInt("snapshots", int64(len(view.Mem)))
+		memSp.SetInt("hits", int64(len(memHits)))
+		memSp.End()
+	}
+
 	frac := e.SemanticFraction
 	round := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		total := e.Table.SegmentCount()
+		total := len(view.Segments)
 		pruneSp := root.Child("prune")
-		metas, prunedSemantically := e.pruneSegments(lg, preds, frac)
+		metas, prunedSemantically := e.pruneSegments(lg, preds, frac, view.Segments)
 		pruneSp.SetInt("round", int64(round))
 		pruneSp.SetInt("segments_total", int64(total))
 		pruneSp.SetInt("segments_kept", int64(len(metas)))
@@ -172,7 +189,7 @@ func (e *Executor) RunWith(ctx context.Context, ph *plan.Physical, opts RunOptio
 		var hits []hit
 		var err error
 		if lg.Range != nil {
-			hits, err = e.runRange(ctx, lg, preds, metas, par, params, scanSp, tr)
+			hits, err = e.runRange(ctx, lg, preds, metas, par, params, view.Mem, scanSp, tr)
 		} else {
 			hits, err = runStrategy(metas, scanSp)
 		}
@@ -183,7 +200,7 @@ func (e *Executor) RunWith(ctx context.Context, ph *plan.Physical, opts RunOptio
 		}
 		// Adaptive semantic widening (paper §IV-B): if pruning cost us
 		// results, re-run over more segments.
-		if prunedSemantically && len(hits) < k && lg.Range == nil {
+		if prunedSemantically && len(hits)+len(memHits) < k && lg.Range == nil {
 			mWidenRounds.Inc()
 			round++
 			frac = frac * 2
@@ -191,7 +208,7 @@ func (e *Executor) RunWith(ctx context.Context, ph *plan.Physical, opts RunOptio
 				continue
 			}
 			frac = 1 // final pass over everything
-			metas, _ := e.pruneSegments(lg, preds, 0)
+			metas, _ := e.pruneSegments(lg, preds, 0, view.Segments)
 			finalSp := root.Child("scan")
 			finalSp.Set("strategy", ph.Strategy.String())
 			finalSp.Set("widen", "final")
@@ -203,11 +220,12 @@ func (e *Executor) RunWith(ctx context.Context, ph *plan.Physical, opts RunOptio
 				return nil, err
 			}
 		}
+		hits = append(hits, memHits...)
 		sortHits(hits)
 		if lg.Range == nil && len(hits) > k {
 			hits = hits[:k]
 		}
-		return e.assemble(ctx, lg, hits, par, root, tr)
+		return e.assemble(ctx, lg, hits, par, view, root, tr)
 	}
 }
 
@@ -223,8 +241,9 @@ func sortHits(hits []hit) {
 	})
 }
 
-// pruneSegments applies partition, min/max and semantic pruning.
-func (e *Executor) pruneSegments(lg *plan.Logical, preds []compiledPred, semanticFrac float64) ([]*storage.SegmentMeta, bool) {
+// pruneSegments applies partition, min/max and semantic pruning to
+// the query's captured segment view.
+func (e *Executor) pruneSegments(lg *plan.Logical, preds []compiledPred, semanticFrac float64, all []*storage.SegmentMeta) ([]*storage.SegmentMeta, bool) {
 	opts := cluster.PruneOptions{
 		IntRanges:   map[string][2]int64{},
 		FloatRanges: map[string][2]float64{},
@@ -247,7 +266,6 @@ func (e *Executor) pruneSegments(lg *plan.Logical, preds []compiledPred, semanti
 		opts.SemanticFraction = semanticFrac
 		opts.MinSegments = e.MinSegments
 	}
-	all := e.Table.Segments()
 	kept := cluster.PruneSegments(e.Table, all, opts)
 	return kept, opts.SemanticFraction > 0 && len(kept) < len(all)
 }
@@ -578,7 +596,7 @@ func (e *Executor) postFilterSegment(ctx context.Context, lg *plan.Logical, pred
 
 // --- range search ---------------------------------------------------------------
 
-func (e *Executor) runRange(ctx context.Context, lg *plan.Logical, preds []compiledPred, metas []*storage.SegmentMeta, par int, params index.SearchParams, sp *obs.Span, tr *obs.Trace) ([]hit, error) {
+func (e *Executor) runRange(ctx context.Context, lg *plan.Logical, preds []compiledPred, metas []*storage.SegmentMeta, par int, params index.SearchParams, mem []*wal.MemSnapshot, sp *obs.Span, tr *obs.Trace) ([]hit, error) {
 	radius := lg.Range.Radius
 	// Internal distances: IP is negated, L2 is squared — translate the
 	// user-facing radius into index space.
@@ -628,6 +646,7 @@ func (e *Executor) runRange(ctx context.Context, lg *plan.Logical, preds []compi
 	if err != nil {
 		return nil, err
 	}
+	all = append(all, memRange(lg, preds, mem, radius)...)
 	if lg.K > 0 && len(all) > lg.K {
 		sortHits(all)
 		all = all[:lg.K]
@@ -645,10 +664,11 @@ func (e *Executor) ownerOf(m *storage.SegmentMeta) string {
 
 // --- scalar-only queries ----------------------------------------------------------
 
-func (e *Executor) runScalar(ctx context.Context, lg *plan.Logical, preds []compiledPred, par int, tr *obs.Trace) (*Result, error) {
-	metas, _ := e.pruneSegments(lg, preds, 0)
+func (e *Executor) runScalar(ctx context.Context, lg *plan.Logical, preds []compiledPred, par int, view lsm.QueryView, tr *obs.Trace) (*Result, error) {
+	metas, _ := e.pruneSegments(lg, preds, 0, view.Segments)
 	sp := tr.Span().Child("scalar-scan")
 	sp.SetInt("segments", int64(len(metas)))
+	sp.SetInt("mem_snapshots", int64(len(view.Mem)))
 	type scalarRow struct {
 		meta   *storage.SegmentMeta
 		offset int
@@ -710,6 +730,33 @@ func (e *Executor) runScalar(ctx context.Context, lg *plan.Logical, preds []comp
 	for _, rs := range perSeg {
 		rows = append(rows, rs...)
 	}
+	// Unflushed rows from the memtable snapshots, appended after every
+	// segment's rows (their synthetic names sort last) so unordered
+	// LIMIT results stay deterministic.
+	for _, snap := range view.Mem {
+		mMemScans.Inc()
+		var sortCol *storage.ColumnData
+		if lg.OrderColumn != "" {
+			sortCol = snap.Col(lg.OrderColumn)
+		}
+		for row := 0; row < snap.Rows(); row++ {
+			if !snap.Alive(row) || !memPass(preds, snap, row) {
+				continue
+			}
+			r := scalarRow{meta: snap.Meta, offset: row}
+			if sortCol != nil {
+				switch sortCol.Def.Type {
+				case storage.Int64Type, storage.DateTimeType:
+					r.sortV = float64(sortCol.Ints[row])
+				case storage.Float64Type:
+					r.sortV = sortCol.Floats[row]
+				case storage.StringType:
+					r.sortS = sortCol.Strs[row]
+				}
+			}
+			rows = append(rows, r)
+		}
+	}
 	if lg.OrderColumn != "" {
 		sort.SliceStable(rows, func(i, j int) bool {
 			less := rows[i].sortV < rows[j].sortV || (rows[i].sortV == rows[j].sortV && rows[i].sortS < rows[j].sortS)
@@ -728,7 +775,7 @@ func (e *Executor) runScalar(ctx context.Context, lg *plan.Logical, preds []comp
 	}
 	sp.SetInt("hits", int64(len(hits)))
 	sp.End()
-	return e.assemble(ctx, lg, hits, par, tr.Span(), tr)
+	return e.assemble(ctx, lg, hits, par, view, tr.Span(), tr)
 }
 
 // --- output assembly ---------------------------------------------------------------
@@ -744,8 +791,9 @@ func (e *Executor) readRows(ctx context.Context, rd *storage.SegmentReader, col 
 
 // assemble fetches the projection columns for the final hits and
 // builds result rows in hit order. Column fetches fan out per segment
-// on the worker pool.
-func (e *Executor) assemble(ctx context.Context, lg *plan.Logical, hits []hit, par int, sp *obs.Span, tr *obs.Trace) (*Result, error) {
+// on the worker pool; memtable hits read straight from their frozen
+// snapshots.
+func (e *Executor) assemble(ctx context.Context, lg *plan.Logical, hits []hit, par int, view lsm.QueryView, sp *obs.Span, tr *obs.Trace) (*Result, error) {
 	asp := sp.Child("assemble")
 	asp.SetInt("rows", int64(len(hits)))
 	defer asp.End()
@@ -779,12 +827,9 @@ func (e *Executor) assemble(ctx context.Context, lg *plan.Logical, hits []hit, p
 		cols map[string]*storage.ColumnData
 		pos  map[int]int // hit idx -> position in fetched rows
 	}
+	memSnaps := memSnapshotIndex(view.Mem)
 	fetches, err := gatherSegments(ctx, segOrder, par, func(ctx context.Context, _ int, m *storage.SegmentMeta) (segFetch, error) {
 		idxs := bySeg[m.Name]
-		rd, err := e.Table.Reader(m.Name)
-		if err != nil {
-			return segFetch{}, err
-		}
 		rows := make([]int, len(idxs))
 		pos := map[int]int{}
 		for i, hi := range idxs {
@@ -792,6 +837,23 @@ func (e *Executor) assemble(ctx context.Context, lg *plan.Logical, hits []hit, p
 			pos[hi] = i
 		}
 		sf := segFetch{cols: map[string]*storage.ColumnData{}, pos: pos}
+		if snap, ok := memSnaps[m.Name]; ok {
+			for _, c := range cols {
+				if c == lg.DistAlias && lg.DistAlias != "" {
+					continue
+				}
+				cd := memFetchColumn(snap, c, rows)
+				if cd == nil {
+					return segFetch{}, fmt.Errorf("%w: unknown column %q", ErrInvalidQuery, c)
+				}
+				sf.cols[c] = cd
+			}
+			return sf, nil
+		}
+		rd, err := e.Table.Reader(m.Name)
+		if err != nil {
+			return segFetch{}, err
+		}
 		for _, c := range cols {
 			if c == lg.DistAlias && lg.DistAlias != "" {
 				continue

@@ -102,9 +102,8 @@ func (t *Table) CompactOnce(policy CompactionPolicy) (int, error) {
 		delete(t.segments, m.Name)
 		delete(t.deletes, m.Name)
 	}
-	err = t.saveManifestLocked()
 	t.mu.Unlock()
-	if err != nil {
+	if err := t.saveManifest(); err != nil {
 		return 0, err
 	}
 	// Best-effort cleanup of retired blobs; orphans are harmless

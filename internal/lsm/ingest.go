@@ -17,11 +17,14 @@ import (
 // bytesReader adapts a blob to io.Reader for index loading.
 func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }
 
-// Insert ingests a batch: rows are routed by scalar partition key and
-// semantic bucket, split into segments of at most SegmentRows, and
-// each segment's columns and ANN index are written — concurrently when
-// PipelinedBuild is on (BlendHouse's pipelined ingestion, the source
-// of its Table IV win), strictly serially otherwise (the baselines).
+// Insert ingests a batch synchronously: rows are routed by scalar
+// partition key and semantic bucket, split into segments of at most
+// SegmentRows, and each segment's columns and ANN index are written —
+// concurrently when PipelinedBuild is on (BlendHouse's pipelined
+// ingestion, the source of its Table IV win), strictly serially
+// otherwise (the baselines). When the table's WAL is enabled, use
+// InsertCtx instead: it group-commits through the log and defers
+// segment cutting to the background flusher.
 func (t *Table) Insert(batch *storage.RowBatch) error {
 	if err := batch.Validate(); err != nil {
 		return err
@@ -29,9 +32,33 @@ func (t *Table) Insert(batch *storage.RowBatch) error {
 	if batch.Len() == 0 {
 		return nil
 	}
-	groups, err := t.routeRows(batch)
+	return t.insertSegments(batch)
+}
+
+// insertSegments is the synchronous segment-cutting path shared by
+// direct inserts, the memtable flusher, and WAL replay.
+func (t *Table) insertSegments(batch *storage.RowBatch) error {
+	metas, err := t.writeBatchSegments(batch)
 	if err != nil {
 		return err
+	}
+	t.mu.Lock()
+	for _, m := range metas {
+		t.segments[m.Name] = m
+	}
+	t.updateHistogramsLocked(batch)
+	t.mu.Unlock()
+	return t.saveManifest()
+}
+
+// writeBatchSegments routes and writes a batch's segments without
+// registering them in the catalog — callers decide what else must
+// swap atomically with registration (the flusher retires its memtable
+// in the same critical section).
+func (t *Table) writeBatchSegments(batch *storage.RowBatch) ([]*storage.SegmentMeta, error) {
+	groups, err := t.routeRows(batch)
+	if err != nil {
+		return nil, err
 	}
 	var newMetas []*storage.SegmentMeta
 	for _, g := range groups {
@@ -43,18 +70,12 @@ func (t *Table) Insert(batch *storage.RowBatch) error {
 			part := sliceBatch(g.batch, start, end)
 			meta, err := t.writeSegment(part, g.partition, g.bucket, 0)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			newMetas = append(newMetas, meta)
 		}
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	for _, m := range newMetas {
-		t.segments[m.Name] = m
-	}
-	t.updateHistogramsLocked(batch)
-	return t.saveManifestLocked()
+	return newMetas, nil
 }
 
 // routeGroup is one (partition, bucket) slice of an ingest batch.

@@ -14,11 +14,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"blendhouse/internal/bitset"
 	"blendhouse/internal/index"
 	"blendhouse/internal/storage"
 	"blendhouse/internal/vec"
+	"blendhouse/internal/wal"
 )
 
 // Options configures a table at creation.
@@ -83,6 +85,28 @@ type Table struct {
 	centroids *vec.Matrix               // semantic bucket centroids; nil until trained
 	nextSeg   int64
 	hist      map[string]*Histogram // per-column histograms for the CBO
+
+	// Real-time write path (nil / zero when the WAL is disabled).
+	// mem is the active memtable; sealed holds memtables awaiting
+	// flush (still query-visible); flushedLSN is the highest WAL LSN
+	// whose effects are fully in segments — all guarded by t.mu.
+	mem        *wal.Memtable
+	sealed     []*wal.Memtable
+	memGen     int64
+	flushedLSN int64
+
+	// walRT holds the WAL runtime (log + flusher); atomic so the hot
+	// insert path can branch without taking t.mu.
+	walRT atomic.Pointer[walState]
+
+	// dmlMu serializes DELETE application against memtable flushes so
+	// a delete can never slip between a flush's snapshot and its
+	// segment registration. Lock order: dmlMu before t.mu.
+	dmlMu sync.Mutex
+
+	// manifestMu serializes manifest writers; the blob Put happens
+	// outside t.mu so readers are never blocked on remote I/O.
+	manifestMu sync.Mutex
 }
 
 // manifest is the durable catalog blob.
@@ -93,6 +117,12 @@ type manifest struct {
 	Centroids []float32             `json:"centroids,omitempty"`
 	CentDim   int                   `json:"cent_dim,omitempty"`
 	Hist      map[string]*Histogram `json:"histograms,omitempty"`
+
+	// FlushedLSN is the recovery watermark: every WAL record with
+	// LSN <= FlushedLSN is fully reflected in Segments; records above
+	// it are replayed by Open. Updated atomically with Segments (one
+	// manifest Put per flush), and only then is the WAL truncated.
+	FlushedLSN int64 `json:"flushed_lsn,omitempty"`
 }
 
 // manifestOptions is the serializable subset of Options.
@@ -156,7 +186,7 @@ func Create(store storage.BlobStore, opts Options) (*Table, error) {
 		deletes:  map[string]*bitset.Bitset{},
 		hist:     map[string]*Histogram{},
 	}
-	if err := t.saveManifestLocked(); err != nil {
+	if err := t.saveManifest(); err != nil {
 		return nil, err
 	}
 	return t, nil
@@ -201,10 +231,75 @@ func Open(store storage.BlobStore, name string) (*Table, error) {
 		}
 		t.segments[seg] = sm
 	}
+	t.flushedLSN = m.FlushedLSN
+	// Crash recovery: WAL records past the flushed watermark are the
+	// acknowledged writes a crash interrupted — fold them into
+	// segments before the table goes live. Runs even when the caller
+	// won't re-enable the WAL, so no acknowledged write is ever
+	// stranded in an unread log.
+	if err := t.replayWAL(); err != nil {
+		return nil, fmt.Errorf("lsm: recovering table %q: %w", name, err)
+	}
 	return t, nil
 }
 
-func (t *Table) saveManifestLocked() error {
+// replayWAL applies WAL records with LSN > flushedLSN directly to
+// segments: consecutive inserts coalesce into one ingest batch, a
+// delete cuts the run (replay must preserve LSN order), and the
+// manifest + WAL are brought back in sync afterwards.
+func (t *Table) replayWAL() error {
+	log, pending, err := wal.Open(t.store, t.opts.Name, t.opts.Schema, t.flushedLSN, 0)
+	if err != nil {
+		return err
+	}
+	if len(pending) == 0 {
+		return nil
+	}
+	var buf *storage.RowBatch
+	flushBuf := func() error {
+		if buf == nil || buf.Len() == 0 {
+			buf = nil
+			return nil
+		}
+		b := buf
+		buf = nil
+		return t.insertSegments(b)
+	}
+	for _, rec := range pending {
+		switch rec.Type {
+		case wal.RecInsert:
+			if buf == nil {
+				buf = storage.NewRowBatch(t.opts.Schema)
+			}
+			for i := 0; i < rec.Batch.Len(); i++ {
+				buf.AppendRow(rec.Batch, i)
+			}
+		case wal.RecDelete:
+			if err := flushBuf(); err != nil {
+				return err
+			}
+			if _, err := t.deleteFromSegments(rec.DeleteCol, rec.DeleteKeys); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("lsm: replaying unknown WAL record type %d", rec.Type)
+		}
+	}
+	if err := flushBuf(); err != nil {
+		return err
+	}
+	last := pending[len(pending)-1].LSN
+	t.mu.Lock()
+	t.flushedLSN = last
+	t.mu.Unlock()
+	if err := t.saveManifest(); err != nil {
+		return err
+	}
+	return log.TruncateBelow(last)
+}
+
+// manifestBlobLocked marshals the catalog; caller holds t.mu.
+func (t *Table) manifestBlobLocked() ([]byte, error) {
 	m := manifest{
 		Options: manifestOptions{
 			Name: t.opts.Name, Schema: t.opts.Schema,
@@ -215,8 +310,9 @@ func (t *Table) saveManifestLocked() error {
 			SegmentRows: t.opts.SegmentRows, BlockRows: t.opts.BlockRows,
 			PipelinedBuild: t.opts.PipelinedBuild, Seed: t.opts.Seed,
 		},
-		NextSeg: t.nextSeg,
-		Hist:    t.hist,
+		NextSeg:    t.nextSeg,
+		Hist:       t.hist,
+		FlushedLSN: t.flushedLSN,
 	}
 	for name := range t.segments {
 		m.Segments = append(m.Segments, name)
@@ -225,7 +321,21 @@ func (t *Table) saveManifestLocked() error {
 		m.Centroids = t.centroids.Data
 		m.CentDim = t.centroids.Dim
 	}
-	blob, err := json.Marshal(&m)
+	return json.Marshal(&m)
+}
+
+// saveManifest persists the catalog. The snapshot happens under a
+// read lock but the blob Put does not: on the latency-modeled
+// RemoteStore that write is the slowest part, and holding t.mu across
+// it would serialize every concurrent reader against remote I/O.
+// manifestMu keeps writers ordered — each Put carries a snapshot at
+// least as new as the previous one's.
+func (t *Table) saveManifest() error {
+	t.manifestMu.Lock()
+	defer t.manifestMu.Unlock()
+	t.mu.RLock()
+	blob, err := t.manifestBlobLocked()
+	t.mu.RUnlock()
 	if err != nil {
 		return err
 	}

@@ -1,10 +1,13 @@
 package lsm
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"blendhouse/internal/bitset"
 	"blendhouse/internal/storage"
+	"blendhouse/internal/wal"
 )
 
 // Realtime updates (paper §III-B, Figure 6): instead of mutating
@@ -18,12 +21,69 @@ import (
 // DeleteByKey marks every row whose pkCol value appears in keys as
 // deleted. It returns the number of rows marked.
 func (t *Table) DeleteByKey(pkCol string, keys []int64) (int, error) {
+	return t.DeleteByKeyCtx(context.Background(), pkCol, keys)
+}
+
+// DeleteByKeyCtx deletes by key through the WAL when it is enabled:
+// the delete record is group-committed (durable before the statement
+// acks), then applied to the memtables and segment bitmaps. dmlMu
+// keeps the whole application atomic with respect to memtable flushes
+// — a delete can never land between a flush's snapshot and its
+// segment registration, which would lose it.
+func (t *Table) DeleteByKeyCtx(ctx context.Context, pkCol string, keys []int64) (int, error) {
+	if err := t.validateKeyCol(pkCol); err != nil {
+		return 0, err
+	}
+	ws := t.walRT.Load()
+	if ws == nil {
+		return t.deleteFromSegments(pkCol, keys)
+	}
+	t.dmlMu.Lock()
+	defer t.dmlMu.Unlock()
+	lsn, err := ws.log.Append(ctx, &wal.Record{Type: wal.RecDelete, DeleteCol: pkCol, DeleteKeys: keys})
+	if errors.Is(err, wal.ErrClosed) {
+		return t.deleteFromSegments(pkCol, keys)
+	}
+	if err != nil {
+		return 0, err
+	}
+	marked := 0
+	for _, m := range t.memtables() {
+		marked += m.DeleteByKey(pkCol, keys, lsn)
+	}
+	n, err := t.deleteFromSegments(pkCol, keys)
+	return marked + n, err
+}
+
+// memtables snapshots the live memtable set (active + sealed).
+func (t *Table) memtables() []*wal.Memtable {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*wal.Memtable, 0, len(t.sealed)+1)
+	out = append(out, t.sealed...)
+	if t.mem != nil {
+		out = append(out, t.mem)
+	}
+	return out
+}
+
+func (t *Table) validateKeyCol(pkCol string) error {
 	ci, def := t.opts.Schema.Col(pkCol)
 	if ci < 0 {
-		return 0, fmt.Errorf("lsm: key column %q not in schema", pkCol)
+		return fmt.Errorf("lsm: key column %q not in schema", pkCol)
 	}
 	if def.Type != storage.Int64Type && def.Type != storage.DateTimeType {
-		return 0, fmt.Errorf("lsm: key column %q must be integer-typed", pkCol)
+		return fmt.Errorf("lsm: key column %q must be integer-typed", pkCol)
+	}
+	return nil
+}
+
+// deleteFromSegments marks keyed rows deleted in segment bitmaps (the
+// pre-WAL delete path, still used directly by replay and flush-off
+// tables).
+func (t *Table) deleteFromSegments(pkCol string, keys []int64) (int, error) {
+	if err := t.validateKeyCol(pkCol); err != nil {
+		return 0, err
 	}
 	want := make(map[int64]bool, len(keys))
 	for _, k := range keys {
@@ -100,6 +160,12 @@ func (t *Table) markDeleted(seg string, segRows int, rows []int) (int, error) {
 // deleted, new row inserted as a fresh version); unmatched rows are
 // plain inserts. Returns the number of superseded rows.
 func (t *Table) Update(pkCol string, newRows *storage.RowBatch) (int, error) {
+	return t.UpdateCtx(context.Background(), pkCol, newRows)
+}
+
+// UpdateCtx is Update routed through the WAL when enabled (both the
+// delete and the insert are logged as separate records).
+func (t *Table) UpdateCtx(ctx context.Context, pkCol string, newRows *storage.RowBatch) (int, error) {
 	if err := newRows.Validate(); err != nil {
 		return 0, err
 	}
@@ -109,11 +175,11 @@ func (t *Table) Update(pkCol string, newRows *storage.RowBatch) (int, error) {
 	}
 	keys := make([]int64, pk.Len())
 	copy(keys, pk.Ints)
-	deleted, err := t.DeleteByKey(pkCol, keys)
+	deleted, err := t.DeleteByKeyCtx(ctx, pkCol, keys)
 	if err != nil {
 		return deleted, err
 	}
-	if err := t.Insert(newRows); err != nil {
+	if err := t.InsertCtx(ctx, newRows); err != nil {
 		return deleted, err
 	}
 	return deleted, nil

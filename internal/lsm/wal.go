@@ -1,0 +1,398 @@
+package lsm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"blendhouse/internal/obs"
+	"blendhouse/internal/storage"
+	"blendhouse/internal/wal"
+)
+
+// Real-time write path metrics.
+var (
+	mFlushRuns  = obs.Default().Counter("bh.lsm.flush.runs")
+	mFlushRows  = obs.Default().Counter("bh.lsm.flush.rows")
+	mFlushDur   = obs.Default().Histogram("bh.lsm.flush.duration")
+	mFlushErrs  = obs.Default().Counter("bh.lsm.flush.errors")
+	mMemRows    = obs.Default().Gauge("bh.lsm.memtable.rows")
+	mMemBytes   = obs.Default().Gauge("bh.lsm.memtable.bytes")
+	mMemStalls  = obs.Default().Counter("bh.lsm.memtable.stalls")
+	mWALInserts = obs.Default().Counter("bh.lsm.wal.inserts")
+)
+
+// WALConfig tunes the real-time write path of one table.
+type WALConfig struct {
+	// MaxMemRows / MaxMemBytes trip a background flush when the active
+	// memtable crosses either (defaults 8192 rows / 32 MiB).
+	MaxMemRows  int
+	MaxMemBytes int64
+	// FlushInterval bounds how long rows sit unflushed regardless of
+	// volume (default 2s).
+	FlushInterval time.Duration
+	// MaxSealed caps the flush backlog; writers block (ctx-cancellable)
+	// when this many sealed memtables await flushing (default 2).
+	MaxSealed int
+	// MaxCommitRecords caps one group commit's coalescing
+	// (default wal.DefaultMaxCommitRecords).
+	MaxCommitRecords int
+	// OnError observes background flush failures (may be nil). The
+	// failed memtable stays sealed and query-visible; the flusher
+	// retries on the next tick.
+	OnError func(error)
+}
+
+func (c WALConfig) withDefaults() WALConfig {
+	if c.MaxMemRows <= 0 {
+		c.MaxMemRows = 8192
+	}
+	if c.MaxMemBytes <= 0 {
+		c.MaxMemBytes = 32 << 20
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 2 * time.Second
+	}
+	if c.MaxSealed <= 0 {
+		c.MaxSealed = 2
+	}
+	return c
+}
+
+// walState is the runtime of an enabled WAL: the log plus the
+// background flusher. It lives behind an atomic pointer on Table so
+// the insert fast path avoids t.mu.
+type walState struct {
+	cfg WALConfig
+	log *wal.Log
+
+	flushCh chan struct{} // kick the flusher (non-blocking sends)
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+
+	// spaceCh is closed and replaced after every flush; writers
+	// blocked on backpressure wait on it. Guarded by t.mu.
+	spaceCh chan struct{}
+}
+
+// EnableWAL turns on the table's real-time write path: InsertCtx and
+// DeleteByKeyCtx group-commit through a durable log, acknowledged
+// rows become query-visible via the memtable immediately, and a
+// background flusher drains the memtable into L0 segments through the
+// normal ingest + auto-index path. Call CloseWAL before abandoning
+// the handle.
+func (t *Table) EnableWAL(cfg WALConfig) error {
+	cfg = cfg.withDefaults()
+	if t.walRT.Load() != nil {
+		return fmt.Errorf("lsm: WAL already enabled on %q", t.opts.Name)
+	}
+	t.mu.RLock()
+	afterLSN := t.flushedLSN
+	t.mu.RUnlock()
+	log, pending, err := wal.Open(t.store, t.opts.Name, t.opts.Schema, afterLSN, cfg.MaxCommitRecords)
+	if err != nil {
+		return err
+	}
+	// Open already replayed the log into segments, so pending is
+	// normally empty; anything here (e.g. a WAL enabled on a table
+	// handle that skipped Open) is already durable — make it visible
+	// through the memtable.
+	ws := &walState{
+		cfg:     cfg,
+		log:     log,
+		flushCh: make(chan struct{}, 1),
+		stopCh:  make(chan struct{}),
+		doneCh:  make(chan struct{}),
+		spaceCh: make(chan struct{}),
+	}
+	t.mu.Lock()
+	t.memGen++
+	t.mem = wal.NewMemtable(t.opts.Schema, t.memGen)
+	for _, rec := range pending {
+		switch rec.Type {
+		case wal.RecInsert:
+			t.mem.Append(rec.Batch, rec.LSN)
+		case wal.RecDelete:
+			t.mem.DeleteByKey(rec.DeleteCol, rec.DeleteKeys, rec.LSN)
+		}
+	}
+	t.mu.Unlock()
+	if len(pending) > 0 {
+		// Segment bitmaps for replayed deletes (memtable handled above).
+		for _, rec := range pending {
+			if rec.Type == wal.RecDelete {
+				if _, err := t.deleteFromSegments(rec.DeleteCol, rec.DeleteKeys); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	t.walRT.Store(ws)
+	log.Start(t.walApply)
+	go t.flushLoop(ws)
+	return nil
+}
+
+// walApply is the group committer's post-durability hook: it makes a
+// record's effects visible in the active memtable before the writer
+// is acknowledged. Holding t.mu.RLock across the append pins the
+// active memtable — a concurrent seal (t.mu.Lock) either waits for
+// this apply or happens entirely before it, so no applied record can
+// land in a sealed memtable after its flush snapshot.
+func (t *Table) walApply(rec *wal.Record) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	switch rec.Type {
+	case wal.RecInsert:
+		t.mem.Append(rec.Batch, rec.LSN)
+		mMemRows.Set(int64(t.mem.Rows()))
+		mMemBytes.Set(t.mem.Bytes())
+	case wal.RecDelete:
+		// Memtable + segment application is done by the DeleteByKeyCtx
+		// caller under dmlMu; the hook only orders the ack after
+		// durability.
+	}
+}
+
+// InsertCtx ingests a batch through the real-time write path when the
+// WAL is enabled: the batch is group-committed to the durable log and
+// becomes query-visible via the memtable the moment this returns —
+// segment cutting and index building happen later in the background
+// flusher. Without a WAL it falls back to the synchronous Insert
+// path. Backpressure: when the flush backlog is full the call blocks
+// until a flush completes or ctx fires.
+func (t *Table) InsertCtx(ctx context.Context, batch *storage.RowBatch) error {
+	if err := batch.Validate(); err != nil {
+		return err
+	}
+	if batch.Len() == 0 {
+		return nil
+	}
+	ws := t.walRT.Load()
+	if ws == nil {
+		return t.insertSegments(batch)
+	}
+	if err := t.waitForSpace(ctx, ws); err != nil {
+		return err
+	}
+	_, err := ws.log.Append(ctx, &wal.Record{Type: wal.RecInsert, Batch: batch})
+	if errors.Is(err, wal.ErrClosed) {
+		return t.insertSegments(batch)
+	}
+	if err != nil {
+		return err
+	}
+	mWALInserts.Inc()
+	t.mu.RLock()
+	over := t.mem.Rows() >= ws.cfg.MaxMemRows || t.mem.Bytes() >= ws.cfg.MaxMemBytes
+	t.mu.RUnlock()
+	if over {
+		kickFlush(ws)
+	}
+	return nil
+}
+
+func kickFlush(ws *walState) {
+	select {
+	case ws.flushCh <- struct{}{}:
+	default:
+	}
+}
+
+// waitForSpace blocks while the sealed backlog is at its cap.
+func (t *Table) waitForSpace(ctx context.Context, ws *walState) error {
+	for {
+		t.mu.RLock()
+		n := len(t.sealed)
+		ch := ws.spaceCh
+		t.mu.RUnlock()
+		if n < ws.cfg.MaxSealed {
+			return nil
+		}
+		mMemStalls.Inc()
+		kickFlush(ws)
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// flushLoop drains the memtable on size kicks and on a freshness
+// timer until stopped.
+func (t *Table) flushLoop(ws *walState) {
+	defer close(ws.doneCh)
+	ticker := time.NewTicker(ws.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ws.stopCh:
+			return
+		case <-ws.flushCh:
+		case <-ticker.C:
+		}
+		if err := t.flushOnce(ws); err != nil {
+			mFlushErrs.Inc()
+			if ws.cfg.OnError != nil {
+				ws.cfg.OnError(err)
+			}
+		}
+	}
+}
+
+// flushOnce seals the active memtable and flushes every sealed
+// memtable, oldest first, into L0 segments. Holding dmlMu for the
+// whole run freezes sealed memtables (deletes serialize behind it),
+// so each flush snapshot is exact. Per memtable: write segments
+// outside all locks, then atomically swap — register segments, retire
+// the memtable, advance flushedLSN — under one t.mu.Lock so queries
+// see exactly one of (memtable rows | segment rows). The manifest Put
+// persists the watermark before the WAL below it is truncated; a
+// crash between the two just replays idempotent work.
+func (t *Table) flushOnce(ws *walState) error {
+	t.dmlMu.Lock()
+	defer t.dmlMu.Unlock()
+	start := obs.Now()
+	t.mu.Lock()
+	if t.mem != nil && t.mem.Rows() > 0 {
+		t.sealed = append(t.sealed, t.mem)
+		t.memGen++
+		t.mem = wal.NewMemtable(t.opts.Schema, t.memGen)
+		mMemRows.Set(0)
+		mMemBytes.Set(0)
+	}
+	sealed := append([]*wal.Memtable(nil), t.sealed...)
+	t.mu.Unlock()
+	if len(sealed) == 0 {
+		return nil
+	}
+	flushedRows := 0
+	for _, m := range sealed {
+		snap := m.Snapshot()
+		live := snap.LiveBatch()
+		var metas []*storage.SegmentMeta
+		if live.Len() > 0 {
+			var err error
+			metas, err = t.writeBatchSegments(live)
+			if err != nil {
+				return err // memtable stays sealed + visible; retried next tick
+			}
+		}
+		t.mu.Lock()
+		for _, meta := range metas {
+			t.segments[meta.Name] = meta
+		}
+		if live.Len() > 0 {
+			t.updateHistogramsLocked(live)
+		}
+		for i, sm := range t.sealed {
+			if sm == m {
+				t.sealed = append(t.sealed[:i], t.sealed[i+1:]...)
+				break
+			}
+		}
+		if snap.MaxLSN > t.flushedLSN {
+			t.flushedLSN = snap.MaxLSN
+		}
+		watermark := t.flushedLSN
+		t.mu.Unlock()
+		if err := t.saveManifest(); err != nil {
+			return err
+		}
+		if err := ws.log.TruncateBelow(watermark); err != nil {
+			return err
+		}
+		flushedRows += live.Len()
+	}
+	// Wake writers blocked on backpressure.
+	t.mu.Lock()
+	close(ws.spaceCh)
+	ws.spaceCh = make(chan struct{})
+	t.mu.Unlock()
+	mFlushRuns.Inc()
+	mFlushRows.Add(int64(flushedRows))
+	mFlushDur.Observe(time.Since(start))
+	return nil
+}
+
+// CloseWAL drains and disables the real-time write path: in-flight
+// appends commit, the flusher stops, and one final flush moves every
+// memtable row into segments (after which the WAL directory is
+// empty). The table remains usable on the synchronous paths.
+func (t *Table) CloseWAL() error {
+	ws := t.walRT.Swap(nil)
+	if ws == nil {
+		return nil
+	}
+	ws.log.Close() // drains the commit queue; applies land in the memtable
+	close(ws.stopCh)
+	<-ws.doneCh
+	return t.flushOnce(ws)
+}
+
+// FlushWAL forces a synchronous flush of the memtable (tests and
+// admin tooling).
+func (t *Table) FlushWAL() error {
+	ws := t.walRT.Load()
+	if ws == nil {
+		return nil
+	}
+	return t.flushOnce(ws)
+}
+
+// WALEnabled reports whether the real-time write path is active.
+func (t *Table) WALEnabled() bool { return t.walRT.Load() != nil }
+
+// FlushedLSN returns the recovery watermark (tests).
+func (t *Table) FlushedLSN() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.flushedLSN
+}
+
+// MemRows returns the rows currently buffered in memtables (including
+// sealed ones, excluding delete marks).
+func (t *Table) MemRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	if t.mem != nil {
+		n += t.mem.Rows()
+	}
+	for _, m := range t.sealed {
+		n += m.Rows()
+	}
+	return n
+}
+
+// QueryView is one query's consistent snapshot of the table: the
+// segment catalog plus frozen memtable snapshots, captured under a
+// single lock so a concurrent flush can never show the same row twice
+// (memtable and new segment) or not at all.
+type QueryView struct {
+	Segments []*storage.SegmentMeta
+	Mem      []*wal.MemSnapshot
+}
+
+// View captures a consistent QueryView.
+func (t *Table) View() QueryView {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	v := QueryView{Segments: make([]*storage.SegmentMeta, 0, len(t.segments))}
+	for _, m := range t.segments {
+		v.Segments = append(v.Segments, m)
+	}
+	for _, m := range t.sealed {
+		if snap := m.Snapshot(); snap.Rows() > 0 {
+			v.Mem = append(v.Mem, snap)
+		}
+	}
+	if t.mem != nil {
+		if snap := t.mem.Snapshot(); snap.Rows() > 0 {
+			v.Mem = append(v.Mem, snap)
+		}
+	}
+	return v
+}

@@ -1,0 +1,396 @@
+package lsm
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"blendhouse/internal/bench/dataset"
+	"blendhouse/internal/index"
+	"blendhouse/internal/storage"
+	"blendhouse/internal/testutil"
+)
+
+// walTestConfig disables every automatic flush trigger so tests control
+// exactly when memtables drain.
+func walTestConfig() WALConfig {
+	return WALConfig{MaxMemRows: 1 << 20, MaxMemBytes: 1 << 40, FlushInterval: time.Hour}
+}
+
+// crashWAL simulates a process crash after acknowledgment: it stops the
+// committer and flusher WITHOUT the final flush CloseWAL would run, so
+// acknowledged rows exist only in the WAL blobs — exactly the state a
+// SIGKILL leaves behind (the in-memory memtable dies with the process).
+func crashWAL(tab *Table) {
+	ws := tab.walRT.Swap(nil)
+	ws.log.Close()
+	close(ws.stopCh)
+	<-ws.doneCh
+}
+
+// tableContents fingerprints every alive row visible to a query —
+// segment rows minus delete bitmaps plus live memtable rows — sorted,
+// so two tables can be compared for byte-identical query results.
+func tableContents(t *testing.T, tab *Table) []string {
+	t.Helper()
+	var out []string
+	view := tab.View()
+	fp := func(id int64, label string, score float64, v []float32) string {
+		return fmt.Sprintf("%d|%s|%.9f|%v", id, label, score, v)
+	}
+	for _, m := range view.Segments {
+		rd, err := tab.Reader(m.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bm, err := tab.DeleteBitmap(m.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids, err := rd.ReadColumn("id")
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels, err := rd.ReadColumn("label")
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores, err := rd.ReadColumn("score")
+		if err != nil {
+			t.Fatal(err)
+		}
+		vecs, err := rd.ReadColumn("embedding")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < m.Rows; r++ {
+			if bm != nil && bm.Test(r) {
+				continue
+			}
+			out = append(out, fp(ids.Ints[r], labels.Strs[r], scores.Floats[r], vecs.Vector(r)))
+		}
+	}
+	for _, snap := range view.Mem {
+		ids, labels, scores, vecs := snap.Col("id"), snap.Col("label"), snap.Col("score"), snap.Col("embedding")
+		for r := 0; r < snap.Rows(); r++ {
+			if !snap.Alive(r) {
+				continue
+			}
+			out = append(out, fp(ids.Ints[r], labels.Strs[r], scores.Floats[r], vecs.Vector(r)))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalContents(t *testing.T, want, got []string, what string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d rows, want %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: row %d differs:\n got %s\nwant %s", what, i, got[i], want[i])
+		}
+	}
+}
+
+// TestWALFreshnessAndFlush: acknowledged rows are query-visible through
+// the memtable before any segment exists, and a flush moves them —
+// losslessly — into L0 segments and truncates the log.
+func TestWALFreshnessAndFlush(t *testing.T) {
+	before := runtime.NumGoroutine()
+	tab, ds := newTestTable(t, testOptions("t"))
+	if err := tab.EnableWAL(walTestConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.InsertCtx(context.Background(), fillBatch(t, tab.Options(), ds, 0, 250)); err != nil {
+		t.Fatal(err)
+	}
+	// Acked ⇒ visible, before any segment is cut.
+	if tab.SegmentCount() != 0 {
+		t.Fatalf("segments before flush = %d, want 0", tab.SegmentCount())
+	}
+	if tab.MemRows() != 250 {
+		t.Fatalf("mem rows = %d, want 250", tab.MemRows())
+	}
+	fresh := tableContents(t, tab)
+	if len(fresh) != 250 {
+		t.Fatalf("view rows = %d, want 250", len(fresh))
+	}
+	// Acked ⇒ durable: the rows are already in WAL blobs.
+	if keys, _ := tab.Store().List("tables/t/wal/"); len(keys) == 0 {
+		t.Fatal("no WAL blobs after acknowledged insert")
+	}
+	if err := tab.FlushWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if tab.MemRows() != 0 || tab.Rows() != 250 {
+		t.Fatalf("after flush: mem=%d segment rows=%d", tab.MemRows(), tab.Rows())
+	}
+	if tab.SegmentCount() != 2 { // 250 rows / 200 per segment
+		t.Fatalf("segments after flush = %d, want 2", tab.SegmentCount())
+	}
+	if tab.FlushedLSN() == 0 {
+		t.Fatal("flushedLSN not advanced")
+	}
+	// Identical contents across the flush boundary, and the flushed
+	// segments carry indexes like any ingest.
+	equalContents(t, fresh, tableContents(t, tab), "post-flush view")
+	for _, m := range tab.Segments() {
+		if _, err := tab.OpenIndex(m.Name); err != nil {
+			t.Fatalf("flushed segment %s has no index: %v", m.Name, err)
+		}
+	}
+	// The log below the watermark is gone.
+	if keys, _ := tab.Store().List("tables/t/wal/"); len(keys) != 0 {
+		t.Fatalf("WAL not truncated after flush: %v", keys)
+	}
+	if err := tab.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckNoLeaks(t, before)
+}
+
+// TestWALCrashRecovery: every acknowledged write — inserts and a
+// delete — survives a crash that loses the memtable, because lsm.Open
+// replays the WAL above the manifest's flushed watermark.
+func TestWALCrashRecovery(t *testing.T) {
+	before := runtime.NumGoroutine()
+	store := storage.NewMemStore()
+	opts := testOptions("t")
+	tab, err := Create(store, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.Small(lN, lDim, 3)
+	if err := tab.EnableWAL(walTestConfig()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := tab.InsertCtx(ctx, fillBatch(t, opts, ds, i*80, 80)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := tab.DeleteByKeyCtx(ctx, "id", []int64{5, 100}); err != nil || n != 2 {
+		t.Fatalf("delete: n=%d err=%v", n, err)
+	}
+	want := tableContents(t, tab)
+	if len(want) != 238 {
+		t.Fatalf("pre-crash rows = %d, want 238", len(want))
+	}
+	crashWAL(tab)
+
+	re, err := Open(store, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Rows() != 238 {
+		t.Fatalf("recovered rows = %d, want 238", re.Rows())
+	}
+	equalContents(t, want, tableContents(t, re), "recovered contents")
+	// Recovery persisted the watermark and truncated the replayed log,
+	// so a second recovery is a no-op with identical results.
+	if re.FlushedLSN() == 0 {
+		t.Fatal("recovery did not persist flushedLSN")
+	}
+	if keys, _ := store.List("tables/t/wal/"); len(keys) != 0 {
+		t.Fatalf("WAL not truncated after recovery: %v", keys)
+	}
+	re2, err := Open(store, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalContents(t, want, tableContents(t, re2), "second recovery")
+	// The recovered table accepts a fresh WAL session.
+	if err := re.EnableWAL(walTestConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.InsertCtx(ctx, fillBatch(t, opts, ds, 500, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tableContents(t, re)); got != 248 {
+		t.Fatalf("rows after post-recovery insert = %d, want 248", got)
+	}
+	if err := re.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckNoLeaks(t, before)
+}
+
+// TestWALDeleteSpansMemtableAndSegments: one DELETE statement must hit
+// rows wherever they live — flushed segments and unflushed memtables —
+// and the marks must survive the flush.
+func TestWALDeleteSpansMemtableAndSegments(t *testing.T) {
+	before := runtime.NumGoroutine()
+	tab, ds := newTestTable(t, testOptions("t"))
+	opts := tab.Options()
+	// 200 rows via the synchronous path → segments.
+	if err := tab.Insert(fillBatch(t, opts, ds, 0, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.EnableWAL(walTestConfig()); err != nil {
+		t.Fatal(err)
+	}
+	// 100 more rows through the WAL → memtable.
+	ctx := context.Background()
+	if err := tab.InsertCtx(ctx, fillBatch(t, opts, ds, 200, 100)); err != nil {
+		t.Fatal(err)
+	}
+	// One key in a segment, one in the memtable.
+	if n, err := tab.DeleteByKeyCtx(ctx, "id", []int64{10, 250}); err != nil || n != 2 {
+		t.Fatalf("delete: n=%d err=%v", n, err)
+	}
+	if got := len(tableContents(t, tab)); got != 298 {
+		t.Fatalf("view rows = %d, want 298", got)
+	}
+	if err := tab.FlushWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 298 || tab.MemRows() != 0 {
+		t.Fatalf("after flush: rows=%d mem=%d", tab.Rows(), tab.MemRows())
+	}
+	// Deleting an already-deleted key is still idempotent through the WAL.
+	if n, err := tab.DeleteByKeyCtx(ctx, "id", []int64{10}); err != nil || n != 0 {
+		t.Fatalf("re-delete: n=%d err=%v", n, err)
+	}
+	if err := tab.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckNoLeaks(t, before)
+}
+
+// TestWALConcurrentInsertsDurable: many writers racing group commit,
+// size-triggered flushes and backpressure must not lose or duplicate a
+// single acknowledged row, and every goroutine drains on CloseWAL.
+func TestWALConcurrentInsertsDurable(t *testing.T) {
+	before := runtime.NumGoroutine()
+	tab, ds := newTestTable(t, testOptions("t"))
+	opts := tab.Options()
+	cfg := WALConfig{MaxMemRows: 50, FlushInterval: 20 * time.Millisecond, MaxSealed: 2}
+	if err := tab.EnableWAL(cfg); err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 8
+		batches = 5
+		perOp   = 10
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				start := (w*batches + b) * perOp
+				if err := tab.InsertCtx(context.Background(), fillBatch(t, opts, ds, start, perOp)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if err := tab.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	const total = writers * batches * perOp
+	if tab.Rows() != total || tab.MemRows() != 0 {
+		t.Fatalf("rows=%d mem=%d, want %d flushed rows", tab.Rows(), tab.MemRows(), total)
+	}
+	// No duplicates: every id 0..total-1 appears exactly once.
+	seen := map[int64]int{}
+	for _, m := range tab.Segments() {
+		rd, err := tab.Reader(m.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids, err := rd.ReadColumn("id")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range ids.Ints {
+			seen[id]++
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("distinct ids = %d, want %d", len(seen), total)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("id %d appears %d times", id, n)
+		}
+	}
+	testutil.CheckNoLeaks(t, before)
+}
+
+// TestOpenRoundTripIdenticalResults: create → ingest → delete → compact
+// → reopen must leave query results byte-identical — both the raw
+// contents and the index search candidates.
+func TestOpenRoundTripIdenticalResults(t *testing.T) {
+	store := storage.NewMemStore()
+	opts := testOptions("t")
+	opts.SegmentRows = 100
+	tab, err := Create(store, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.Small(lN, lDim, 3)
+	for i := 0; i < 5; i++ {
+		if err := tab.Insert(fillBatch(t, opts, ds, i*100, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tab.DeleteByKey("id", []int64{1, 101, 201, 499}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.CompactOnce(CompactionPolicy{MinSegments: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// One post-compaction delete so a live bitmap must survive reopen too.
+	if _, err := tab.DeleteByKey("id", []int64{42}); err != nil {
+		t.Fatal(err)
+	}
+	want := tableContents(t, tab)
+	search := func(tb *Table) []index.Candidate {
+		var out []index.Candidate
+		for _, m := range tb.Segments() {
+			ix, err := tb.OpenIndex(m.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := ix.SearchWithFilter(ds.Queries.Row(0), 10, nil, index.SearchParams{Ef: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, res...)
+		}
+		return out
+	}
+	wantSearch := search(tab)
+
+	re, err := Open(store, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalContents(t, want, tableContents(t, re), "reopened contents")
+	gotSearch := search(re)
+	if len(gotSearch) != len(wantSearch) {
+		t.Fatalf("search results = %d, want %d", len(gotSearch), len(wantSearch))
+	}
+	for i := range wantSearch {
+		if gotSearch[i] != wantSearch[i] {
+			t.Fatalf("search candidate %d differs: %+v vs %+v", i, gotSearch[i], wantSearch[i])
+		}
+	}
+}

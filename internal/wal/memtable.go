@@ -1,0 +1,207 @@
+package wal
+
+import (
+	"fmt"
+	"sync"
+
+	"blendhouse/internal/storage"
+)
+
+// Memtable buffers acknowledged-but-unflushed rows in columnar form so
+// queries can brute-force scan them. Columns are append-only: a
+// snapshot captures slice headers under the mutex, and later appends
+// either write past the snapshot's length or reallocate — either way
+// the frozen view never changes. Deletes are tracked in a row-index
+// set that snapshots copy (deletes are rare relative to reads).
+type Memtable struct {
+	schema *storage.Schema
+	gen    int64
+
+	mu      sync.Mutex
+	batch   *storage.RowBatch
+	deleted map[int]struct{}
+	bytes   int64
+	maxLSN  int64
+}
+
+// NewMemtable creates an empty memtable. gen distinguishes successive
+// memtables of one table (it appears in the synthetic segment name, so
+// result ordering stays deterministic across flush boundaries).
+func NewMemtable(schema *storage.Schema, gen int64) *Memtable {
+	return &Memtable{
+		schema:  schema,
+		gen:     gen,
+		batch:   storage.NewRowBatch(schema),
+		deleted: make(map[int]struct{}),
+	}
+}
+
+// Gen returns the memtable's generation number.
+func (m *Memtable) Gen() int64 { return m.gen }
+
+// rowBytes estimates the in-memory footprint of one row.
+func rowBytes(schema *storage.Schema, batch *storage.RowBatch, row int) int64 {
+	var n int64
+	for _, col := range batch.Cols {
+		switch col.Def.Type {
+		case storage.Int64Type, storage.DateTimeType, storage.Float64Type:
+			n += 8
+		case storage.StringType:
+			n += 16 + int64(len(col.Strs[row]))
+		case storage.VectorType:
+			n += 4 * int64(col.Def.Dim)
+		}
+	}
+	return n
+}
+
+// Append adds every row of batch (already WAL-durable at lsn).
+func (m *Memtable) Append(batch *storage.RowBatch, lsn int64) {
+	n := batch.Len()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, src := range batch.Cols {
+		dst := m.batch.Col(src.Def.Name)
+		switch src.Def.Type {
+		case storage.Int64Type, storage.DateTimeType:
+			dst.Ints = append(dst.Ints, src.Ints...)
+		case storage.Float64Type:
+			dst.Floats = append(dst.Floats, src.Floats...)
+		case storage.StringType:
+			dst.Strs = append(dst.Strs, src.Strs...)
+		case storage.VectorType:
+			dst.Vecs = append(dst.Vecs, src.Vecs...)
+		}
+	}
+	for i := 0; i < n; i++ {
+		m.bytes += rowBytes(m.schema, batch, i)
+	}
+	if lsn > m.maxLSN {
+		m.maxLSN = lsn
+	}
+}
+
+// DeleteByKey marks rows whose key-column value is in keys as deleted
+// and returns how many rows it marked.
+func (m *Memtable) DeleteByKey(col string, keys []int64, lsn int64) int {
+	keySet := make(map[int64]struct{}, len(keys))
+	for _, k := range keys {
+		keySet[k] = struct{}{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cd := m.batch.Col(col)
+	marked := 0
+	if cd != nil {
+		for i, v := range cd.Ints {
+			if _, hit := keySet[v]; hit {
+				if _, already := m.deleted[i]; !already {
+					m.deleted[i] = struct{}{}
+					marked++
+				}
+			}
+		}
+	}
+	if lsn > m.maxLSN {
+		m.maxLSN = lsn
+	}
+	return marked
+}
+
+// Rows returns the total appended row count (including deleted rows).
+func (m *Memtable) Rows() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.batch.Len()
+}
+
+// Bytes returns the estimated in-memory footprint.
+func (m *Memtable) Bytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytes
+}
+
+// MaxLSN returns the highest LSN applied to this memtable.
+func (m *Memtable) MaxLSN() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.maxLSN
+}
+
+// MemSnapshot is a frozen, race-free view of a memtable for one query.
+// Meta is synthetic: its "~mem" name prefix sorts after every real
+// segment name, keeping merged result order deterministic.
+type MemSnapshot struct {
+	Meta    *storage.SegmentMeta
+	Schema  *storage.Schema
+	MaxLSN  int64
+	cols    []*storage.ColumnData
+	byName  map[string]*storage.ColumnData
+	deleted map[int]struct{}
+}
+
+// Snapshot freezes the memtable's current contents.
+func (m *Memtable) Snapshot() *MemSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.batch.Len()
+	s := &MemSnapshot{
+		Schema: m.schema,
+		MaxLSN: m.maxLSN,
+		Meta: &storage.SegmentMeta{
+			Name:  fmt.Sprintf("~mem%06d", m.gen),
+			Rows:  n,
+			Level: -1,
+		},
+		cols:    make([]*storage.ColumnData, len(m.batch.Cols)),
+		byName:  make(map[string]*storage.ColumnData, len(m.batch.Cols)),
+		deleted: make(map[int]struct{}, len(m.deleted)),
+	}
+	for i, col := range m.batch.Cols {
+		frozen := &storage.ColumnData{Def: col.Def}
+		switch col.Def.Type {
+		case storage.Int64Type, storage.DateTimeType:
+			frozen.Ints = col.Ints[:n:n]
+		case storage.Float64Type:
+			frozen.Floats = col.Floats[:n:n]
+		case storage.StringType:
+			frozen.Strs = col.Strs[:n:n]
+		case storage.VectorType:
+			frozen.Vecs = col.Vecs[: n*col.Def.Dim : n*col.Def.Dim]
+		}
+		s.cols[i] = frozen
+		s.byName[col.Def.Name] = frozen
+	}
+	for i := range m.deleted {
+		if i < n {
+			s.deleted[i] = struct{}{}
+		}
+	}
+	return s
+}
+
+// Rows returns the snapshot's total row count (including deleted).
+func (s *MemSnapshot) Rows() int { return s.Meta.Rows }
+
+// Col returns a frozen column by name, or nil.
+func (s *MemSnapshot) Col(name string) *storage.ColumnData { return s.byName[name] }
+
+// Alive reports whether row i was not deleted at snapshot time.
+func (s *MemSnapshot) Alive(i int) bool {
+	_, dead := s.deleted[i]
+	return !dead
+}
+
+// LiveBatch compacts the snapshot's live rows into a standalone
+// RowBatch — the flusher feeds this through the normal ingest path.
+func (s *MemSnapshot) LiveBatch() *storage.RowBatch {
+	out := storage.NewRowBatch(s.Schema)
+	src := &storage.RowBatch{Schema: s.Schema, Cols: s.cols}
+	for i := 0; i < s.Meta.Rows; i++ {
+		if s.Alive(i) {
+			out.AppendRow(src, i)
+		}
+	}
+	return out
+}
