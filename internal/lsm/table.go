@@ -246,7 +246,13 @@ func Open(store storage.BlobStore, name string) (*Table, error) {
 // replayWAL applies WAL records with LSN > flushedLSN directly to
 // segments: consecutive inserts coalesce into one ingest batch, a
 // delete cuts the run (replay must preserve LSN order), and the
-// manifest + WAL are brought back in sync afterwards.
+// manifest + WAL are brought back in sync afterwards. Segment blobs
+// are written and registered in memory as the log replays, but the
+// manifest — the new segments AND the advanced watermark together —
+// is saved exactly once at the end, mirroring flushOnce's atomic
+// swap: a crash mid-recovery leaves the old manifest untouched, so
+// the next Open replays the same records onto the same deterministic
+// segment names instead of registering the rows twice.
 func (t *Table) replayWAL() error {
 	log, pending, err := wal.Open(t.store, t.opts.Name, t.opts.Schema, t.flushedLSN, 0)
 	if err != nil {
@@ -263,7 +269,17 @@ func (t *Table) replayWAL() error {
 		}
 		b := buf
 		buf = nil
-		return t.insertSegments(b)
+		metas, err := t.writeBatchSegments(b)
+		if err != nil {
+			return err
+		}
+		t.mu.Lock()
+		for _, m := range metas {
+			t.segments[m.Name] = m
+		}
+		t.updateHistogramsLocked(b)
+		t.mu.Unlock()
+		return nil
 	}
 	for _, rec := range pending {
 		switch rec.Type {

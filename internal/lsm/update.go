@@ -48,23 +48,36 @@ func (t *Table) DeleteByKeyCtx(ctx context.Context, pkCol string, keys []int64) 
 		return 0, err
 	}
 	marked := 0
-	for _, m := range t.memtables() {
-		marked += m.DeleteByKey(pkCol, keys, lsn)
+	all, active := t.memtables()
+	for _, m := range all {
+		marked += m.DeleteByKey(pkCol, keys)
+	}
+	// Only the active memtable's watermark advances to the delete's
+	// LSN: sealed memtables flush (and truncate the WAL up to their
+	// MaxLSN) before newer ones, so letting a delete raise a sealed
+	// memtable's MaxLSN would truncate insert records still buffered
+	// only in memory — losing acknowledged rows on crash. The delete
+	// itself needs no watermark protection: its segment bitmaps are
+	// persisted below and replaying a delete is idempotent.
+	if active != nil {
+		active.NoteLSN(lsn)
 	}
 	n, err := t.deleteFromSegments(pkCol, keys)
 	return marked + n, err
 }
 
-// memtables snapshots the live memtable set (active + sealed).
-func (t *Table) memtables() []*wal.Memtable {
+// memtables snapshots the live memtable set (sealed + active, oldest
+// first); active is nil when the WAL path has no open memtable.
+func (t *Table) memtables() (all []*wal.Memtable, active *wal.Memtable) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	out := make([]*wal.Memtable, 0, len(t.sealed)+1)
-	out = append(out, t.sealed...)
+	all = make([]*wal.Memtable, 0, len(t.sealed)+1)
+	all = append(all, t.sealed...)
 	if t.mem != nil {
-		out = append(out, t.mem)
+		all = append(all, t.mem)
+		active = t.mem
 	}
-	return out
+	return all, active
 }
 
 func (t *Table) validateKeyCol(pkCol string) error {

@@ -71,8 +71,9 @@ type walState struct {
 	stopCh  chan struct{}
 	doneCh  chan struct{}
 
-	// spaceCh is closed and replaced after every flush; writers
-	// blocked on backpressure wait on it. Guarded by t.mu.
+	// spaceCh is closed and replaced each time a flush retires a
+	// memtable; writers blocked on backpressure wait on it. Guarded
+	// by t.mu.
 	spaceCh chan struct{}
 }
 
@@ -114,7 +115,8 @@ func (t *Table) EnableWAL(cfg WALConfig) error {
 		case wal.RecInsert:
 			t.mem.Append(rec.Batch, rec.LSN)
 		case wal.RecDelete:
-			t.mem.DeleteByKey(rec.DeleteCol, rec.DeleteKeys, rec.LSN)
+			t.mem.DeleteByKey(rec.DeleteCol, rec.DeleteKeys)
+			t.mem.NoteLSN(rec.LSN) // sole memtable here, so it is the active one
 		}
 	}
 	t.mu.Unlock()
@@ -293,6 +295,12 @@ func (t *Table) flushOnce(ws *walState) error {
 				break
 			}
 		}
+		// Backlog space just freed — wake writers blocked on
+		// backpressure now rather than after the whole run, so a later
+		// memtable's flush error can't strand them behind space that
+		// already exists.
+		close(ws.spaceCh)
+		ws.spaceCh = make(chan struct{})
 		if snap.MaxLSN > t.flushedLSN {
 			t.flushedLSN = snap.MaxLSN
 		}
@@ -306,11 +314,6 @@ func (t *Table) flushOnce(ws *walState) error {
 		}
 		flushedRows += live.Len()
 	}
-	// Wake writers blocked on backpressure.
-	t.mu.Lock()
-	close(ws.spaceCh)
-	ws.spaceCh = make(chan struct{})
-	t.mu.Unlock()
 	mFlushRuns.Inc()
 	mFlushRows.Add(int64(flushedRows))
 	mFlushDur.Observe(time.Since(start))

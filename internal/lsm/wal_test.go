@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -330,6 +332,217 @@ func TestWALConcurrentInsertsDurable(t *testing.T) {
 		if n != 1 {
 			t.Fatalf("id %d appears %d times", id, n)
 		}
+	}
+	testutil.CheckNoLeaks(t, before)
+}
+
+// flakyStore wraps a BlobStore with a settable per-key Put failure
+// predicate, simulating partial storage outages mid-flush and
+// mid-recovery.
+type flakyStore struct {
+	storage.BlobStore
+	mu   sync.Mutex
+	fail func(key string) bool
+}
+
+func (s *flakyStore) setFail(f func(string) bool) {
+	s.mu.Lock()
+	s.fail = f
+	s.mu.Unlock()
+}
+
+func (s *flakyStore) Put(key string, blob []byte) error {
+	s.mu.Lock()
+	f := s.fail
+	s.mu.Unlock()
+	if f != nil && f(key) {
+		return fmt.Errorf("flaky: injected Put failure on %s", key)
+	}
+	return s.BlobStore.Put(key, blob)
+}
+
+func isSegmentKey(key string) bool  { return strings.Contains(key, "/segments/") }
+func isManifestKey(key string) bool { return strings.HasSuffix(key, "manifest.json") }
+
+// TestWALDeleteCannotTruncateUnflushedInserts: a DELETE's LSN must not
+// raise a sealed memtable's watermark past its own inserts. Otherwise
+// this sequence loses acknowledged rows: a flush error leaves M1
+// sealed, newer inserts land in M2, a delete marks rows in both, and
+// the next flush run — which flushes M1 first, then dies before M2 —
+// would persist the delete's LSN as the watermark and truncate the WAL
+// records of M2's rows, so a crash loses them despite the ack.
+func TestWALDeleteCannotTruncateUnflushedInserts(t *testing.T) {
+	before := runtime.NumGoroutine()
+	mem := storage.NewMemStore()
+	fs := &flakyStore{BlobStore: mem}
+	opts := testOptions("t")
+	tab, err := Create(fs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.Small(lN, lDim, 3)
+	if err := tab.EnableWAL(walTestConfig()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// M1: rows 0..99 (WAL record LSN 1).
+	if err := tab.InsertCtx(ctx, fillBatch(t, opts, ds, 0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	// Its flush fails at the segment write, leaving M1 sealed.
+	fs.setFail(isSegmentKey)
+	if err := tab.FlushWAL(); err == nil {
+		t.Fatal("flush with failing segment writes should error")
+	}
+	fs.setFail(nil)
+	// M2 (the new active memtable): rows 100..199 (LSN 2).
+	if err := tab.InsertCtx(ctx, fillBatch(t, opts, ds, 100, 100)); err != nil {
+		t.Fatal(err)
+	}
+	// Delete a row buffered in sealed M1 (LSN 3).
+	if n, err := tab.DeleteByKeyCtx(ctx, "id", []int64{5}); err != nil || n != 1 {
+		t.Fatalf("delete: n=%d err=%v", n, err)
+	}
+	// Next flush run: M1 flushes and truncates its own records, then
+	// M2's flush dies at the manifest write — the review scenario's
+	// crash point.
+	var manifestPuts int32
+	fs.setFail(func(key string) bool {
+		return isManifestKey(key) && atomic.AddInt32(&manifestPuts, 1) >= 2
+	})
+	if err := tab.FlushWAL(); err == nil {
+		t.Fatal("flush with failing second manifest write should error")
+	}
+	fs.setFail(nil)
+	// The WAL must still hold M2's insert and the delete.
+	if keys, _ := mem.List("tables/t/wal/"); len(keys) == 0 {
+		t.Fatal("WAL records of the unflushed memtable were truncated")
+	}
+	crashWAL(tab)
+	re, err := Open(mem, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tableContents(t, re)); got != 199 {
+		t.Fatalf("recovered rows = %d, want 199 (acknowledged inserts above a flushed delete LSN were lost)", got)
+	}
+	testutil.CheckNoLeaks(t, before)
+}
+
+// TestWALRecoveryManifestAtomic: crash recovery must commit replayed
+// segments and the advanced watermark in one manifest write. Per-batch
+// manifest writes under the old watermark would, after a crash mid-
+// recovery, leave segments durable that the next Open replays again —
+// duplicating acknowledged rows.
+func TestWALRecoveryManifestAtomic(t *testing.T) {
+	before := runtime.NumGoroutine()
+	mem := storage.NewMemStore()
+	fs := &flakyStore{BlobStore: mem}
+	opts := testOptions("t")
+	tab, err := Create(fs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.Small(lN, lDim, 3)
+	if err := tab.EnableWAL(walTestConfig()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// insert / delete / insert: the delete cuts the replay into two
+	// ingest batches, the shape that used to write two manifests.
+	if err := tab.InsertCtx(ctx, fillBatch(t, opts, ds, 0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := tab.DeleteByKeyCtx(ctx, "id", []int64{5}); err != nil || n != 1 {
+		t.Fatalf("delete: n=%d err=%v", n, err)
+	}
+	if err := tab.InsertCtx(ctx, fillBatch(t, opts, ds, 100, 50)); err != nil {
+		t.Fatal(err)
+	}
+	want := tableContents(t, tab)
+	if len(want) != 149 {
+		t.Fatalf("pre-crash rows = %d, want 149", len(want))
+	}
+	crashWAL(tab)
+	var manifestPuts int32
+	fs.setFail(func(key string) bool {
+		return isManifestKey(key) && atomic.AddInt32(&manifestPuts, 1) >= 2
+	})
+	re, err := Open(fs, "t")
+	if err != nil {
+		t.Fatalf("recovery is not a single atomic manifest update: %v", err)
+	}
+	fs.setFail(nil)
+	if n := atomic.LoadInt32(&manifestPuts); n != 1 {
+		t.Fatalf("recovery wrote the manifest %d times, want exactly 1", n)
+	}
+	equalContents(t, want, tableContents(t, re), "recovered contents")
+	testutil.CheckNoLeaks(t, before)
+}
+
+// TestWALPartialFlushFailureWakesBlockedWriters: when a flush run
+// retires some memtables and then fails on a later one, writers blocked
+// on backpressure must still be woken — the space they are waiting for
+// exists.
+func TestWALPartialFlushFailureWakesBlockedWriters(t *testing.T) {
+	before := runtime.NumGoroutine()
+	mem := storage.NewMemStore()
+	fs := &flakyStore{BlobStore: mem}
+	opts := testOptions("t")
+	tab, err := Create(fs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.Small(lN, lDim, 3)
+	cfg := walTestConfig()
+	cfg.MaxSealed = 2
+	if err := tab.EnableWAL(cfg); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Two failed flushes fill the sealed backlog to its cap.
+	fs.setFail(isSegmentKey)
+	for i := 0; i < 2; i++ {
+		if err := tab.InsertCtx(ctx, fillBatch(t, opts, ds, i*50, 50)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tab.FlushWAL(); err == nil {
+			t.Fatal("flush with failing segment writes should error")
+		}
+	}
+	// A third insert hits backpressure and blocks.
+	wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- tab.InsertCtx(wctx, fillBatch(t, opts, ds, 100, 50)) }()
+	// Next run: M1 flushes fine (its segment writes and manifest land
+	// before the predicate trips) but M2's segment write still fails.
+	// The slot M1 freed must wake the writer despite the run's error.
+	var sawManifest atomic.Bool
+	fs.setFail(func(key string) bool {
+		if isManifestKey(key) {
+			sawManifest.Store(true)
+			return false
+		}
+		return sawManifest.Load() && isSegmentKey(key)
+	})
+	if err := tab.FlushWAL(); err == nil {
+		t.Fatal("flush with failing later memtable should error")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("blocked writer failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer still blocked after a flush freed backlog space")
+	}
+	fs.setFail(nil)
+	if err := tab.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 150 || tab.MemRows() != 0 {
+		t.Fatalf("rows=%d mem=%d, want 150 flushed rows", tab.Rows(), tab.MemRows())
 	}
 	testutil.CheckNoLeaks(t, before)
 }

@@ -82,8 +82,13 @@ func (m *Memtable) Append(batch *storage.RowBatch, lsn int64) {
 }
 
 // DeleteByKey marks rows whose key-column value is in keys as deleted
-// and returns how many rows it marked.
-func (m *Memtable) DeleteByKey(col string, keys []int64, lsn int64) int {
+// and returns how many rows it marked. It deliberately does NOT touch
+// maxLSN: deletes are applied to every live memtable, and raising a
+// sealed memtable's watermark to the delete's LSN would let its flush
+// truncate WAL insert records still buffered only in newer memtables —
+// losing acknowledged rows on crash. The caller advances the active
+// memtable's watermark with NoteLSN instead.
+func (m *Memtable) DeleteByKey(col string, keys []int64) int {
 	keySet := make(map[int64]struct{}, len(keys))
 	for _, k := range keys {
 		keySet[k] = struct{}{}
@@ -102,10 +107,19 @@ func (m *Memtable) DeleteByKey(col string, keys []int64, lsn int64) int {
 			}
 		}
 	}
+	return marked
+}
+
+// NoteLSN raises the memtable's watermark to lsn. Only ever called on
+// the newest (active) memtable — every older memtable holds strictly
+// smaller insert LSNs and flushes first, so advancing the active
+// watermark past a delete's LSN can never truncate an unflushed insert.
+func (m *Memtable) NoteLSN(lsn int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if lsn > m.maxLSN {
 		m.maxLSN = lsn
 	}
-	return marked
 }
 
 // Rows returns the total appended row count (including deleted rows).

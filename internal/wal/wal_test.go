@@ -243,9 +243,17 @@ func TestMemtableSnapshotIsolation(t *testing.T) {
 	if m.Rows() != 10 {
 		t.Fatalf("rows = %d", m.Rows())
 	}
-	if n := m.DeleteByKey("id", []int64{3, 7, 99}, 2); n != 2 {
+	if n := m.DeleteByKey("id", []int64{3, 7, 99}); n != 2 {
 		t.Fatalf("DeleteByKey marked %d, want 2", n)
 	}
+	// Marking deletes must not advance the watermark — only NoteLSN
+	// does (the table calls it on the active memtable alone, so a
+	// delete can never let a sealed memtable's flush truncate WAL
+	// records of rows still buffered in newer memtables).
+	if m.MaxLSN() != 1 {
+		t.Fatalf("DeleteByKey moved maxLSN to %d, want 1", m.MaxLSN())
+	}
+	m.NoteLSN(2)
 	snap := m.Snapshot()
 	if snap.Rows() != 10 || snap.MaxLSN != 2 {
 		t.Fatalf("snapshot rows=%d maxLSN=%d", snap.Rows(), snap.MaxLSN)
@@ -259,7 +267,7 @@ func TestMemtableSnapshotIsolation(t *testing.T) {
 
 	// Mutations after the snapshot must not leak into it.
 	m.Append(testBatch(schema, 10, 5), 3)
-	m.DeleteByKey("id", []int64{0}, 4)
+	m.DeleteByKey("id", []int64{0})
 	if snap.Rows() != 10 || len(snap.Col("id").Ints) != 10 {
 		t.Fatal("snapshot grew after append")
 	}
@@ -299,7 +307,7 @@ func TestMemtableConcurrentSnapshot(t *testing.T) {
 			default:
 			}
 			m.Append(testBatch(schema, i*3, 3), int64(i+1))
-			m.DeleteByKey("id", []int64{int64(i * 3)}, int64(i+1))
+			m.DeleteByKey("id", []int64{int64(i * 3)})
 		}
 	}()
 	for i := 0; i < 200; i++ {
