@@ -56,6 +56,9 @@ func main() {
 		useWAL    = flag.Bool("wal", true, "real-time write path: group-committed WAL + searchable memtable (off = cut segments synchronously per INSERT)")
 		flushRows = flag.Int("flush-rows", 0, "seal and flush the memtable after this many rows (0 = default)")
 		flushMS   = flag.Duration("flush-interval", 0, "background flush period for partial memtables (0 = default)")
+		retries   = flag.Int("store-retries", 4, "attempts per storage operation for transient errors (1 = no retries, 0 = disable the fault-tolerance layer)")
+		backoff   = flag.Duration("store-backoff", 0, "base backoff before the first storage retry (0 = default 5ms; grows exponentially, jittered)")
+		chaos     = flag.Bool("chaos", false, "inject seeded transient storage faults under the retry layer (smoke-testing fault tolerance)")
 	)
 	flag.Parse()
 
@@ -71,7 +74,7 @@ func main() {
 		defer debug.Drain(time.Second)
 	}
 
-	engine, err := openEngine(*dataDir, *maxPar, walConfig(*useWAL, *flushRows, *flushMS))
+	engine, err := openEngine(*dataDir, *maxPar, walConfig(*useWAL, *flushRows, *flushMS), retryConfig(*retries, *backoff), *chaos)
 	if err != nil {
 		fatal(err)
 	}
@@ -100,8 +103,9 @@ func main() {
 }
 
 // openEngine builds the standard shell/server engine over a
-// filesystem store.
-func openEngine(dataDir string, maxPar int, wal *lsm.WALConfig) (*core.Engine, error) {
+// filesystem store, with the storage fault-tolerance layer (and
+// optionally chaos injection) between the engine and the disk.
+func openEngine(dataDir string, maxPar int, wal *lsm.WALConfig, retry *storage.RetryConfig, chaos bool) (*core.Engine, error) {
 	store, err := storage.NewFSStore(dataDir)
 	if err != nil {
 		return nil, err
@@ -114,7 +118,18 @@ func openEngine(dataDir string, maxPar int, wal *lsm.WALConfig) (*core.Engine, e
 		AutoIndex:        true,
 		MaxParallelism:   maxPar,
 		WAL:              wal,
+		Retry:            retry,
+		Chaos:            chaos,
 	})
+}
+
+// retryConfig translates the -store-retries/-store-backoff flags (nil
+// disables the retry layer entirely).
+func retryConfig(retries int, backoff time.Duration) *storage.RetryConfig {
+	if retries <= 0 {
+		return nil
+	}
+	return &storage.RetryConfig{MaxAttempts: retries, BaseBackoff: backoff}
 }
 
 // walConfig translates the -wal/-flush-* flags into the engine's
@@ -152,10 +167,13 @@ func runServe(args []string) {
 		useWAL       = fs.Bool("wal", true, "real-time write path: group-committed WAL + searchable memtable (off = cut segments synchronously per INSERT)")
 		flushRows    = fs.Int("flush-rows", 0, "seal and flush the memtable after this many rows (0 = default)")
 		flushMS      = fs.Duration("flush-interval", 0, "background flush period for partial memtables (0 = default)")
+		retries      = fs.Int("store-retries", 4, "attempts per storage operation for transient errors (1 = no retries, 0 = disable the fault-tolerance layer)")
+		backoff      = fs.Duration("store-backoff", 0, "base backoff before the first storage retry (0 = default 5ms; grows exponentially, jittered)")
+		chaos        = fs.Bool("chaos", false, "inject seeded transient storage faults under the retry layer (smoke-testing fault tolerance)")
 	)
 	fs.Parse(args)
 
-	engine, err := openEngine(*dataDir, *maxPar, walConfig(*useWAL, *flushRows, *flushMS))
+	engine, err := openEngine(*dataDir, *maxPar, walConfig(*useWAL, *flushRows, *flushMS), retryConfig(*retries, *backoff), *chaos)
 	if err != nil {
 		fatal(err)
 	}

@@ -3,6 +3,7 @@ package cache
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"blendhouse/internal/storage"
 )
@@ -87,6 +88,70 @@ func TestLRUZeroCapacityStoresNothing(t *testing.T) {
 	c := NewLRU(0)
 	if c.Put("a", 1, 1) {
 		t.Fatal("zero-cap cache accepted an entry")
+	}
+	// Zero-size entries used to slip past the size>cap check and live
+	// in a "disabled" cache forever.
+	if c.Put("b", 2, 0) {
+		t.Fatal("zero-cap cache accepted a zero-size entry")
+	}
+	if _, ok := c.Get("b"); ok || c.Len() != 0 {
+		t.Fatal("disabled cache is holding entries")
+	}
+	neg := NewLRU(-1)
+	if neg.Put("a", 1, 0) {
+		t.Fatal("negative-cap cache accepted an entry")
+	}
+}
+
+// TestLRUEvictCallbackMayReenter: eviction callbacks fire outside the
+// cache lock, so a callback that re-enters the cache (the disk tier's
+// on-evict path) must not deadlock. This test hangs on the old
+// fire-under-lock implementation.
+func TestLRUEvictCallbackMayReenter(t *testing.T) {
+	c := NewLRU(50)
+	var evicted []string
+	c.SetOnEvict(func(k string, _ any) {
+		evicted = append(evicted, k)
+		// All three re-entrant calls would deadlock under c.mu.
+		c.Contains(k)
+		c.Get("whatever")
+		c.Remove(k)
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Put("a", 1, 30)
+		c.Put("b", 2, 30) // evicts a → callback re-enters
+		c.Put("c", 3, 30) // evicts b
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("re-entrant eviction callback deadlocked")
+	}
+	if len(evicted) != 2 || evicted[0] != "a" || evicted[1] != "b" {
+		t.Fatalf("evicted = %v", evicted)
+	}
+	if c.Len() != 1 || !c.Contains("c") {
+		t.Fatalf("cache should hold only c, len=%d", c.Len())
+	}
+}
+
+// TestLRUEvictCallbackMultipleAtOnce: one oversized Put can evict
+// several entries; every one must get its callback, oldest first.
+func TestLRUEvictCallbackMultipleAtOnce(t *testing.T) {
+	c := NewLRU(100)
+	var evicted []string
+	c.SetOnEvict(func(k string, _ any) { evicted = append(evicted, k) })
+	c.Put("a", 1, 30)
+	c.Put("b", 2, 30)
+	c.Put("c", 3, 30)
+	c.Put("big", 4, 90) // must evict a, b and c
+	if len(evicted) != 3 || evicted[0] != "a" || evicted[1] != "b" || evicted[2] != "c" {
+		t.Fatalf("evicted = %v", evicted)
+	}
+	if c.SizeBytes() != 90 || c.Len() != 1 {
+		t.Fatalf("size=%d len=%d after multi-evict", c.SizeBytes(), c.Len())
 	}
 }
 

@@ -71,11 +71,17 @@ func (c *LRU) Contains(key string) bool {
 
 // Put inserts or replaces an entry and evicts LRU entries until the
 // budget holds. Entries larger than the whole budget are rejected
-// (returned false) rather than flushing the cache for one item.
+// (returned false) rather than flushing the cache for one item, and a
+// disabled cache (capBytes <= 0) rejects everything — including
+// zero-size entries — honoring the "stores nothing" contract.
+//
+// Eviction callbacks fire after c.mu is released: a callback that
+// re-enters the cache (the disk tier's on-evict deletes files and may
+// consult cache state) would otherwise deadlock.
 func (c *LRU) Put(key string, value any, size int64) bool {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if size > c.capBytes {
+	if c.capBytes <= 0 || size > c.capBytes {
+		c.mu.Unlock()
 		return false
 	}
 	if el, ok := c.items[key]; ok {
@@ -88,8 +94,20 @@ func (c *LRU) Put(key string, value any, size int64) bool {
 		c.items[key] = el
 		c.size += size
 	}
+	var evicted []*lruEntry
 	for c.size > c.capBytes {
-		c.evictOldest()
+		e := c.evictOldest()
+		if e == nil {
+			break
+		}
+		evicted = append(evicted, e)
+	}
+	onEvict := c.onEvict
+	c.mu.Unlock()
+	if onEvict != nil {
+		for _, e := range evicted {
+			onEvict(e.key, e.value)
+		}
 	}
 	return true
 }
@@ -106,18 +124,18 @@ func (c *LRU) Remove(key string) {
 	}
 }
 
-func (c *LRU) evictOldest() {
+// evictOldest pops the LRU entry under c.mu; the caller fires the
+// eviction callback after unlocking.
+func (c *LRU) evictOldest() *lruEntry {
 	el := c.ll.Back()
 	if el == nil {
-		return
+		return nil
 	}
 	e := el.Value.(*lruEntry)
 	c.ll.Remove(el)
 	delete(c.items, e.key)
 	c.size -= e.size
-	if c.onEvict != nil {
-		c.onEvict(e.key, e.value)
-	}
+	return e
 }
 
 // Len returns the number of entries.

@@ -346,6 +346,17 @@ func (vw *VW) searchOneWithRetry(ctx context.Context, table *lsm.Table, m *stora
 	sp := opts.Span.Child("segment " + m.Name)
 	defer sp.End()
 	sp.Set("worker", workerID)
+	// Per-segment storage-retry delta: the ctx tally is query-global,
+	// so the difference across this segment's scan is what this
+	// segment's reads cost in retries.
+	if tally := storage.TallyFrom(ctx); tally != nil {
+		start := tally.Retries()
+		defer func() {
+			if d := tally.Retries() - start; d > 0 {
+				sp.SetInt("store_retries", d)
+			}
+		}()
+	}
 	tryWorker := func(id string) ([]index.Candidate, error) {
 		w := vw.Worker(id)
 		if w == nil || !w.Alive() {

@@ -82,8 +82,19 @@ type Config struct {
 	// table: INSERT/DELETE group-commit to a durable per-table log and
 	// become query-visible immediately via the memtable; a background
 	// flusher cuts L0 segments. Engine.Close drains it.
-	WAL  *lsm.WALConfig
-	Seed int64
+	WAL *lsm.WALConfig
+	// Retry, when non-nil, wraps Store in the fault-tolerance layer
+	// (transient-error retries with jittered backoff + circuit breaker)
+	// before anything reads or writes through it — WAL commits, flushes,
+	// compaction, manifest writes and queries all inherit it.
+	Retry *storage.RetryConfig
+	// Chaos additionally slips a seeded fault injector between the
+	// retry layer and Store (transient failure rate
+	// storage.ChaosErrRate) — smoke-testing that acked⇒durable holds
+	// when every operation can fail. Implies a default Retry when none
+	// is set.
+	Chaos bool
+	Seed  int64
 }
 
 // Engine is a BlendHouse instance.
@@ -105,6 +116,22 @@ type Engine struct {
 func New(cfg Config) (*Engine, error) {
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("core: Config.Store is required")
+	}
+	// Fault-tolerance layering (outermost first): retries+breaker over
+	// the fault injector over the real store. Wrapped before recovery
+	// so even the catalog scan benefits.
+	if cfg.Chaos {
+		cfg.Store = storage.NewFaultStore(cfg.Store, storage.FaultConfig{
+			Seed:    cfg.Seed + 0xc4a05,
+			ErrRate: storage.ChaosErrRate,
+		})
+		if cfg.Retry == nil {
+			rc := storage.RetryConfig{MaxAttempts: 6, Seed: cfg.Seed + 1}
+			cfg.Retry = &rc
+		}
+	}
+	if cfg.Retry != nil {
+		cfg.Store = storage.NewRetryStore(cfg.Store, *cfg.Retry)
 	}
 	e := &Engine{
 		cfg:            cfg,

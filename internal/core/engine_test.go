@@ -29,7 +29,9 @@ const (
 func newEngine(t *testing.T, cfg Config) *Engine {
 	t.Helper()
 	if cfg.Store == nil {
-		cfg.Store = storage.NewMemStore()
+		// BH_CHAOS=1 re-runs every engine test over fault-injected
+		// storage behind the retry layer.
+		cfg.Store = storage.MaybeChaosFromEnv(storage.NewMemStore())
 	}
 	if cfg.SegmentRows == 0 {
 		cfg.SegmentRows = 200

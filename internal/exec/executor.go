@@ -115,6 +115,20 @@ func (e *Executor) RunWith(ctx context.Context, ph *plan.Physical, opts RunOptio
 	par := e.parallelism(opts.MaxParallelism)
 	lg := ph.Logical
 	root := tr.Span()
+	// Traced queries carry a retry tally through the context: every
+	// storage retry charged to this query surfaces as a root-span
+	// attribute in EXPLAIN ANALYZE, alongside the circuit breaker's
+	// state when the store has one.
+	if tr != nil {
+		tally := &storage.RetryTally{}
+		ctx = storage.WithRetryTally(ctx, tally)
+		defer func() {
+			root.SetInt("store_retries", tally.Retries())
+			if br, ok := e.Table.Store().(storage.BreakerReporter); ok {
+				root.Set("store_breaker", br.BreakerState().String())
+			}
+		}()
+	}
 	preds, err := compilePredicates(e.Table.Schema(), lg.ScalarPreds)
 	if err != nil {
 		return nil, err

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"blendhouse/internal/bitset"
 	"blendhouse/internal/obs"
 	"blendhouse/internal/storage"
 )
@@ -55,9 +56,21 @@ func (t *Table) CompactOnce(policy CompactionPolicy) (int, error) {
 	// Read the group's live rows into one batch, applying deletes.
 	// The MaxMergeRows cap bounds how many segments this round
 	// actually merges; segments beyond the cap stay live untouched.
+	//
+	// Deletes run concurrently with this read, so each segment's bitmap
+	// is snapshotted (cloned under t.mu) and the snapshot drives the
+	// merge, while rowMaps records where every carried row landed in the
+	// merged batch. At swap time, under dmlMu, the live bitmaps are
+	// diffed against the snapshots and any row deleted after its
+	// snapshot was taken is re-marked in the new segment's bitmap —
+	// without this, a DELETE landing between the bitmap read and the
+	// catalog swap was silently dropped when t.deletes[m.Name] was
+	// discarded.
 	merged := storage.NewRowBatch(t.opts.Schema)
 	maxLevel := 0
 	var mergedMetas []*storage.SegmentMeta
+	var snapshots []*bitset.Bitset
+	var rowMaps [][]int // old row -> merged row, -1 = dropped as deleted
 	for _, m := range metas {
 		if merged.Len() >= policy.MaxMergeRows {
 			break
@@ -70,6 +83,13 @@ func (t *Table) CompactOnce(policy CompactionPolicy) (int, error) {
 		if err != nil {
 			return 0, err
 		}
+		var snap *bitset.Bitset
+		if bm != nil {
+			t.mu.RLock()
+			snap = bm.Clone() // markDeleted mutates the live bitmap under t.mu
+			t.mu.RUnlock()
+		}
+		snapshots = append(snapshots, snap)
 		rd := &storage.SegmentReader{Store: t.store, Meta: m, Schema: t.opts.Schema}
 		cols := make([]*storage.ColumnData, len(t.opts.Schema.Columns))
 		for ci, def := range t.opts.Schema.Columns {
@@ -80,12 +100,16 @@ func (t *Table) CompactOnce(policy CompactionPolicy) (int, error) {
 			cols[ci] = col
 		}
 		src := &storage.RowBatch{Schema: t.opts.Schema, Cols: cols}
+		rowMap := make([]int, m.Rows)
 		for r := 0; r < m.Rows; r++ {
-			if bm != nil && bm.Test(r) {
+			if snap != nil && snap.Test(r) {
+				rowMap[r] = -1
 				continue
 			}
+			rowMap[r] = merged.Len()
 			merged.AppendRow(src, r)
 		}
+		rowMaps = append(rowMaps, rowMap)
 	}
 	if len(mergedMetas) < 2 {
 		return 0, nil // nothing meaningful to merge under the cap
@@ -95,14 +119,59 @@ func (t *Table) CompactOnce(policy CompactionPolicy) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("lsm: writing compacted segment: %w", err)
 	}
+	// From here until the catalog swap no new delete may apply: dmlMu
+	// excludes deleteFromSegments, so the late-delete diff below is
+	// complete and the swap is atomic with respect to DML.
+	t.dmlMu.Lock()
+	var newBM *bitset.Bitset
+	for i, m := range mergedMetas {
+		live, berr := t.DeleteBitmap(m.Name)
+		if berr != nil {
+			t.dmlMu.Unlock()
+			return 0, berr
+		}
+		if live == nil {
+			continue
+		}
+		snap, rowMap := snapshots[i], rowMaps[i]
+		t.mu.RLock()
+		for r := 0; r < m.Rows; r++ {
+			if live.Test(r) && rowMap[r] >= 0 && (snap == nil || !snap.Test(r)) {
+				if newBM == nil {
+					newBM = bitset.New(merged.Len())
+				}
+				newBM.Set(rowMap[r])
+			}
+		}
+		t.mu.RUnlock()
+	}
+	if newBM != nil {
+		// Persist the carried deletes before the swap: once the manifest
+		// stops referencing the old segments, their bitmaps are the only
+		// durable record of these rows' deletion. A failure here aborts
+		// the compaction cleanly (the unreferenced merged segment is a
+		// harmless orphan).
+		blob, merr := newBM.MarshalBinary()
+		if merr == nil {
+			merr = t.store.Put(storage.DeleteBitmapKey(t.opts.Name, newMeta.Name), blob)
+		}
+		if merr != nil {
+			t.dmlMu.Unlock()
+			return 0, fmt.Errorf("lsm: persisting carried delete bitmap of %s: %w", newMeta.Name, merr)
+		}
+	}
 	// Swap catalog: register the new segment, retire the merged ones.
 	t.mu.Lock()
 	t.segments[newMeta.Name] = newMeta
+	if newBM != nil {
+		t.deletes[newMeta.Name] = newBM
+	}
 	for _, m := range mergedMetas {
 		delete(t.segments, m.Name)
 		delete(t.deletes, m.Name)
 	}
 	t.mu.Unlock()
+	t.dmlMu.Unlock()
 	if err := t.saveManifest(); err != nil {
 		return 0, err
 	}

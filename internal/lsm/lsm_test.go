@@ -54,7 +54,9 @@ func fillBatch(t *testing.T, opts Options, ds *dataset.Dataset, startID, n int) 
 func newTestTable(t *testing.T, opts Options) (*Table, *dataset.Dataset) {
 	t.Helper()
 	ds := dataset.Small(lN, lDim, 3)
-	tab, err := Create(storage.NewMemStore(), opts)
+	// BH_CHAOS=1 re-runs every table test over fault-injected storage
+	// behind the retry layer (see storage.MaybeChaosFromEnv).
+	tab, err := Create(storage.MaybeChaosFromEnv(storage.NewMemStore()), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +246,7 @@ func TestDeleteByKey(t *testing.T) {
 		t.Fatalf("re-delete: n=%d err=%v", n, err)
 	}
 	// Bitmap persisted: reopen and check.
-	re, err := Open(tab.Store().(*storage.MemStore), "t")
+	re, err := Open(tab.Store(), "t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -561,7 +563,7 @@ func TestTuneOnCompactionRefinesIVFParams(t *testing.T) {
 		t.Fatalf("tuned-index search: %d results, %v", len(res), err)
 	}
 	// Reopen from the manifest: the option must persist.
-	re, err := Open(tab.Store().(*storage.MemStore), "t")
+	re, err := Open(tab.Store(), "t")
 	if err != nil {
 		t.Fatal(err)
 	}

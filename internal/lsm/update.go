@@ -62,7 +62,7 @@ func (t *Table) DeleteByKeyCtx(ctx context.Context, pkCol string, keys []int64) 
 	if active != nil {
 		active.NoteLSN(lsn)
 	}
-	n, err := t.deleteFromSegments(pkCol, keys)
+	n, err := t.deleteFromSegmentsLocked(pkCol, keys)
 	return marked + n, err
 }
 
@@ -93,8 +93,17 @@ func (t *Table) validateKeyCol(pkCol string) error {
 
 // deleteFromSegments marks keyed rows deleted in segment bitmaps (the
 // pre-WAL delete path, still used directly by replay and flush-off
-// tables).
+// tables). It takes dmlMu so bitmap application is atomic with respect
+// to both memtable flushes and compaction's bitmap-snapshot→catalog-swap
+// window; callers already under dmlMu use deleteFromSegmentsLocked.
 func (t *Table) deleteFromSegments(pkCol string, keys []int64) (int, error) {
+	t.dmlMu.Lock()
+	defer t.dmlMu.Unlock()
+	return t.deleteFromSegmentsLocked(pkCol, keys)
+}
+
+// deleteFromSegmentsLocked is deleteFromSegments with dmlMu held.
+func (t *Table) deleteFromSegmentsLocked(pkCol string, keys []int64) (int, error) {
 	if err := t.validateKeyCol(pkCol); err != nil {
 		return 0, err
 	}

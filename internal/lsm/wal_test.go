@@ -336,29 +336,22 @@ func TestWALConcurrentInsertsDurable(t *testing.T) {
 	testutil.CheckNoLeaks(t, before)
 }
 
-// flakyStore wraps a BlobStore with a settable per-key Put failure
-// predicate, simulating partial storage outages mid-flush and
-// mid-recovery.
-type flakyStore struct {
-	storage.BlobStore
-	mu   sync.Mutex
-	fail func(key string) bool
-}
-
-func (s *flakyStore) setFail(f func(string) bool) {
-	s.mu.Lock()
-	s.fail = f
-	s.mu.Unlock()
-}
-
-func (s *flakyStore) Put(key string, blob []byte) error {
-	s.mu.Lock()
-	f := s.fail
-	s.mu.Unlock()
-	if f != nil && f(key) {
-		return fmt.Errorf("flaky: injected Put failure on %s", key)
+// failPuts points storage.FaultStore's hook at a per-key Put failure
+// predicate (nil clears it), simulating partial storage outages
+// mid-flush and mid-recovery. The test-local flaky store this file used
+// to carry was promoted into storage.FaultStore; the hook keeps the
+// same settable-predicate ergonomics.
+func failPuts(fs *storage.FaultStore, pred func(string) bool) {
+	if pred == nil {
+		fs.SetHook(nil)
+		return
 	}
-	return s.BlobStore.Put(key, blob)
+	fs.SetHook(func(op storage.FaultOp, key string) error {
+		if op == storage.FaultOpPut && pred(key) {
+			return &storage.TransientError{Err: fmt.Errorf("injected Put failure on %s", key)}
+		}
+		return nil
+	})
 }
 
 func isSegmentKey(key string) bool  { return strings.Contains(key, "/segments/") }
@@ -374,7 +367,7 @@ func isManifestKey(key string) bool { return strings.HasSuffix(key, "manifest.js
 func TestWALDeleteCannotTruncateUnflushedInserts(t *testing.T) {
 	before := runtime.NumGoroutine()
 	mem := storage.NewMemStore()
-	fs := &flakyStore{BlobStore: mem}
+	fs := storage.NewFaultStore(mem, storage.FaultConfig{Seed: 1})
 	opts := testOptions("t")
 	tab, err := Create(fs, opts)
 	if err != nil {
@@ -390,11 +383,11 @@ func TestWALDeleteCannotTruncateUnflushedInserts(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Its flush fails at the segment write, leaving M1 sealed.
-	fs.setFail(isSegmentKey)
+	failPuts(fs, isSegmentKey)
 	if err := tab.FlushWAL(); err == nil {
 		t.Fatal("flush with failing segment writes should error")
 	}
-	fs.setFail(nil)
+	failPuts(fs, nil)
 	// M2 (the new active memtable): rows 100..199 (LSN 2).
 	if err := tab.InsertCtx(ctx, fillBatch(t, opts, ds, 100, 100)); err != nil {
 		t.Fatal(err)
@@ -407,13 +400,13 @@ func TestWALDeleteCannotTruncateUnflushedInserts(t *testing.T) {
 	// M2's flush dies at the manifest write — the review scenario's
 	// crash point.
 	var manifestPuts int32
-	fs.setFail(func(key string) bool {
+	failPuts(fs, func(key string) bool {
 		return isManifestKey(key) && atomic.AddInt32(&manifestPuts, 1) >= 2
 	})
 	if err := tab.FlushWAL(); err == nil {
 		t.Fatal("flush with failing second manifest write should error")
 	}
-	fs.setFail(nil)
+	failPuts(fs, nil)
 	// The WAL must still hold M2's insert and the delete.
 	if keys, _ := mem.List("tables/t/wal/"); len(keys) == 0 {
 		t.Fatal("WAL records of the unflushed memtable were truncated")
@@ -437,7 +430,7 @@ func TestWALDeleteCannotTruncateUnflushedInserts(t *testing.T) {
 func TestWALRecoveryManifestAtomic(t *testing.T) {
 	before := runtime.NumGoroutine()
 	mem := storage.NewMemStore()
-	fs := &flakyStore{BlobStore: mem}
+	fs := storage.NewFaultStore(mem, storage.FaultConfig{Seed: 1})
 	opts := testOptions("t")
 	tab, err := Create(fs, opts)
 	if err != nil {
@@ -465,14 +458,14 @@ func TestWALRecoveryManifestAtomic(t *testing.T) {
 	}
 	crashWAL(tab)
 	var manifestPuts int32
-	fs.setFail(func(key string) bool {
+	failPuts(fs, func(key string) bool {
 		return isManifestKey(key) && atomic.AddInt32(&manifestPuts, 1) >= 2
 	})
 	re, err := Open(fs, "t")
 	if err != nil {
 		t.Fatalf("recovery is not a single atomic manifest update: %v", err)
 	}
-	fs.setFail(nil)
+	failPuts(fs, nil)
 	if n := atomic.LoadInt32(&manifestPuts); n != 1 {
 		t.Fatalf("recovery wrote the manifest %d times, want exactly 1", n)
 	}
@@ -487,7 +480,7 @@ func TestWALRecoveryManifestAtomic(t *testing.T) {
 func TestWALPartialFlushFailureWakesBlockedWriters(t *testing.T) {
 	before := runtime.NumGoroutine()
 	mem := storage.NewMemStore()
-	fs := &flakyStore{BlobStore: mem}
+	fs := storage.NewFaultStore(mem, storage.FaultConfig{Seed: 1})
 	opts := testOptions("t")
 	tab, err := Create(fs, opts)
 	if err != nil {
@@ -501,7 +494,7 @@ func TestWALPartialFlushFailureWakesBlockedWriters(t *testing.T) {
 	}
 	ctx := context.Background()
 	// Two failed flushes fill the sealed backlog to its cap.
-	fs.setFail(isSegmentKey)
+	failPuts(fs, isSegmentKey)
 	for i := 0; i < 2; i++ {
 		if err := tab.InsertCtx(ctx, fillBatch(t, opts, ds, i*50, 50)); err != nil {
 			t.Fatal(err)
@@ -519,7 +512,7 @@ func TestWALPartialFlushFailureWakesBlockedWriters(t *testing.T) {
 	// before the predicate trips) but M2's segment write still fails.
 	// The slot M1 freed must wake the writer despite the run's error.
 	var sawManifest atomic.Bool
-	fs.setFail(func(key string) bool {
+	failPuts(fs, func(key string) bool {
 		if isManifestKey(key) {
 			sawManifest.Store(true)
 			return false
@@ -537,7 +530,7 @@ func TestWALPartialFlushFailureWakesBlockedWriters(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("writer still blocked after a flush freed backlog space")
 	}
-	fs.setFail(nil)
+	failPuts(fs, nil)
 	if err := tab.CloseWAL(); err != nil {
 		t.Fatal(err)
 	}

@@ -125,6 +125,9 @@ func (s *MemStore) Get(key string) ([]byte, error) {
 
 // GetRange implements BlobStore.
 func (s *MemStore) GetRange(key string, off, length int64) ([]byte, error) {
+	if err := checkRange(off, length); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	v, ok := s.data[key]
 	s.mu.RUnlock()
@@ -168,8 +171,8 @@ func (s *MemStore) List(prefix string) ([]string, error) {
 }
 
 func clampRange(v []byte, off, length int64) ([]byte, error) {
-	if off < 0 || length < 0 {
-		return nil, fmt.Errorf("storage: negative range off=%d len=%d", off, length)
+	if err := checkRange(off, length); err != nil {
+		return nil, err
 	}
 	if off >= int64(len(v)) {
 		return nil, nil
@@ -271,6 +274,9 @@ func (s *FSStore) Get(key string) ([]byte, error) {
 
 // GetRange implements BlobStore.
 func (s *FSStore) GetRange(key string, off, length int64) ([]byte, error) {
+	if err := checkRange(off, length); err != nil {
+		return nil, err
+	}
 	f, err := os.Open(s.path(key))
 	if os.IsNotExist(err) {
 		return nil, &ErrNotFound{key}

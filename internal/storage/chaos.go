@@ -1,0 +1,45 @@
+// Chaos mode: BH_CHAOS=1 slips a seeded FaultStore (≈5% transient
+// failures) under a RetryStore in the test helpers' stores, so the
+// entire tier-1 suite re-runs over storage where every operation can
+// transiently fail. Any assertion that breaks only under chaos is a
+// missing retry or a durability hole.
+package storage
+
+import (
+	"os"
+	"time"
+)
+
+// ChaosFromEnv reports whether chaos mode is requested (BH_CHAOS set to
+// anything but "" or "0").
+func ChaosFromEnv() bool {
+	v := os.Getenv("BH_CHAOS")
+	return v != "" && v != "0"
+}
+
+// ChaosErrRate is the transient-failure probability chaos mode injects.
+const ChaosErrRate = 0.05
+
+// WrapChaos layers RetryStore(FaultStore(backing)) with the standard
+// chaos schedule. MaxAttempts is raised above the default so a soak's
+// thousands of operations keep the odds of exhausting the budget
+// (p^attempts per op) negligible.
+func WrapChaos(backing BlobStore, seed int64) *RetryStore {
+	fs := NewFaultStore(backing, FaultConfig{Seed: seed, ErrRate: ChaosErrRate})
+	return NewRetryStore(fs, RetryConfig{
+		MaxAttempts: 6,
+		BaseBackoff: 100 * time.Microsecond,
+		MaxBackoff:  2 * time.Millisecond,
+		Seed:        seed + 1,
+	})
+}
+
+// MaybeChaosFromEnv wraps backing in the chaos stack when BH_CHAOS is
+// set, and returns it untouched otherwise. Test helpers call it on
+// their MemStores.
+func MaybeChaosFromEnv(backing BlobStore) BlobStore {
+	if !ChaosFromEnv() {
+		return backing
+	}
+	return WrapChaos(backing, 0xb1e4d)
+}

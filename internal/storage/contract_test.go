@@ -1,0 +1,98 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+// contractStores builds one of every BlobStore implementation,
+// including the fault-tolerance wrappers configured to be transparent,
+// so the whole family is held to identical semantics.
+func contractStores(t *testing.T) map[string]BlobStore {
+	t.Helper()
+	fs, err := NewFSStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]BlobStore{
+		"mem":    NewMemStore(),
+		"fs":     fs,
+		"remote": NewRemoteStore(NewMemStore(), RemoteConfig{}),
+		"retry":  NewRetryStore(NewMemStore(), RetryConfig{Seed: 1}),
+		"fault":  NewFaultStore(NewMemStore(), FaultConfig{Seed: 1}),
+	}
+}
+
+// TestBlobStoreContract pins the shared semantics every implementation
+// must agree on — most importantly that negative range arguments are a
+// typed validation error, never a panic (FSStore used to panic on
+// negative length via make([]byte, end-off)).
+func TestBlobStoreContract(t *testing.T) {
+	for name, s := range contractStores(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Put("c/key", []byte("0123456789")); err != nil {
+				t.Fatal(err)
+			}
+
+			// Negative off / length: ErrInvalidRange, no panic.
+			for _, bad := range [][2]int64{{-1, 4}, {2, -1}, {-3, -3}} {
+				_, err := s.GetRange("c/key", bad[0], bad[1])
+				if !errors.Is(err, ErrInvalidRange) {
+					t.Errorf("GetRange(%d,%d) = %v, want ErrInvalidRange", bad[0], bad[1], err)
+				}
+			}
+
+			// In-bounds range.
+			got, err := s.GetRange("c/key", 2, 4)
+			if err != nil || string(got) != "2345" {
+				t.Errorf("GetRange(2,4) = %q, %v", got, err)
+			}
+			// Past-the-end clamps to the available suffix.
+			got, err = s.GetRange("c/key", 8, 100)
+			if err != nil || string(got) != "89" {
+				t.Errorf("GetRange(8,100) = %q, %v", got, err)
+			}
+			// Fully past the end: empty, no error.
+			got, err = s.GetRange("c/key", 100, 4)
+			if err != nil || len(got) != 0 {
+				t.Errorf("GetRange(100,4) = %q, %v", got, err)
+			}
+			// Zero length: empty, no error.
+			got, err = s.GetRange("c/key", 0, 0)
+			if err != nil || len(got) != 0 {
+				t.Errorf("GetRange(0,0) = %q, %v", got, err)
+			}
+
+			// Missing keys: typed not-found from every read op.
+			if _, err := s.Get("c/absent"); !IsNotFound(err) {
+				t.Errorf("Get(absent) = %v, want ErrNotFound", err)
+			}
+			if _, err := s.Size("c/absent"); !IsNotFound(err) {
+				t.Errorf("Size(absent) = %v, want ErrNotFound", err)
+			}
+			if _, err := s.GetRange("c/absent", 0, 1); !IsNotFound(err) {
+				t.Errorf("GetRange(absent) = %v, want ErrNotFound", err)
+			}
+			// ...and even an absent key rejects invalid ranges the same
+			// way (validation precedes existence).
+			if _, err := s.GetRange("c/absent", -1, 1); err == nil {
+				t.Error("GetRange(absent,-1,1) should fail")
+			}
+
+			// Delete of a missing key is not an error.
+			if err := s.Delete("c/absent"); err != nil {
+				t.Errorf("Delete(absent) = %v", err)
+			}
+
+			// Size and List agree with Put.
+			n, err := s.Size("c/key")
+			if err != nil || n != 10 {
+				t.Errorf("Size = %d, %v", n, err)
+			}
+			keys, err := s.List("c/")
+			if err != nil || len(keys) != 1 || keys[0] != "c/key" {
+				t.Errorf("List = %v, %v", keys, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,518 @@
+// Fault-tolerant storage: the paper's architecture rests on remote
+// shared storage (§II-A), where transient faults — throttling, timeouts,
+// connection resets — are the norm rather than the exception. RetryStore
+// is the single fault-tolerance layer every subsystem above the LSM
+// shares: bounded jittered exponential backoff for transient errors,
+// strict no-retry for permanent ones (a missing key never becomes
+// present by asking again), and a per-backend circuit breaker that
+// sheds fast when the store is actually down instead of stacking
+// timeouts on a dead backend.
+package storage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blendhouse/internal/obs"
+)
+
+// Fault-tolerance metrics (SHOW METRICS / the -debug-addr endpoint).
+var (
+	mRetries        = obs.Default().Counter("bh.storage.retries")
+	mRetryExhausted = obs.Default().Counter("bh.storage.retry_exhausted")
+	mBreakerState   = obs.Default().Gauge("bh.storage.breaker_state")
+	mBreakerOpens   = obs.Default().Counter("bh.storage.breaker_opens")
+	mBreakerShed    = obs.Default().Counter("bh.storage.breaker_shed")
+)
+
+// ErrInvalidRange tags range-read validation failures (negative offset
+// or length). It is permanent: retrying the same bad arguments can
+// never succeed.
+var ErrInvalidRange = errors.New("storage: invalid range")
+
+// checkRange validates range-read arguments; every BlobStore
+// implementation routes GetRange through it so the whole family agrees
+// that a negative offset or length is a typed validation error, never a
+// panic or a raw I/O error.
+func checkRange(off, length int64) error {
+	if off < 0 || length < 0 {
+		return fmt.Errorf("%w: off=%d len=%d", ErrInvalidRange, off, length)
+	}
+	return nil
+}
+
+// TransientError marks an error as explicitly transient (retryable).
+// The fault injector wraps its injected failures in it.
+type TransientError struct{ Err error }
+
+func (e *TransientError) Error() string { return e.Err.Error() }
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// PermanentError marks an error as explicitly non-retryable,
+// overriding the default-transient classification of unknown errors.
+type PermanentError struct{ Err error }
+
+func (e *PermanentError) Error() string { return e.Err.Error() }
+func (e *PermanentError) Unwrap() error { return e.Err }
+
+// IsTransient classifies an error for the retry layer. Permanent —
+// never retried — are: missing keys (ErrNotFound), validation errors
+// (ErrInvalidRange), and context cancellation/deadline (the caller
+// already gave up). Everything else is treated as transient: unknown
+// I/O errors from remote storage are usually throttling or network
+// blips, and the retry budget bounds the cost of being wrong.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if IsNotFound(err) || errors.Is(err, ErrInvalidRange) {
+		return false
+	}
+	var pe *PermanentError
+	if errors.As(err, &pe) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
+}
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: requests flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests fail fast with ErrBreakerOpen.
+	BreakerOpen
+	// BreakerHalfOpen: one probe request is allowed through.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	default:
+		return "closed"
+	}
+}
+
+// ErrBreakerOpen is returned (fast, without touching the backend) while
+// the circuit breaker is open. It is transient: the cooldown expiring
+// lets a probe through.
+var ErrBreakerOpen = errors.New("storage: circuit breaker open")
+
+// BreakerConfig tunes the per-backend circuit breaker.
+type BreakerConfig struct {
+	// Disabled turns the breaker off entirely.
+	Disabled bool
+	// FailureThreshold is the number of consecutive transient failures
+	// that opens the circuit (default 8).
+	FailureThreshold int
+	// Cooldown is how long the circuit stays open before a half-open
+	// probe is allowed (default 2s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 8
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	return c
+}
+
+// breaker is a classic closed → open → half-open circuit breaker.
+// Consecutive transient failures open it; after the cooldown exactly
+// one probe is let through, whose outcome closes or re-opens it.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+}
+
+func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{cfg: cfg.withDefaults(), now: now}
+}
+
+// allow reports whether a request may proceed right now.
+func (b *breaker) allow() error {
+	if b.cfg.Disabled {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return ErrBreakerOpen
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		mBreakerState.Set(int64(b.state))
+		return nil
+	default: // half-open
+		if b.probing {
+			return ErrBreakerOpen // someone else's probe is in flight
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// onSuccess records a backend response that proves the store is up
+// (including permanent errors like not-found: the backend answered).
+func (b *breaker) onSuccess() {
+	if b.cfg.Disabled {
+		return
+	}
+	b.mu.Lock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+	mBreakerState.Set(int64(b.state))
+	b.mu.Unlock()
+}
+
+// onFailure records a transient failure.
+func (b *breaker) onFailure() {
+	if b.cfg.Disabled {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		// Probe failed: back to open, restart the cooldown.
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+		mBreakerState.Set(int64(b.state))
+		mBreakerOpens.Inc()
+		return
+	}
+	b.fails++
+	if b.state == BreakerClosed && b.fails >= b.cfg.FailureThreshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		mBreakerState.Set(int64(b.state))
+		mBreakerOpens.Inc()
+	}
+}
+
+func (b *breaker) current() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// RetryConfig tunes the retry layer.
+type RetryConfig struct {
+	// MaxAttempts is the total number of tries per operation, first
+	// attempt included (default 4; 1 disables retries).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry (default 5ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 250ms).
+	MaxBackoff time.Duration
+	// Multiplier is the exponential growth factor (default 2).
+	Multiplier float64
+	// Jitter is the ± fraction of random spread applied to each backoff
+	// (default 0.25): de-synchronizes retry storms from concurrent ops.
+	Jitter float64
+	// Seed makes the jitter sequence deterministic in tests (0 seeds
+	// from the clock).
+	Seed int64
+	// Breaker tunes the circuit breaker.
+	Breaker BreakerConfig
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 5 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 250 * time.Millisecond
+	}
+	if c.Multiplier < 1 {
+		c.Multiplier = 2
+	}
+	if c.Jitter <= 0 || c.Jitter > 1 {
+		c.Jitter = 0.25
+	}
+	return c
+}
+
+// RetryTally accumulates the retries charged to one query; attach it to
+// the query context with WithRetryTally and the retry layer feeds it,
+// which is how EXPLAIN ANALYZE shows per-query store_retries. All
+// methods are nil-receiver-safe.
+type RetryTally struct{ retries atomic.Int64 }
+
+// Add records n retries.
+func (t *RetryTally) Add(n int64) {
+	if t != nil {
+		t.retries.Add(n)
+	}
+}
+
+// Retries reads the tally (0 on nil).
+func (t *RetryTally) Retries() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.retries.Load()
+}
+
+type retryTallyKey struct{}
+
+// WithRetryTally attaches a per-query retry tally to ctx.
+func WithRetryTally(ctx context.Context, t *RetryTally) context.Context {
+	return context.WithValue(ctx, retryTallyKey{}, t)
+}
+
+// TallyFrom extracts the retry tally from ctx (nil when absent; nil is
+// safe to use).
+func TallyFrom(ctx context.Context) *RetryTally {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(retryTallyKey{}).(*RetryTally)
+	return t
+}
+
+// RetryStats counts this store's retry activity (per-instance; the
+// bh.storage.* metrics aggregate across instances).
+type RetryStats struct {
+	Retries, Exhausted, BreakerSheds int64
+}
+
+// RetryStore wraps a backing store with transient-error retries and a
+// circuit breaker. It sits directly under the LSM: WAL commits,
+// memtable flushes, compaction, manifest writes and query reads all
+// inherit the same fault tolerance without per-subsystem retry loops.
+type RetryStore struct {
+	backing BlobStore
+	cfg     RetryConfig
+	br      *breaker
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	retries, exhausted, sheds atomic.Int64
+}
+
+// NewRetryStore wraps backing with the retry policy.
+func NewRetryStore(backing BlobStore, cfg RetryConfig) *RetryStore {
+	cfg = cfg.withDefaults()
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &RetryStore{
+		backing: backing,
+		cfg:     cfg,
+		br:      newBreaker(cfg.Breaker, nil),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Backing returns the wrapped store (tests, layering introspection).
+func (s *RetryStore) Backing() BlobStore { return s.backing }
+
+// BreakerState reports the circuit breaker's current position.
+func (s *RetryStore) BreakerState() BreakerState { return s.br.current() }
+
+// Stats snapshots this instance's retry counters.
+func (s *RetryStore) Stats() RetryStats {
+	return RetryStats{
+		Retries:      s.retries.Load(),
+		Exhausted:    s.exhausted.Load(),
+		BreakerSheds: s.sheds.Load(),
+	}
+}
+
+// BreakerReporter is implemented by stores that expose a circuit
+// breaker; the executor uses it to stamp breaker state onto query
+// trace spans without knowing the concrete wrapper type.
+type BreakerReporter interface {
+	BreakerState() BreakerState
+}
+
+// backoffFor returns the jittered backoff before retry #attempt
+// (0-based).
+func (s *RetryStore) backoffFor(attempt int) time.Duration {
+	d := float64(s.cfg.BaseBackoff)
+	for i := 0; i < attempt; i++ {
+		d *= s.cfg.Multiplier
+		if d >= float64(s.cfg.MaxBackoff) {
+			d = float64(s.cfg.MaxBackoff)
+			break
+		}
+	}
+	s.rngMu.Lock()
+	f := 1 + s.cfg.Jitter*(2*s.rng.Float64()-1)
+	s.rngMu.Unlock()
+	d *= f
+	if d > float64(s.cfg.MaxBackoff) {
+		d = float64(s.cfg.MaxBackoff)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// sleep waits d honoring ctx (nil ctx sleeps unconditionally).
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// do runs fn with the retry + breaker policy. ctx may be nil (write
+// paths without contexts); a fired ctx stops both retries and backoff
+// sleeps.
+func (s *RetryStore) do(ctx context.Context, op string, fn func() error) error {
+	var lastErr error
+	for attempt := 0; attempt < s.cfg.MaxAttempts; attempt++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if err := s.br.allow(); err != nil {
+			// Shed fast: the backend is known-down; don't stack timeouts.
+			s.sheds.Add(1)
+			mBreakerShed.Inc()
+			if lastErr != nil {
+				return fmt.Errorf("%w (op %s; last error: %v)", ErrBreakerOpen, op, lastErr)
+			}
+			return fmt.Errorf("%w (op %s)", ErrBreakerOpen, op)
+		}
+		err := fn()
+		if err == nil || !IsTransient(err) {
+			// Permanent errors prove the backend answered: the breaker
+			// counts them as successes.
+			s.br.onSuccess()
+			return err
+		}
+		s.br.onFailure()
+		lastErr = err
+		if attempt == s.cfg.MaxAttempts-1 {
+			break
+		}
+		s.retries.Add(1)
+		mRetries.Inc()
+		TallyFrom(ctx).Add(1)
+		if serr := sleepCtx(ctx, s.backoffFor(attempt)); serr != nil {
+			return serr
+		}
+	}
+	s.exhausted.Add(1)
+	mRetryExhausted.Inc()
+	return fmt.Errorf("storage: %s failed after %d attempts: %w", op, s.cfg.MaxAttempts, lastErr)
+}
+
+// Put implements BlobStore.
+func (s *RetryStore) Put(key string, data []byte) error {
+	return s.do(nil, "put "+key, func() error { return s.backing.Put(key, data) })
+}
+
+// Get implements BlobStore.
+func (s *RetryStore) Get(key string) ([]byte, error) {
+	return s.GetCtx(nil, key)
+}
+
+// GetCtx implements CtxReader: ctx bounds the backing read and every
+// backoff sleep, and carries the per-query retry tally.
+func (s *RetryStore) GetCtx(ctx context.Context, key string) ([]byte, error) {
+	var out []byte
+	err := s.do(ctx, "get "+key, func() error {
+		var ferr error
+		out, ferr = GetCtx(ctx, s.backing, key)
+		return ferr
+	})
+	return out, err
+}
+
+// GetRange implements BlobStore.
+func (s *RetryStore) GetRange(key string, off, length int64) ([]byte, error) {
+	return s.GetRangeCtx(nil, key, off, length)
+}
+
+// GetRangeCtx implements CtxReader.
+func (s *RetryStore) GetRangeCtx(ctx context.Context, key string, off, length int64) ([]byte, error) {
+	if err := checkRange(off, length); err != nil {
+		return nil, err
+	}
+	var out []byte
+	err := s.do(ctx, "get_range "+key, func() error {
+		var ferr error
+		out, ferr = GetRangeCtx(ctx, s.backing, key, off, length)
+		return ferr
+	})
+	return out, err
+}
+
+// Size implements BlobStore.
+func (s *RetryStore) Size(key string) (int64, error) {
+	var out int64
+	err := s.do(nil, "size "+key, func() error {
+		var ferr error
+		out, ferr = s.backing.Size(key)
+		return ferr
+	})
+	return out, err
+}
+
+// Delete implements BlobStore.
+func (s *RetryStore) Delete(key string) error {
+	return s.do(nil, "delete "+key, func() error { return s.backing.Delete(key) })
+}
+
+// List implements BlobStore.
+func (s *RetryStore) List(prefix string) ([]string, error) {
+	var out []string
+	err := s.do(nil, "list "+prefix, func() error {
+		var ferr error
+		out, ferr = s.backing.List(prefix)
+		return ferr
+	})
+	return out, err
+}
