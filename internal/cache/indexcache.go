@@ -67,6 +67,10 @@ func NewIndexCache(cfg Config, disk, remote storage.BlobStore) *IndexCache {
 		c.diskBudget = NewLRU(cfg.DiskBytes)
 		c.diskBudget.SetOnEvict(func(key string, _ any) {
 			// Budget exceeded: drop the local copy; remote remains.
+			// Safe against the evict-vs-reinsert race in the SetOnEvict
+			// contract: every diskBudget.Put happens under loadMu (in
+			// fetchBlob), so this callback — which runs inside that Put —
+			// cannot interleave with a re-insert of the same key.
 			_ = disk.Delete(key)
 		})
 	}

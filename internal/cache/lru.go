@@ -42,6 +42,18 @@ func NewLRU(capBytes int64) *LRU {
 
 // SetOnEvict installs an eviction callback (e.g. deleting the local
 // disk copy when the disk tier's budget is exceeded).
+//
+// Concurrency contract: callbacks fire after the cache lock is
+// released, so between an entry's removal and its callback a
+// concurrent Put may re-insert the same key. The callback receives the
+// EVICTED entry's value — callbacks that release external resources
+// (files, handles) must key the cleanup off that value (own the
+// resource via the value, or carry a generation in it) rather than
+// assume the key still refers to the evicted entry; deleting shared
+// per-key state would destroy the freshly re-inserted live entry's
+// backing. Callers that cannot scope cleanup to the value must
+// serialize Put and the cleanup externally (as IndexCache does with
+// its load lock).
 func (c *LRU) SetOnEvict(fn func(key string, value any)) {
 	c.mu.Lock()
 	c.onEvict = fn
@@ -77,7 +89,9 @@ func (c *LRU) Contains(key string) bool {
 //
 // Eviction callbacks fire after c.mu is released: a callback that
 // re-enters the cache (the disk tier's on-evict deletes files and may
-// consult cache state) would otherwise deadlock.
+// consult cache state) would otherwise deadlock. The flip side is that
+// a callback can interleave with a concurrent re-insert of the same
+// key — see the SetOnEvict contract.
 func (c *LRU) Put(key string, value any, size int64) bool {
 	c.mu.Lock()
 	if c.capBytes <= 0 || size > c.capBytes {

@@ -189,6 +189,13 @@ func (e *Engine) registerStatGauges() {
 	reg.RegisterFunc("bh.plan.cache.hits", func() int64 { h, _, _ := pl.Stats(); return h })
 	reg.RegisterFunc("bh.plan.cache.misses", func() int64 { _, m, _ := pl.Stats(); return m })
 	reg.RegisterFunc("bh.plan.short_circuits", func() int64 { _, _, s := pl.Stats(); return s })
+	// Breaker state is published per-engine as a live callback on THIS
+	// engine's store, not as a shared gauge written by every RetryStore
+	// in the process (test stores would make it reflect whichever
+	// instance transitioned last).
+	if rs, ok := e.cfg.Store.(*storage.RetryStore); ok {
+		reg.RegisterFunc("bh.storage.breaker_state", func() int64 { return int64(rs.BreakerState()) })
+	}
 }
 
 func (e *Engine) registerTable(t *lsm.Table) error {

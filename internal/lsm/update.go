@@ -42,7 +42,10 @@ func (t *Table) DeleteByKeyCtx(ctx context.Context, pkCol string, keys []int64) 
 	defer t.dmlMu.Unlock()
 	lsn, err := ws.log.Append(ctx, &wal.Record{Type: wal.RecDelete, DeleteCol: pkCol, DeleteKeys: keys})
 	if errors.Is(err, wal.ErrClosed) {
-		return t.deleteFromSegments(pkCol, keys)
+		// WAL raced a CloseWAL: fall back to the synchronous path.
+		// dmlMu is already held (deferred unlock above) and sync.Mutex
+		// is non-reentrant, so the Locked variant is required here.
+		return t.deleteFromSegmentsLocked(pkCol, keys)
 	}
 	if err != nil {
 		return 0, err

@@ -600,3 +600,54 @@ func TestOpenRoundTripIdenticalResults(t *testing.T) {
 		}
 	}
 }
+
+// TestWALCloseRaceDeleteFallback: a DeleteByKeyCtx whose WAL append
+// loses the race with CloseWAL (Append returns wal.ErrClosed while
+// walRT is still loaded) falls back to the synchronous segment path.
+// Regression: the fallback used to call deleteFromSegments — which
+// re-acquires the non-reentrant dmlMu the delete already holds — a
+// self-deadlock that hung the delete and, with it, every later DML,
+// flush, and compaction on the table.
+func TestWALCloseRaceDeleteFallback(t *testing.T) {
+	before := runtime.NumGoroutine()
+	tab, ds := newTestTable(t, testOptions("t"))
+	ctx := context.Background()
+	// Rows in segments (pre-WAL insert) so the fallback has bitmaps to mark.
+	if err := tab.InsertCtx(ctx, fillBatch(t, tab.Options(), ds, 0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.EnableWAL(walTestConfig()); err != nil {
+		t.Fatal(err)
+	}
+	// Close the log while walRT stays loaded — the exact window a
+	// concurrent CloseWAL opens between its Swap and a racing delete's
+	// walRT.Load.
+	tab.walRT.Load().log.Close()
+
+	type result struct {
+		n   int
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		n, err := tab.DeleteByKeyCtx(ctx, "id", []int64{5})
+		done <- result{n, err}
+	}()
+	select {
+	case r := <-done:
+		if r.err != nil || r.n != 1 {
+			t.Fatalf("fallback delete: n=%d err=%v, want n=1 err=nil", r.n, r.err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("DeleteByKeyCtx deadlocked on the WAL-closed fallback path")
+	}
+	if got := len(tableContents(t, tab)); got != 99 {
+		t.Fatalf("rows after fallback delete = %d, want 99", got)
+	}
+	// DML must still flow: the deadlock also wedged dmlMu for everyone.
+	if n, err := tab.DeleteByKey("id", []int64{6}); err != nil || n != 1 {
+		t.Fatalf("follow-up delete: n=%d err=%v", n, err)
+	}
+	crashWAL(tab) // log already closed (idempotent); stops the flusher
+	testutil.CheckNoLeaks(t, before)
+}

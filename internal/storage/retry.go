@@ -22,10 +22,14 @@ import (
 )
 
 // Fault-tolerance metrics (SHOW METRICS / the -debug-addr endpoint).
+// (bh.storage.breaker_state is deliberately NOT a process-global gauge
+// here: with several RetryStores alive — engine store plus test stores —
+// a shared gauge would reflect whichever instance transitioned last.
+// The engine publishes its own store's BreakerState() as a callback
+// gauge instead; other instances read Stats()/BreakerState() directly.)
 var (
 	mRetries        = obs.Default().Counter("bh.storage.retries")
 	mRetryExhausted = obs.Default().Counter("bh.storage.retry_exhausted")
-	mBreakerState   = obs.Default().Gauge("bh.storage.breaker_state")
 	mBreakerOpens   = obs.Default().Counter("bh.storage.breaker_opens")
 	mBreakerShed    = obs.Default().Counter("bh.storage.breaker_shed")
 )
@@ -77,10 +81,20 @@ func IsTransient(err error) bool {
 	if errors.As(err, &pe) {
 		return false
 	}
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	if isContextErr(err) {
 		return false
 	}
 	return true
+}
+
+// isContextErr reports whether err is a context cancellation or
+// deadline expiry. These are non-retryable (the caller gave up) but
+// also prove nothing about the backend's health: a timeout on a dead
+// backend must not be mistaken for a successful answer, or the breaker
+// would never open in exactly the stacking-timeouts scenario it exists
+// to shed. The breaker treats them as neutral.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // BreakerState is the circuit breaker's position.
@@ -170,7 +184,6 @@ func (b *breaker) allow() error {
 		}
 		b.state = BreakerHalfOpen
 		b.probing = true
-		mBreakerState.Set(int64(b.state))
 		return nil
 	default: // half-open
 		if b.probing {
@@ -191,7 +204,20 @@ func (b *breaker) onSuccess() {
 	b.state = BreakerClosed
 	b.fails = 0
 	b.probing = false
-	mBreakerState.Set(int64(b.state))
+	b.mu.Unlock()
+}
+
+// onNeutral records an outcome that proves nothing about the backend:
+// the caller's context fired mid-call (cancellation or deadline). It
+// neither closes the breaker nor counts toward opening it — but it must
+// release a half-open probe slot, or a probe that died to a deadline
+// would wedge the breaker half-open with every later request shed.
+func (b *breaker) onNeutral() {
+	if b.cfg.Disabled {
+		return
+	}
+	b.mu.Lock()
+	b.probing = false
 	b.mu.Unlock()
 }
 
@@ -207,7 +233,6 @@ func (b *breaker) onFailure() {
 		b.state = BreakerOpen
 		b.openedAt = b.now()
 		b.probing = false
-		mBreakerState.Set(int64(b.state))
 		mBreakerOpens.Inc()
 		return
 	}
@@ -215,7 +240,6 @@ func (b *breaker) onFailure() {
 	if b.state == BreakerClosed && b.fails >= b.cfg.FailureThreshold {
 		b.state = BreakerOpen
 		b.openedAt = b.now()
-		mBreakerState.Set(int64(b.state))
 		mBreakerOpens.Inc()
 	}
 }
@@ -427,6 +451,14 @@ func (s *RetryStore) do(ctx context.Context, op string, fn func() error) error {
 		}
 		err := fn()
 		if err == nil || !IsTransient(err) {
+			if isContextErr(err) {
+				// The caller's context fired mid-call: says nothing about
+				// backend health, so neither success nor failure for the
+				// breaker — a dead backend surfacing as deadline timeouts
+				// must not keep resetting the failure count.
+				s.br.onNeutral()
+				return err
+			}
 			// Permanent errors prove the backend answered: the breaker
 			// counts them as successes.
 			s.br.onSuccess()

@@ -307,3 +307,88 @@ func TestBackoffGrowsAndCaps(t *testing.T) {
 		}
 	}
 }
+
+// errSeqStore scripts Put outcomes: call i returns errs[i] (nil =
+// delegate to the backing store); calls past the script succeed.
+type errSeqStore struct {
+	BlobStore
+	errs  []error
+	calls int
+}
+
+func (s *errSeqStore) Put(key string, data []byte) error {
+	var err error
+	if s.calls < len(s.errs) {
+		err = s.errs[s.calls]
+	}
+	s.calls++
+	if err != nil {
+		return err
+	}
+	return s.BlobStore.Put(key, data)
+}
+
+// TestBreakerTimeoutsAreNeutral: a backend failing with deadline
+// timeouts must not keep the breaker closed. Regression: context
+// errors used to count as breaker successes, resetting the
+// consecutive-failure count — so a dead backend whose failures surface
+// as timeouts interleaved with transient errors could never trip the
+// breaker, exactly the stacking-timeouts scenario it exists to shed.
+func TestBreakerTimeoutsAreNeutral(t *testing.T) {
+	inner := &errSeqStore{BlobStore: NewMemStore(), errs: []error{
+		&TransientError{errors.New("reset")},
+		fmt.Errorf("op: %w", context.DeadlineExceeded), // neutral, must not reset fails
+		&TransientError{errors.New("reset")},
+	}}
+	rs := NewRetryStore(inner, RetryConfig{
+		MaxAttempts: 1, // isolate the breaker from the retry loop
+		Seed:        1,
+		Breaker:     BreakerConfig{FailureThreshold: 2, Cooldown: time.Hour},
+	})
+	for i := 0; i < 3; i++ {
+		if err := rs.Put("a", []byte("v")); err == nil {
+			t.Fatalf("Put %d should fail", i)
+		}
+	}
+	if rs.BreakerState() != BreakerOpen {
+		t.Fatalf("state = %v, want open: the interleaved timeout reset the failure count", rs.BreakerState())
+	}
+}
+
+// TestBreakerProbeTimeoutReleasesSlot: a half-open probe that dies to a
+// context error proves nothing — the breaker must stay half-open AND
+// free the probe slot, or every later request would be shed forever.
+func TestBreakerProbeTimeoutReleasesSlot(t *testing.T) {
+	inner := &errSeqStore{BlobStore: NewMemStore(), errs: []error{
+		&TransientError{errors.New("reset")},
+		&TransientError{errors.New("reset")},
+		context.DeadlineExceeded, // the probe: neutral outcome
+		nil,                      // the next probe: backend is back
+	}}
+	rs := NewRetryStore(inner, RetryConfig{
+		MaxAttempts: 1,
+		Seed:        1,
+		Breaker:     BreakerConfig{FailureThreshold: 2, Cooldown: 10 * time.Millisecond},
+	})
+	for i := 0; i < 2; i++ {
+		_ = rs.Put("a", []byte("v"))
+	}
+	if rs.BreakerState() != BreakerOpen {
+		t.Fatalf("state = %v, want open", rs.BreakerState())
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := rs.Put("a", []byte("v")); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("probe = %v, want DeadlineExceeded", err)
+	}
+	if rs.BreakerState() != BreakerHalfOpen {
+		t.Fatalf("state after neutral probe = %v, want half-open", rs.BreakerState())
+	}
+	// No cooldown wait needed: the slot is free, the next call probes
+	// immediately and closes the circuit.
+	if err := rs.Put("a", []byte("v")); err != nil {
+		t.Fatalf("second probe = %v, want success", err)
+	}
+	if rs.BreakerState() != BreakerClosed {
+		t.Errorf("state after successful probe = %v, want closed", rs.BreakerState())
+	}
+}
