@@ -47,20 +47,25 @@ func main() {
 		return
 	}
 	var (
-		dataDir   = flag.String("data", "./bhdata", "blob store directory")
-		oneShot   = flag.String("e", "", "execute one statement and exit")
-		script    = flag.String("f", "", "execute statements from a file (semicolon-separated)")
-		debugAddr = flag.String("debug-addr", "", "serve /metrics, /vars and pprof on this address (e.g. localhost:6060)")
-		timeout   = flag.Duration("timeout", 0, "per-statement timeout (0 = none); also settable at runtime with SET statement_timeout = <ms>")
-		maxPar    = flag.Int("max-parallelism", 0, "per-query segment fan-out (0 = GOMAXPROCS)")
-		useWAL    = flag.Bool("wal", true, "real-time write path: group-committed WAL + searchable memtable (off = cut segments synchronously per INSERT)")
-		flushRows = flag.Int("flush-rows", 0, "seal and flush the memtable after this many rows (0 = default)")
-		flushMS   = flag.Duration("flush-interval", 0, "background flush period for partial memtables (0 = default)")
-		retries   = flag.Int("store-retries", 4, "attempts per storage operation for transient errors (1 = no retries, 0 = disable the fault-tolerance layer)")
-		backoff   = flag.Duration("store-backoff", 0, "base backoff before the first storage retry (0 = default 5ms; grows exponentially, jittered)")
-		chaos     = flag.Bool("chaos", false, "inject seeded transient storage faults under the retry layer (smoke-testing fault tolerance)")
+		dataDir     = flag.String("data", "./bhdata", "blob store directory")
+		oneShot     = flag.String("e", "", "execute one statement and exit")
+		script      = flag.String("f", "", "execute statements from a file (semicolon-separated)")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /vars and pprof on this address (e.g. localhost:6060)")
+		timeout     = flag.Duration("timeout", 0, "per-statement timeout (0 = none); also settable at runtime with SET statement_timeout = <ms>")
+		maxPar      = flag.Int("max-parallelism", 0, "per-query segment fan-out (0 = GOMAXPROCS)")
+		useWAL      = flag.Bool("wal", true, "real-time write path: group-committed WAL + searchable memtable (off = cut segments synchronously per INSERT)")
+		flushRows   = flag.Int("flush-rows", 0, "seal and flush the memtable after this many rows (0 = default)")
+		flushMS     = flag.Duration("flush-interval", 0, "background flush period for partial memtables (0 = default)")
+		retries     = flag.Int("store-retries", 4, "attempts per storage operation for transient errors (1 = no retries, 0 = disable the fault-tolerance layer)")
+		backoff     = flag.Duration("store-backoff", 0, "base backoff before the first storage retry (0 = default 5ms; grows exponentially, jittered)")
+		chaos       = flag.Bool("chaos", false, "inject seeded transient storage faults under the retry layer (smoke-testing fault tolerance)")
+		logLevel    = flag.String("log-level", "warn", "structured log level: debug|info|warn|error")
+		logFormat   = flag.String("log-format", "text", "structured log format: text|json")
+		traceSample = flag.Int("trace-sample", 1, "record a span tree for 1-in-N statements into the trace ring (SHOW TRACES, /debug/traces; 0 = off)")
+		slowQuery   = flag.Duration("slow-query", 0, "log statements slower than this at WARN with their trace ID (0 = off)")
 	)
 	flag.Parse()
+	configureLogging(*logLevel, *logFormat)
 
 	// The debug endpoint binds synchronously so a bad address fails the
 	// process here instead of dying silently inside a goroutine, and it
@@ -74,7 +79,7 @@ func main() {
 		defer debug.Drain(time.Second)
 	}
 
-	engine, err := openEngine(*dataDir, *maxPar, walConfig(*useWAL, *flushRows, *flushMS), retryConfig(*retries, *backoff), *chaos)
+	engine, err := openEngine(*dataDir, *maxPar, walConfig(*useWAL, *flushRows, *flushMS), retryConfig(*retries, *backoff), *chaos, *traceSample, *slowQuery)
 	if err != nil {
 		fatal(err)
 	}
@@ -105,7 +110,7 @@ func main() {
 // openEngine builds the standard shell/server engine over a
 // filesystem store, with the storage fault-tolerance layer (and
 // optionally chaos injection) between the engine and the disk.
-func openEngine(dataDir string, maxPar int, wal *lsm.WALConfig, retry *storage.RetryConfig, chaos bool) (*core.Engine, error) {
+func openEngine(dataDir string, maxPar int, wal *lsm.WALConfig, retry *storage.RetryConfig, chaos bool, traceSample int, slowQuery time.Duration) (*core.Engine, error) {
 	store, err := storage.NewFSStore(dataDir)
 	if err != nil {
 		return nil, err
@@ -120,7 +125,22 @@ func openEngine(dataDir string, maxPar int, wal *lsm.WALConfig, retry *storage.R
 		WAL:              wal,
 		Retry:            retry,
 		Chaos:            chaos,
+		TraceSample:      traceSample,
+		SlowQuery:        slowQuery,
 	})
+}
+
+// configureLogging applies the -log-level/-log-format flags
+// process-wide (both shell and serve mode call it before touching the
+// engine, so recovery and WAL replay already log structured).
+func configureLogging(level, format string) {
+	lvl, err := obs.ParseLogLevel(level)
+	if err != nil {
+		fatal(err)
+	}
+	if err := obs.ConfigureLogging(lvl, format, os.Stderr); err != nil {
+		fatal(err)
+	}
 }
 
 // retryConfig translates the -store-retries/-store-backoff flags (nil
@@ -170,10 +190,15 @@ func runServe(args []string) {
 		retries      = fs.Int("store-retries", 4, "attempts per storage operation for transient errors (1 = no retries, 0 = disable the fault-tolerance layer)")
 		backoff      = fs.Duration("store-backoff", 0, "base backoff before the first storage retry (0 = default 5ms; grows exponentially, jittered)")
 		chaos        = fs.Bool("chaos", false, "inject seeded transient storage faults under the retry layer (smoke-testing fault tolerance)")
+		logLevel     = fs.String("log-level", "info", "structured log level: debug|info|warn|error")
+		logFormat    = fs.String("log-format", "text", "structured log format: text|json")
+		traceSample  = fs.Int("trace-sample", 1, "record a span tree for 1-in-N statements into the trace ring (SHOW TRACES, /debug/traces; 0 = off)")
+		slowQuery    = fs.Duration("slow-query", 0, "log statements slower than this at WARN with their trace ID (0 = off)")
 	)
 	fs.Parse(args)
+	configureLogging(*logLevel, *logFormat)
 
-	engine, err := openEngine(*dataDir, *maxPar, walConfig(*useWAL, *flushRows, *flushMS), retryConfig(*retries, *backoff), *chaos)
+	engine, err := openEngine(*dataDir, *maxPar, walConfig(*useWAL, *flushRows, *flushMS), retryConfig(*retries, *backoff), *chaos, *traceSample, *slowQuery)
 	if err != nil {
 		fatal(err)
 	}

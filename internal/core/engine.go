@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"blendhouse/internal/cache"
@@ -39,7 +40,53 @@ import (
 var (
 	mQueries      = obs.Default().Counter("bh.query.total")
 	mQueryLatency = obs.Default().Histogram("bh.query.latency")
+	mSlowQueries  = obs.Default().Counter("bh.query.slow")
 )
+
+var coreLog = obs.Logger("core")
+
+// stmtKinds are the statement classes with dedicated latency
+// histograms (bh.statement.latency.<kind>): per-type tail latency is
+// what separates "inserts are slow" from "selects are slow" on a
+// shared /metrics scrape.
+var stmtKinds = []string{
+	"select", "insert", "delete", "create_table", "drop_table",
+	"show", "explain", "describe", "optimize", "other",
+}
+
+var mStmtLatency = func() map[string]*obs.Histogram {
+	m := make(map[string]*obs.Histogram, len(stmtKinds))
+	for _, k := range stmtKinds {
+		m[k] = obs.Default().Histogram("bh.statement.latency." + k)
+	}
+	return m
+}()
+
+// stmtKind classifies a parsed statement for the per-type histograms
+// and the trace ring.
+func stmtKind(st sql.Statement) string {
+	switch st.(type) {
+	case *sql.Select:
+		return "select"
+	case *sql.Insert:
+		return "insert"
+	case *sql.Delete:
+		return "delete"
+	case *sql.CreateTable:
+		return "create_table"
+	case *sql.DropTable:
+		return "drop_table"
+	case *sql.ShowTables, *sql.ShowMetrics, *sql.ShowTraces:
+		return "show"
+	case *sql.Explain:
+		return "explain"
+	case *sql.Describe:
+		return "describe"
+	case *sql.Optimize:
+		return "optimize"
+	}
+	return "other"
+}
 
 // Config assembles an engine.
 type Config struct {
@@ -95,6 +142,16 @@ type Config struct {
 	// is set.
 	Chaos bool
 	Seed  int64
+	// TraceSample records a full span tree for 1-in-N statements into
+	// the process-wide trace ring (obs.Traces(), /debug/traces, SHOW
+	// TRACES). 0 disables sampling (the zero-overhead default: untraced
+	// statements keep the nil-*Trace discipline); 1 traces every
+	// statement.
+	TraceSample int
+	// SlowQuery, when positive, logs any statement slower than it at
+	// WARN (with its trace ID) and bumps bh.query.slow — independent of
+	// trace sampling.
+	SlowQuery time.Duration
 }
 
 // Engine is a BlendHouse instance.
@@ -107,6 +164,7 @@ type Engine struct {
 	tables map[string]*lsm.Table
 	execs  map[string]*exec.Executor
 
+	traceSeq       atomic.Uint64 // 1-in-N trace sampling cursor
 	stopCompaction chan struct{}
 	closeOnce      sync.Once
 }
@@ -303,6 +361,11 @@ type QueryOptions struct {
 	// Trace, when non-nil, records the span tree and cache tallies of
 	// the execution (the programmatic form of EXPLAIN ANALYZE).
 	Trace *obs.Trace
+	// QueueWait is how long the statement waited in the caller's
+	// admission queue before reaching the engine; when tracing it
+	// materializes as a "queue" span so tail-latency attribution
+	// (queue vs exec vs storage) works from the span tree alone.
+	QueueWait time.Duration
 }
 
 // Exec parses and executes one SQL statement under ctx. DDL and DML
@@ -335,15 +398,108 @@ func (e *Engine) Query(ctx context.Context, src string, opts QueryOptions) (*exe
 	if err := ctx.Err(); err != nil {
 		return nil, wrapCtxErr(err)
 	}
-	res, err := e.exec(ctx, src, opts)
-	return res, wrapCtxErr(err)
-}
-
-func (e *Engine) exec(ctx context.Context, src string, opts QueryOptions) (*exec.Result, error) {
 	st, err := sql.Parse(src)
 	if err != nil {
-		return nil, planErr(err)
+		return nil, wrapCtxErr(planErr(err))
 	}
+	kind := stmtKind(st)
+
+	// Sampling: when the caller didn't bring a trace (EXPLAIN ANALYZE
+	// does), the engine may record one anyway for the trace ring. An
+	// untraced statement (sample = 0 or not selected) keeps opts.Trace
+	// nil all the way down — the zero-allocation discipline.
+	tr := opts.Trace
+	if tr == nil && e.sampleTrace() {
+		tr = obs.NewTrace("query")
+		opts.Trace = tr
+	}
+	start := obs.Now()
+	if tr != nil {
+		id := obs.TraceIDFrom(ctx)
+		if id == "" {
+			id = obs.NewTraceID()
+			ctx = obs.WithTraceID(ctx, id)
+		}
+		tr.SetID(id)
+		tr.Span().Set("statement", kind)
+		if opts.QueueWait > 0 {
+			tr.Span().ChildDur("queue", opts.QueueWait)
+		}
+	}
+
+	var res *exec.Result
+	var qerr error
+	if tr != nil {
+		es := tr.Span().Child("exec")
+		res, qerr = e.dispatch(ctx, st, opts)
+		es.End()
+	} else {
+		res, qerr = e.dispatch(ctx, st, opts)
+	}
+	qerr = wrapCtxErr(qerr)
+	dur := time.Since(start)
+	if h := mStmtLatency[kind]; h != nil {
+		h.Observe(dur)
+	}
+
+	slow := e.cfg.SlowQuery > 0 && dur >= e.cfg.SlowQuery
+	if slow {
+		mSlowQueries.Inc()
+		attrs := []any{
+			"statement", kind,
+			"duration_ms", float64(dur.Microseconds()) / 1000,
+			"query", truncateQuery(src),
+		}
+		if qerr != nil {
+			attrs = append(attrs, "error", qerr.Error())
+		}
+		coreLog.WarnContext(ctx, "slow query", attrs...)
+	}
+	if tr != nil {
+		tr.Finish()
+		errStr := ""
+		if qerr != nil {
+			errStr = qerr.Error()
+		}
+		obs.Traces().Add(&obs.TraceRecord{
+			TraceID:   tr.ID(),
+			Statement: kind,
+			Query:     truncateQuery(src),
+			Start:     start,
+			Duration:  dur,
+			Error:     errStr,
+			Slow:      slow,
+			Root:      tr.Span(),
+		})
+	}
+	return res, qerr
+}
+
+// sampleTrace decides whether the engine records a trace for this
+// statement (1-in-TraceSample; 0 disables).
+func (e *Engine) sampleTrace() bool {
+	n := e.cfg.TraceSample
+	if n <= 0 {
+		return false
+	}
+	if n == 1 {
+		return true
+	}
+	return e.traceSeq.Add(1)%uint64(n) == 1
+}
+
+// truncateQuery bounds statement text retained in logs and the trace
+// ring.
+func truncateQuery(s string) string {
+	const max = 200
+	if len(s) > max {
+		return s[:max] + "..."
+	}
+	return s
+}
+
+// dispatch executes one parsed statement.
+func (e *Engine) dispatch(ctx context.Context, st sql.Statement, opts QueryOptions) (*exec.Result, error) {
 	switch s := st.(type) {
 	case *sql.CreateTable:
 		if err := e.createTable(s); err != nil {
@@ -367,6 +523,8 @@ func (e *Engine) exec(ctx context.Context, src string, opts QueryOptions) (*exec
 		return e.showTables(), nil
 	case *sql.ShowMetrics:
 		return e.showMetrics(), nil
+	case *sql.ShowTraces:
+		return e.showTraces(), nil
 	case *sql.Explain:
 		return e.explain(ctx, s, opts)
 	case *sql.Describe:

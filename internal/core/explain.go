@@ -104,3 +104,29 @@ func (e *Engine) showMetrics() *exec.Result {
 	}
 	return res
 }
+
+// showTraces lists the trace ring (newest first): one row per retained
+// finished statement, with /debug/traces holding the full span dumps.
+func (e *Engine) showTraces() *exec.Result {
+	res := &exec.Result{Columns: []string{"trace_id", "start", "duration_ms", "statement", "status", "slow", "query"}}
+	for _, r := range obs.Traces().Snapshot() {
+		status := "ok"
+		if r.Error != "" {
+			status = "error: " + r.Error
+		}
+		slow := ""
+		if r.Slow {
+			slow = "slow"
+		}
+		res.Rows = append(res.Rows, []any{
+			r.TraceID,
+			r.Start.Format(time.RFC3339Nano),
+			float64(r.Duration.Microseconds()) / 1000,
+			r.Statement,
+			status,
+			slow,
+			r.Query,
+		})
+	}
+	return res
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"blendhouse/internal/obs"
+	"blendhouse/internal/sql"
+)
+
+// TestTraceRecordedWithRing: a sampled statement lands in the global
+// trace ring with its ctx-supplied trace ID, the statement kind, and a
+// span tree containing the exec child.
+func TestTraceRecordedWithRing(t *testing.T) {
+	e := newEngine(t, Config{TraceSample: 1})
+	defer e.Close()
+	seedImages(t, e)
+
+	const id = "coretest-trace-0001"
+	ctx := obs.WithTraceID(context.Background(), id)
+	if _, err := e.Query(ctx, "SELECT id FROM images WHERE score > 0.5 LIMIT 3", QueryOptions{QueueWait: 2 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+
+	var rec *obs.TraceRecord
+	for _, r := range obs.Traces().Snapshot() {
+		if r.TraceID == id {
+			rec = r
+			break
+		}
+	}
+	if rec == nil {
+		t.Fatal("trace not found in ring")
+	}
+	if rec.Statement != "select" {
+		t.Errorf("Statement = %q, want select", rec.Statement)
+	}
+	if rec.Duration <= 0 {
+		t.Errorf("Duration = %v, want > 0", rec.Duration)
+	}
+	d := rec.Dump()
+	var names []string
+	for _, c := range d.Root.Children {
+		names = append(names, c.Name)
+	}
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "exec") || !strings.Contains(joined, "queue") {
+		t.Errorf("root children = %v, want exec and queue spans", names)
+	}
+}
+
+// TestShowTracesStatement: SHOW TRACES surfaces ring entries through
+// SQL, newest first.
+func TestShowTracesStatement(t *testing.T) {
+	e := newEngine(t, Config{TraceSample: 1})
+	defer e.Close()
+	seedImages(t, e)
+
+	const id = "coretest-show-0002"
+	ctx := obs.WithTraceID(context.Background(), id)
+	if _, err := e.Query(ctx, "SELECT id FROM images LIMIT 1", QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(context.Background(), "SHOW TRACES", QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCols := []string{"trace_id", "start", "duration_ms", "statement", "status", "slow", "query"}
+	if len(res.Columns) != len(wantCols) {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	for i, c := range wantCols {
+		if res.Columns[i] != c {
+			t.Fatalf("columns = %v, want %v", res.Columns, wantCols)
+		}
+	}
+	found := false
+	for _, row := range res.Rows {
+		if row[0] == id {
+			found = true
+			if row[3] != "select" || row[4] != "ok" {
+				t.Errorf("row = %v, want statement select / status ok", row)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("SHOW TRACES (%d rows) does not contain %s", len(res.Rows), id)
+	}
+}
+
+// TestSlowQueryLogAndCounter: with a threshold every statement trips,
+// the slow counter advances and the ring record is flagged.
+func TestSlowQueryLogAndCounter(t *testing.T) {
+	e := newEngine(t, Config{TraceSample: 1, SlowQuery: time.Nanosecond})
+	defer e.Close()
+	seedImages(t, e)
+
+	before := mSlowQueries.Value()
+	const id = "coretest-slow-0003"
+	ctx := obs.WithTraceID(context.Background(), id)
+	if _, err := e.Query(ctx, "SELECT id FROM images LIMIT 1", QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := mSlowQueries.Value() - before; got < 1 {
+		t.Fatalf("slow counter advanced by %d, want >= 1", got)
+	}
+	for _, r := range obs.Traces().Snapshot() {
+		if r.TraceID == id {
+			if !r.Slow {
+				t.Error("ring record not flagged slow")
+			}
+			return
+		}
+	}
+	t.Fatal("trace not found in ring")
+}
+
+// TestStatementKindHistograms: per-kind latency histograms fill for the
+// kind actually executed, not others.
+func TestStatementKindHistograms(t *testing.T) {
+	e := newEngine(t, Config{})
+	defer e.Close()
+	seedImages(t, e)
+
+	selBefore := mStmtLatency["select"].Count()
+	showBefore := mStmtLatency["show"].Count()
+	if _, err := e.Query(context.Background(), "SELECT id FROM images LIMIT 1", QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(context.Background(), "SHOW TABLES", QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := mStmtLatency["select"].Count() - selBefore; got != 1 {
+		t.Errorf("select histogram count advanced by %d, want 1", got)
+	}
+	if got := mStmtLatency["show"].Count() - showBefore; got != 1 {
+		t.Errorf("show histogram count advanced by %d, want 1", got)
+	}
+}
+
+// TestSampledOutNoTraceNoRing: TraceSample = 0 must keep statements out
+// of the ring entirely.
+func TestSampledOutNoTraceNoRing(t *testing.T) {
+	e := newEngine(t, Config{})
+	defer e.Close()
+	seedImages(t, e)
+
+	before := obs.Traces().Total()
+	for i := 0; i < 5; i++ {
+		if _, err := e.Query(context.Background(), "SELECT id FROM images LIMIT 1", QueryOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := obs.Traces().Total() - before; got != 0 {
+		t.Fatalf("ring grew by %d with sampling off", got)
+	}
+}
+
+// TestSampledOutAllocParity is the zero-overhead guard: with sampling
+// off, Query must allocate exactly what parse+dispatch allocate — the
+// observability layer adds no allocations to the untraced hot path.
+func TestSampledOutAllocParity(t *testing.T) {
+	e := newEngine(t, Config{})
+	defer e.Close()
+	mustExec(t, e, "CREATE TABLE tiny (id UInt64) ORDER BY id")
+
+	ctx := context.Background()
+	const src = "SHOW TABLES"
+	base := testing.AllocsPerRun(200, func() {
+		st, err := sql.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.dispatch(ctx, st, QueryOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	got := testing.AllocsPerRun(200, func() {
+		if _, err := e.Query(ctx, src, QueryOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > base {
+		t.Fatalf("sampled-out Query allocates %v, dispatch baseline %v — observability added allocations to the untraced path", got, base)
+	}
+}
+
+// TestTraceSampling1InN: only every Nth statement is recorded.
+func TestTraceSampling1InN(t *testing.T) {
+	e := newEngine(t, Config{TraceSample: 4})
+	defer e.Close()
+	seedImages(t, e)
+
+	before := obs.Traces().Total()
+	for i := 0; i < 20; i++ {
+		if _, err := e.Query(context.Background(), "SELECT id FROM images LIMIT 1", QueryOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := obs.Traces().Total() - before; got != 5 {
+		t.Fatalf("recorded %d of 20 statements at 1-in-4, want 5", got)
+	}
+}

@@ -122,10 +122,21 @@ func (e *Executor) RunWith(ctx context.Context, ph *plan.Physical, opts RunOptio
 	if tr != nil {
 		tally := &storage.RetryTally{}
 		ctx = storage.WithRetryTally(ctx, tally)
+		// An IO tally rides along too: the segment read paths feed it,
+		// and it materializes as a "storage" span so the trace attributes
+		// tail latency to remote blob reads (summed across parallel
+		// workers) without instrumenting every store implementation.
+		io := &storage.IOTally{}
+		ctx = storage.WithIOTally(ctx, io)
 		defer func() {
 			root.SetInt("store_retries", tally.Retries())
 			if br, ok := e.Table.Store().(storage.BreakerReporter); ok {
 				root.Set("store_breaker", br.BreakerState().String())
+			}
+			if reads, bytes, dur := io.Values(); reads > 0 {
+				sp := root.ChildDur("storage", dur)
+				sp.SetInt("reads", reads)
+				sp.SetInt("bytes", bytes)
 			}
 		}()
 	}

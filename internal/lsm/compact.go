@@ -188,7 +188,10 @@ func (t *Table) CompactOnce(policy CompactionPolicy) (int, error) {
 	mCompactRuns.Inc()
 	mCompactSegments.Add(int64(len(mergedMetas)))
 	mCompactRows.Add(int64(merged.Len()))
-	mCompactDur.Observe(time.Since(compactStart))
+	dur := time.Since(compactStart)
+	mCompactDur.Observe(dur)
+	lsmLog.Info("compaction", "table", t.opts.Name, "segments_merged", len(mergedMetas),
+		"rows_written", merged.Len(), "duration_ms", float64(dur.Microseconds())/1000)
 	return len(mergedMetas), nil
 }
 

@@ -23,6 +23,8 @@ var (
 	mWALInserts = obs.Default().Counter("bh.lsm.wal.inserts")
 )
 
+var lsmLog = obs.Logger("lsm")
+
 // WALConfig tunes the real-time write path of one table.
 type WALConfig struct {
 	// MaxMemRows / MaxMemBytes trip a background flush when the active
@@ -237,6 +239,7 @@ func (t *Table) flushLoop(ws *walState) {
 		}
 		if err := t.flushOnce(ws); err != nil {
 			mFlushErrs.Inc()
+			lsmLog.Error("flush failed", "table", t.Name(), "error", err)
 			if ws.cfg.OnError != nil {
 				ws.cfg.OnError(err)
 			}
@@ -316,7 +319,10 @@ func (t *Table) flushOnce(ws *walState) error {
 	}
 	mFlushRuns.Inc()
 	mFlushRows.Add(int64(flushedRows))
-	mFlushDur.Observe(time.Since(start))
+	dur := time.Since(start)
+	mFlushDur.Observe(dur)
+	lsmLog.Info("memtable flush", "table", t.Name(), "rows", flushedRows,
+		"memtables", len(sealed), "duration_ms", float64(dur.Microseconds())/1000)
 	return nil
 }
 

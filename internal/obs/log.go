@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"sync/atomic"
+)
+
+// Structured logging for every layer of the stack. Components obtain a
+// logger once via Logger("wal"), Logger("server"), … and log through
+// it; the backing slog.Handler (level, text/json, destination) is held
+// behind an atomic pointer so ConfigureLogging — driven by the
+// -log-level / -log-format flags — can swap it process-wide at any
+// time without the components re-fetching anything.
+//
+// Handle injects the query's trace ID from the context
+// (obs.WithTraceID) into every record as trace_id, which is what makes
+// grep-by-trace-ID work across the server access log, WAL, compaction,
+// and storage retry events. Logs default to text on stderr at WARN so
+// tests and the shell stay quiet unless something is wrong.
+
+var logHandler atomic.Pointer[slog.Handler]
+
+func init() {
+	h := slog.Handler(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
+	logHandler.Store(&h)
+}
+
+// ParseLogLevel maps a -log-level flag value onto a slog.Level.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// ConfigureLogging swaps the process-wide log sink. format is "text" or
+// "json"; w defaults to stderr when nil. Safe to call concurrently with
+// logging.
+func ConfigureLogging(level slog.Level, format string, w io.Writer) error {
+	if w == nil {
+		w = os.Stderr
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return fmt.Errorf("obs: unknown log format %q (want text|json)", format)
+	}
+	logHandler.Store(&h)
+	return nil
+}
+
+// Logger returns a component logger whose records carry
+// component=<name>, flow through the current process-wide handler, and
+// gain trace_id from the context automatically.
+func Logger(component string) *slog.Logger {
+	return slog.New(&ctxHandler{attrs: []slog.Attr{slog.String("component", component)}})
+}
+
+// ctxHandler defers to the current process-wide handler at Handle time
+// (so ConfigureLogging applies retroactively to already-built loggers)
+// and injects the context's trace ID.
+type ctxHandler struct {
+	attrs  []slog.Attr
+	groups []string
+}
+
+func (h *ctxHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return (*logHandler.Load()).Enabled(ctx, level)
+}
+
+func (h *ctxHandler) Handle(ctx context.Context, r slog.Record) error {
+	if id := TraceIDFrom(ctx); id != "" {
+		r.AddAttrs(slog.String("trace_id", id))
+	}
+	cur := *logHandler.Load()
+	for _, a := range h.attrs {
+		cur = cur.WithAttrs([]slog.Attr{a})
+	}
+	for _, g := range h.groups {
+		cur = cur.WithGroup(g)
+	}
+	return cur.Handle(ctx, r)
+}
+
+func (h *ctxHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	if len(attrs) == 0 {
+		return h
+	}
+	n := &ctxHandler{groups: h.groups}
+	n.attrs = append(append([]slog.Attr(nil), h.attrs...), attrs...)
+	return n
+}
+
+func (h *ctxHandler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	n := &ctxHandler{attrs: h.attrs}
+	n.groups = append(append([]string(nil), h.groups...), name)
+	return n
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition (format 0.0.4) for the registry, served at
+// /metrics. Counters and gauges emit as-is; the power-of-two-nanosecond
+// histograms emit as native Prometheus histograms in seconds with
+// cumulative buckets, _sum and _count. Callback gauges (RegisterFunc)
+// emit as gauges. /vars keeps the flat JSON snapshot for humans.
+
+// promName sanitizes a registry name ("bh.query.latency") into a valid
+// Prometheus metric name ("bh_query_latency").
+func promName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	funcs := make(map[string]func() int64, len(r.funcs))
+	for k, v := range r.funcs {
+		funcs[k] = v
+	}
+	r.mu.Unlock()
+
+	var names []string
+	kind := make(map[string]byte, len(counters)+len(gauges)+len(hists)+len(funcs))
+	add := func(name string, k byte) {
+		names = append(names, name)
+		kind[name] = k
+	}
+	for k := range counters {
+		add(k, 'c')
+	}
+	for k := range gauges {
+		add(k, 'g')
+	}
+	for k := range funcs {
+		add(k, 'f')
+	}
+	for k := range hists {
+		add(k, 'h')
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		pn := promName(name)
+		var err error
+		switch kind[name] {
+		case 'c':
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, counters[name].Value())
+		case 'g':
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, gauges[name].Value())
+		case 'f':
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, funcs[name]())
+		case 'h':
+			err = writePromHistogram(w, pn, hists[name])
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram emits one histogram with cumulative buckets in
+// seconds. Bucket i of the registry histogram covers [2^i, 2^(i+1)) ns,
+// so its Prometheus upper bound is 2^(i+1) ns. Buckets above the
+// highest non-empty one collapse into +Inf. _count is derived from the
+// bucket sum of the same snapshot, so +Inf == _count always holds even
+// while observations race the scrape.
+func writePromHistogram(w io.Writer, pn string, h *Histogram) error {
+	buckets := h.Buckets()
+	sumNS := h.Sum().Nanoseconds()
+	var total int64
+	top := -1
+	for i, c := range buckets {
+		total += c
+		if c > 0 {
+			top = i
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+		return err
+	}
+	var cum int64
+	for i := 0; i <= top; i++ {
+		cum += buckets[i]
+		le := float64(uint64(1)<<uint(i+1)) / 1e9
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, formatLE(le), cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+		pn, total, pn, float64(sumNS)/1e9, pn, total)
+	return err
+}
+
+// formatLE renders a bucket bound compactly ("1.024e-06", "0.524288",
+// "2.147483648").
+func formatLE(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.9f", v), "0"), ".")
+}

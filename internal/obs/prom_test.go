@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promDump renders the registry and splits it into non-empty lines.
+func promDump(t *testing.T, r *Registry) []string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		if sc.Text() != "" {
+			lines = append(lines, sc.Text())
+		}
+	}
+	return lines
+}
+
+func TestPrometheusNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"bh.query.total":     "bh_query_total",
+		"already_clean":      "already_clean",
+		"9starts.with.num":   "_9starts_with_num",
+		"has-dash and space": "has_dash_and_space",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPrometheusExposition checks the text format against the parts of
+// the exposition contract scrapers actually rely on: every series has a
+// # TYPE line, histogram buckets are cumulative and monotone, the +Inf
+// bucket equals _count, and _sum carries seconds.
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bh.test.queries").Add(7)
+	r.Gauge("bh.test.inflight").Set(3)
+	r.RegisterFunc("bh.test.func", func() int64 { return 42 })
+	h := r.Histogram("bh.test.latency")
+	obsv := []time.Duration{
+		100 * time.Nanosecond, 5 * time.Microsecond, 5 * time.Microsecond,
+		300 * time.Microsecond, 2 * time.Millisecond, 40 * time.Millisecond,
+	}
+	var wantSum time.Duration
+	for _, d := range obsv {
+		h.Observe(d)
+		wantSum += d
+	}
+
+	lines := promDump(t, r)
+	types := map[string]string{}
+	values := map[string]float64{}
+	type bucket struct {
+		le  float64
+		val float64
+	}
+	var buckets []bucket
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "# TYPE ") {
+			f := strings.Fields(ln)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line %q", ln)
+			}
+			types[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(ln, "#") {
+			continue
+		}
+		// "name{le="..."} value" or "name value"
+		sp := strings.LastIndexByte(ln, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", ln)
+		}
+		name, valStr := ln[:sp], ln[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", ln, err)
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			series := name[:i]
+			label := name[i:]
+			if !strings.HasPrefix(label, `{le="`) || !strings.HasSuffix(label, `"}`) {
+				t.Fatalf("unexpected label shape in %q", ln)
+			}
+			leStr := label[len(`{le="`) : len(label)-len(`"}`)]
+			le := 0.0
+			if leStr == "+Inf" {
+				le = float64(1 << 62)
+			} else if le, err = strconv.ParseFloat(leStr, 64); err != nil {
+				t.Fatalf("unparseable le in %q: %v", ln, err)
+			}
+			if series != "bh_test_latency_bucket" {
+				t.Fatalf("unexpected bucket series %q", series)
+			}
+			buckets = append(buckets, bucket{le: le, val: val})
+			continue
+		}
+		values[name] = val
+	}
+
+	wantTypes := map[string]string{
+		"bh_test_queries":  "counter",
+		"bh_test_inflight": "gauge",
+		"bh_test_func":     "gauge",
+		"bh_test_latency":  "histogram",
+	}
+	for n, wt := range wantTypes {
+		if types[n] != wt {
+			t.Errorf("# TYPE %s = %q, want %q", n, types[n], wt)
+		}
+	}
+	if values["bh_test_queries"] != 7 {
+		t.Errorf("counter = %v, want 7", values["bh_test_queries"])
+	}
+	if values["bh_test_inflight"] != 3 || values["bh_test_func"] != 42 {
+		t.Errorf("gauges = %v/%v, want 3/42", values["bh_test_inflight"], values["bh_test_func"])
+	}
+
+	// Histogram: buckets emitted in ascending le order, cumulative
+	// (monotone non-decreasing), ending at +Inf == _count.
+	if len(buckets) < 2 {
+		t.Fatalf("expected multiple buckets, got %d", len(buckets))
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].le <= buckets[i-1].le {
+			t.Fatalf("bucket le not ascending at %d: %v then %v", i, buckets[i-1].le, buckets[i].le)
+		}
+		if buckets[i].val < buckets[i-1].val {
+			t.Fatalf("bucket counts not cumulative at le=%v: %v < %v", buckets[i].le, buckets[i].val, buckets[i-1].val)
+		}
+	}
+	inf := buckets[len(buckets)-1]
+	if inf.le != float64(1<<62) {
+		t.Fatalf("last bucket is not +Inf")
+	}
+	count := values["bh_test_latency_count"]
+	if inf.val != count || count != float64(len(obsv)) {
+		t.Errorf("+Inf bucket %v / _count %v, want both %d", inf.val, count, len(obsv))
+	}
+	// Each observation lands in a bucket whose le bounds it: check a
+	// cheap consequence — every sub-Inf bucket le must be positive
+	// seconds and the first observation (100ns) must be covered by some
+	// bucket below 1µs.
+	if buckets[0].le <= 0 {
+		t.Errorf("first bucket le %v not positive", buckets[0].le)
+	}
+	covered := false
+	for _, b := range buckets {
+		if b.le <= 1e-6 && b.val >= 1 {
+			covered = true
+		}
+	}
+	if !covered {
+		t.Errorf("100ns observation not visible in any sub-microsecond bucket")
+	}
+	// _sum is in seconds.
+	gotSum := values["bh_test_latency_sum"]
+	if wantSec := wantSum.Seconds(); gotSum < wantSec*0.999 || gotSum > wantSec*1.001 {
+		t.Errorf("_sum = %v s, want ≈ %v s", gotSum, wantSec)
+	}
+}
+
+// TestPrometheusEmptyHistogram checks a registered-but-never-observed
+// histogram still exposes a well-formed series (scrapers choke on a
+// TYPE line with no samples).
+func TestPrometheusEmptyHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("bh.test.empty")
+	out := strings.Join(promDump(t, r), "\n")
+	for _, want := range []string{
+		"# TYPE bh_test_empty histogram",
+		`bh_test_empty_bucket{le="+Inf"} 0`,
+		"bh_test_empty_sum 0",
+		"bh_test_empty_count 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestPrometheusStableOrder: two renders of the same registry must be
+// byte-identical (map iteration must not leak into the output).
+func TestPrometheusStableOrder(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 20; i++ {
+		r.Counter(fmt.Sprintf("bh.c%02d", i)).Add(int64(i))
+		r.Gauge(fmt.Sprintf("bh.g%02d", i)).Set(int64(i))
+	}
+	a := strings.Join(promDump(t, r), "\n")
+	b := strings.Join(promDump(t, r), "\n")
+	if a != b {
+		t.Fatal("two renders of an unchanged registry differ")
+	}
+}

@@ -1,19 +1,73 @@
 package obs
 
 import (
+	"context"
 	"fmt"
+	"math/rand/v2"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Trace is the per-query span tree behind EXPLAIN ANALYZE. It is
-// carried as a *Trace on the query path; a nil *Trace means tracing is
-// off, and every method (including the tally accessors and all Span
-// methods) is a no-op on a nil receiver — untraced queries pay zero
-// allocations for the instrumentation.
+// NewTraceID mints a 16-hex-char query trace ID. Trace IDs correlate
+// one statement across the client, the server's access log, the
+// engine's span tree and the storage layer's retry/fault logs; the
+// server mints one per request unless the client sent its own in the
+// X-BH-Trace-Id header.
+func NewTraceID() string {
+	return fmt.Sprintf("%016x", rand.Uint64())
+}
+
+// ValidTraceID reports whether a caller-supplied trace ID is usable:
+// 1–64 characters of hex and dashes (so W3C-style IDs pass through
+// unchanged). Anything else is replaced by a freshly minted ID.
+func ValidTraceID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f', c >= 'A' && c <= 'F', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// traceIDKey carries the query's trace ID in a context.Context from
+// the server boundary down through core → exec → lsm/wal → storage, so
+// any layer's structured logs can stamp it without plumbing an extra
+// parameter.
+type traceIDKey struct{}
+
+// WithTraceID attaches a trace ID to ctx.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceIDFrom extracts the trace ID from ctx ("" when absent; nil ctx
+// is safe).
+func TraceIDFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
+}
+
+// Trace is the per-query span tree behind EXPLAIN ANALYZE, the trace
+// ring buffer and /debug/traces. It is carried as a *Trace on the
+// query path; a nil *Trace means tracing is off, and every method
+// (including the tally accessors and all Span methods) is a no-op on a
+// nil receiver — untraced queries pay zero allocations for the
+// instrumentation.
 type Trace struct {
 	root *Span
+	id   string
+	gen  atomic.Int64 // span ID allocator (root = 1)
 	// ColCache tallies column-cache hit/miss/bypass per read.
 	ColCache CacheTally
 	// IdxCache tallies vector-index-cache hit/miss per load.
@@ -22,7 +76,24 @@ type Trace struct {
 
 // NewTrace starts a trace whose root span is named name.
 func NewTrace(name string) *Trace {
-	return &Trace{root: newSpan(name)}
+	t := &Trace{}
+	t.root = newSpan(name, &t.gen)
+	return t
+}
+
+// SetID stamps the query's trace ID on the trace (nil-safe).
+func (t *Trace) SetID(id string) {
+	if t != nil {
+		t.id = id
+	}
+}
+
+// ID returns the stamped trace ID ("" on nil or unstamped traces).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
 }
 
 // Span returns the root span (nil on a nil trace).
@@ -120,16 +191,20 @@ func (c *CacheTally) Values() (hits, misses, bypasses int64) {
 
 // Attr is one span attribute.
 type Attr struct {
-	Key string
-	Val string
+	Key string `json:"key"`
+	Val string `json:"value"`
 }
 
 // Span is one timed node of a trace. Child creation and attribute
 // writes are safe from concurrent goroutines (the VW scatters
-// per-segment scans across workers).
+// per-segment scans across workers). Each span carries a small integer
+// ID unique within its trace (root = 1) so /debug/traces dumps are
+// addressable.
 type Span struct {
 	name  string
 	start time.Time
+	id    int64
+	gen   *atomic.Int64 // shared per-trace span ID allocator
 
 	mu       sync.Mutex
 	dur      time.Duration
@@ -138,8 +213,12 @@ type Span struct {
 	children []*Span
 }
 
-func newSpan(name string) *Span {
-	return &Span{name: name, start: Now()}
+func newSpan(name string, gen *atomic.Int64) *Span {
+	s := &Span{name: name, start: Now(), gen: gen}
+	if gen != nil {
+		s.id = gen.Add(1)
+	}
+	return s
 }
 
 // Child starts a new child span (nil-safe: returns nil on nil).
@@ -147,7 +226,25 @@ func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := newSpan(name)
+	c := newSpan(name, s.gen)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// ChildDur attaches an already-finished child span with an explicit
+// duration (start is back-dated so start+dur ≈ now). The engine uses it
+// to materialize phases measured outside the span tree — admission
+// queue wait and aggregate storage-read time — as first-class spans.
+func (s *Span) ChildDur(name string, d time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	c := newSpan(name, s.gen)
+	c.start = c.start.Add(-d)
+	c.dur = d
+	c.ended = true
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
@@ -216,6 +313,22 @@ func (s *Span) Name() string {
 		return ""
 	}
 	return s.name
+}
+
+// ID returns the span's trace-local ID (0 on nil).
+func (s *Span) ID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Start returns the span's wall-clock start time (zero on nil).
+func (s *Span) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
 }
 
 // Duration returns the measured duration (End's clock; zero if the

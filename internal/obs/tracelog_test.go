@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func rec(id string, start time.Time) *TraceRecord {
+	tr := NewTrace("query")
+	tr.SetID(id)
+	c := tr.Span().Child("exec")
+	c.End()
+	tr.Finish()
+	return &TraceRecord{TraceID: id, Statement: "select", Query: "SELECT 1",
+		Start: start, Duration: time.Millisecond, Root: tr.Span()}
+}
+
+func TestTraceLogRingWrapsNewestFirst(t *testing.T) {
+	l := NewTraceLog(4)
+	base := time.Now()
+	for i := 0; i < 10; i++ {
+		l.Add(rec(fmt.Sprintf("t%02d", i), base))
+	}
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", l.Len())
+	}
+	if l.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", l.Total())
+	}
+	snap := l.Snapshot()
+	want := []string{"t09", "t08", "t07", "t06"}
+	for i, r := range snap {
+		if r.TraceID != want[i] {
+			t.Fatalf("snapshot[%d] = %s, want %s (full: %v)", i, r.TraceID, want[i], ids(snap))
+		}
+	}
+}
+
+func TestTraceLogBeforeWrap(t *testing.T) {
+	l := NewTraceLog(8)
+	base := time.Now()
+	for i := 0; i < 3; i++ {
+		l.Add(rec(fmt.Sprintf("t%d", i), base))
+	}
+	snap := l.Snapshot()
+	want := []string{"t2", "t1", "t0"}
+	if len(snap) != 3 {
+		t.Fatalf("Len = %d, want 3", len(snap))
+	}
+	for i, r := range snap {
+		if r.TraceID != want[i] {
+			t.Fatalf("snapshot[%d] = %s, want %s", i, r.TraceID, want[i])
+		}
+	}
+}
+
+func ids(recs []*TraceRecord) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.TraceID
+	}
+	return out
+}
+
+// TestTraceLogConcurrentScrape hammers the ring with writers while
+// readers snapshot and JSON-dump every record — the /debug/traces
+// pattern. Run under -race this is the data-race proof for the
+// "immutable after Add" contract.
+func TestTraceLogConcurrentScrape(t *testing.T) {
+	l := NewTraceLog(32)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				l.Add(rec(fmt.Sprintf("w%d-%d", w, i), time.Now()))
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, rec := range l.Snapshot() {
+					d := rec.Dump()
+					if d.TraceID == "" || d.Root.Name == "" {
+						t.Error("dump missing trace id or root span")
+						return
+					}
+					if len(d.Root.Children) != 1 {
+						t.Errorf("dump root has %d children, want 1", len(d.Root.Children))
+						return
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if l.Len() != 32 {
+		t.Fatalf("ring should be full, Len = %d", l.Len())
+	}
+}
+
+func TestTraceIDHelpers(t *testing.T) {
+	id := NewTraceID()
+	if len(id) != 16 || !ValidTraceID(id) {
+		t.Fatalf("NewTraceID() = %q, want 16 valid hex chars", id)
+	}
+	if id2 := NewTraceID(); id2 == id {
+		t.Fatalf("two minted IDs collide: %s", id)
+	}
+	valid := []string{"deadbeef", "ABC-123", "0", "0123456789abcdef0123456789abcdef"}
+	for _, v := range valid {
+		if !ValidTraceID(v) {
+			t.Errorf("ValidTraceID(%q) = false, want true", v)
+		}
+	}
+	invalid := []string{"", "has space", "semi;colon", "g00d-no", "x\n", "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef0"}
+	for _, v := range invalid {
+		if ValidTraceID(v) {
+			t.Errorf("ValidTraceID(%q) = true, want false", v)
+		}
+	}
+
+	var nilCtx context.Context // nil tolerance is part of the contract
+	if got := TraceIDFrom(nilCtx); got != "" {
+		t.Errorf("TraceIDFrom(nil) = %q, want empty", got)
+	}
+	ctx := WithTraceID(context.Background(), "abc123")
+	if got := TraceIDFrom(ctx); got != "abc123" {
+		t.Errorf("TraceIDFrom = %q, want abc123", got)
+	}
+}
+
+func TestSpanIDsAndChildDur(t *testing.T) {
+	tr := NewTrace("query")
+	tr.SetID("tid-1")
+	if tr.ID() != "tid-1" {
+		t.Fatalf("ID = %q", tr.ID())
+	}
+	root := tr.Span()
+	if root.ID() != 1 {
+		t.Fatalf("root span ID = %d, want 1", root.ID())
+	}
+	a := root.Child("a")
+	b := root.ChildDur("queue", 5*time.Millisecond)
+	if a.ID() == root.ID() || b.ID() == a.ID() || b.ID() == root.ID() {
+		t.Fatalf("span IDs not unique: root=%d a=%d b=%d", root.ID(), a.ID(), b.ID())
+	}
+	if b.Duration() != 5*time.Millisecond {
+		t.Fatalf("ChildDur duration = %v, want 5ms", b.Duration())
+	}
+	if !b.Start().Before(root.Start()) && !b.Start().Equal(root.Start()) {
+		// The queue span is back-dated: it must not start after "now".
+		if b.Start().After(time.Now()) {
+			t.Fatalf("ChildDur start %v is in the future", b.Start())
+		}
+	}
+	// Nil-safety: every new API must keep the nil-trace discipline.
+	var nilTr *Trace
+	nilTr.SetID("x")
+	_ = nilTr.ID()
+	var nilSp *Span
+	_ = nilSp.ID()
+	_ = nilSp.Start()
+	if c := nilSp.ChildDur("x", time.Second); c != nil {
+		t.Fatalf("nil span ChildDur returned %v", c)
+	}
+}

@@ -91,10 +91,21 @@ func (a *Admission) QueueBound() int { return a.cfg.MaxQueue }
 //	ctx.Err()     — the caller's context fired while queued (the
 //	                statement never started; surfaces as timeout/cancel)
 func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	release, _, err = a.AcquireTimed(ctx)
+	return release, err
+}
+
+// AcquireTimed is Acquire reporting how long the statement waited for
+// its slot (0 on the uncontended fast path). Every admission observes
+// the bh.server.admission.queue_wait histogram — fast-path zeros
+// included, so the histogram's quantiles reflect what a typical
+// statement actually waited, not just the queued minority.
+func (a *Admission) AcquireTimed(ctx context.Context) (release func(), wait time.Duration, err error) {
 	// Fast path: free slot, no queueing.
 	select {
 	case a.slots <- struct{}{}:
-		return a.admit(), nil
+		mAdmQueueWait.Observe(0)
+		return a.admit(), 0, nil
 	default:
 	}
 
@@ -102,7 +113,7 @@ func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
 	if a.queued >= a.cfg.MaxQueue {
 		a.mu.Unlock()
 		mAdmShedFull.Inc()
-		return nil, fmt.Errorf("%w: wait queue full (%d queued, %d slots)", ErrShed, a.cfg.MaxQueue, a.cfg.MaxConcurrent)
+		return nil, 0, fmt.Errorf("%w: wait queue full (%d queued, %d slots)", ErrShed, a.cfg.MaxQueue, a.cfg.MaxConcurrent)
 	}
 	a.queued++
 	mAdmQueued.Inc()
@@ -123,14 +134,15 @@ func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
 	start := obs.Now()
 	select {
 	case a.slots <- struct{}{}:
-		mAdmQueueWait.Observe(time.Since(start))
-		return a.admit(), nil
+		wait = time.Since(start)
+		mAdmQueueWait.Observe(wait)
+		return a.admit(), wait, nil
 	case <-timeout:
 		mAdmShedTimeout.Inc()
-		return nil, fmt.Errorf("%w: queued longer than %v", ErrShed, a.cfg.QueueTimeout)
+		return nil, time.Since(start), fmt.Errorf("%w: queued longer than %v", ErrShed, a.cfg.QueueTimeout)
 	case <-ctx.Done():
 		mAdmCtxAbandoned.Inc()
-		return nil, ctx.Err()
+		return nil, time.Since(start), ctx.Err()
 	}
 }
 

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/pprof"
 	"time"
@@ -8,18 +9,35 @@ import (
 	"blendhouse/internal/obs"
 )
 
-// DebugHandler builds the operational mux — /metrics and /vars over
-// the obs registry, plus Go's pprof — on a dedicated mux (never
-// http.DefaultServeMux, so nothing leaks onto the query server).
+// DebugHandler builds the operational mux — /metrics (Prometheus text
+// exposition), /vars (flat JSON snapshot) and /debug/traces (recent
+// finished query traces as JSON span dumps) over the obs registry,
+// plus Go's pprof — on a dedicated mux (never http.DefaultServeMux, so
+// nothing leaks onto the query server).
 func DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		obs.Default().WriteText(w)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.Default().WritePrometheus(w)
 	})
 	mux.HandleFunc("/vars", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		obs.Default().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		records := obs.Traces().Snapshot()
+		dumps := make([]obs.TraceDump, 0, len(records))
+		for _, rec := range records {
+			dumps = append(dumps, rec.Dump())
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{
+			"retained": len(dumps),
+			"total":    obs.Traces().Total(),
+			"traces":   dumps,
+		})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

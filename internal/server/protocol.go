@@ -10,6 +10,12 @@ import (
 // application/x-ndjson"; the default is one application/json object.
 const NDJSONContentType = "application/x-ndjson"
 
+// TraceIDHeader carries the query trace ID in both directions: a
+// client may send one (pkg/client does, keeping it stable across
+// retries) and the server always answers with the ID it used — minted
+// fresh when the request carried none or an invalid one.
+const TraceIDHeader = "X-BH-Trace-Id"
+
 // QueryRequest is the POST body of /v1/query and /v1/exec.
 type QueryRequest struct {
 	// Query is one SQL statement (the shell dialect, plus SET
@@ -30,11 +36,13 @@ type QueryResponse struct {
 	Rows      [][]any  `json:"rows"`
 	RowCount  int      `json:"row_count"`
 	ElapsedMS float64  `json:"elapsed_ms"`
+	TraceID   string   `json:"trace_id,omitempty"`
 }
 
 // StreamHeader is the first NDJSON line of a streaming response.
 type StreamHeader struct {
 	Columns []string `json:"columns"`
+	TraceID string   `json:"trace_id,omitempty"`
 }
 
 // StreamTrailer is the last NDJSON line: either Done with the row
@@ -56,6 +64,8 @@ type WireError struct {
 	// Retryable promises the statement never executed, so resending is
 	// safe even for INSERT/DELETE.
 	Retryable bool `json:"retryable"`
+	// TraceID correlates the failure with server-side logs and traces.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ErrorBody wraps WireError as the top-level JSON error response.
@@ -73,12 +83,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // writeError maps err and writes the standard error body. Sheds get a
 // Retry-After hint so well-behaved clients pace their backoff.
-func writeError(w http.ResponseWriter, err error) {
+func writeError(w http.ResponseWriter, err error, traceID string) {
 	status, code := StatusFor(err)
 	if code == CodeShed || code == CodeDraining {
 		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, status, ErrorBody{Error: WireError{
-		Code: code, Message: err.Error(), Retryable: Retryable(code),
+		Code: code, Message: err.Error(), Retryable: Retryable(code), TraceID: traceID,
 	}})
 }

@@ -40,6 +40,11 @@ var (
 	mDraining = obs.Default().Gauge("bh.server.draining")
 )
 
+// serverLog is the access log: one INFO record per statement request
+// with route, status, latency, queue wait, row count and — injected
+// from the request context — the trace ID.
+var serverLog = obs.Logger("server")
+
 // maxRequestBody bounds one statement body (INSERT batches arrive as
 // SQL text, so this is generous).
 const maxRequestBody = 64 << 20
@@ -202,18 +207,55 @@ func (s *Server) statementHandler(route string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		mReqs.Inc()
 		start := obs.Now()
-		defer func() { mLat.Observe(time.Since(start)) }()
+
+		// Trace context: accept the client's X-BH-Trace-Id (pkg/client
+		// keeps it stable across retries) or mint one, echo it in the
+		// response header immediately, and carry it in the request
+		// context so every layer's logs and the span tree share it.
+		traceID := r.Header.Get(TraceIDHeader)
+		if !obs.ValidTraceID(traceID) {
+			traceID = obs.NewTraceID()
+		}
+		w.Header().Set(TraceIDHeader, traceID)
+		ctx := obs.WithTraceID(r.Context(), traceID)
+
+		status := http.StatusOK
+		code := ""
+		rows := -1
+		var queueWait time.Duration
+		defer func() {
+			lat := time.Since(start)
+			mLat.Observe(lat)
+			attrs := []any{
+				"route", route,
+				"status", status,
+				"latency_ms", float64(lat.Microseconds()) / 1000,
+				"queue_wait_ms", float64(queueWait.Microseconds()) / 1000,
+			}
+			if code != "" {
+				attrs = append(attrs, "code", code)
+			}
+			if rows >= 0 {
+				attrs = append(attrs, "rows", rows)
+			}
+			serverLog.InfoContext(ctx, "request", attrs...)
+		}()
 		fail := func(err error) {
 			mErrs.Inc()
-			writeError(w, err)
+			status, code = StatusFor(err)
+			writeError(w, err, traceID)
+		}
+		badRequest := func(httpStatus int, wireCode, msg string) {
+			mErrs.Inc()
+			status, code = httpStatus, wireCode
+			writeJSON(w, httpStatus, ErrorBody{Error: WireError{
+				Code: wireCode, Message: msg, TraceID: traceID,
+			}})
 		}
 
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
-			mErrs.Inc()
-			writeJSON(w, http.StatusMethodNotAllowed, ErrorBody{Error: WireError{
-				Code: CodeBadRequest, Message: "use POST with a JSON body",
-			}})
+			badRequest(http.StatusMethodNotAllowed, CodeBadRequest, "use POST with a JSON body")
 			return
 		}
 		if s.draining.Load() {
@@ -223,17 +265,11 @@ func (s *Server) statementHandler(route string) http.HandlerFunc {
 		var req QueryRequest
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 		if err := dec.Decode(&req); err != nil {
-			mErrs.Inc()
-			writeJSON(w, http.StatusBadRequest, ErrorBody{Error: WireError{
-				Code: CodeBadRequest, Message: "bad request body: " + err.Error(),
-			}})
+			badRequest(http.StatusBadRequest, CodeBadRequest, "bad request body: "+err.Error())
 			return
 		}
 		if strings.TrimSpace(req.Query) == "" {
-			mErrs.Inc()
-			writeJSON(w, http.StatusBadRequest, ErrorBody{Error: WireError{
-				Code: CodeBadRequest, Message: `"query" must be a non-empty SQL statement`,
-			}})
+			badRequest(http.StatusBadRequest, CodeBadRequest, `"query" must be a non-empty SQL statement`)
 			return
 		}
 
@@ -242,13 +278,11 @@ func (s *Server) statementHandler(route string) http.HandlerFunc {
 		sess := s.sessionFrom(r.Context())
 		if handled, msg, err := sess.HandleSet(req.Query); handled {
 			if err != nil {
-				mErrs.Inc()
-				writeJSON(w, http.StatusBadRequest, ErrorBody{Error: WireError{
-					Code: CodeSession, Message: err.Error(),
-				}})
+				badRequest(http.StatusBadRequest, CodeSession, err.Error())
 				return
 			}
-			s.writeResult(w, r, &resultPayload{Columns: []string{"status"}, Rows: [][]any{{msg}}}, start)
+			rows = 1
+			s.writeResult(w, r, &resultPayload{Columns: []string{"status"}, Rows: [][]any{{msg}}}, start, traceID)
 			return
 		}
 
@@ -263,25 +297,29 @@ func (s *Server) statementHandler(route string) http.HandlerFunc {
 		if req.MaxParallelism > 0 {
 			maxPar = req.MaxParallelism
 		}
-		ctx := r.Context()
 		if timeout > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, timeout)
 			defer cancel()
 		}
 
-		release, err := s.adm.Acquire(ctx)
+		release, wait, err := s.adm.AcquireTimed(ctx)
+		queueWait = wait
 		if err != nil {
 			fail(queueErr(err))
 			return
 		}
-		res, err := s.engine.Query(ctx, req.Query, core.QueryOptions{MaxParallelism: maxPar})
+		res, err := s.engine.Query(ctx, req.Query, core.QueryOptions{
+			MaxParallelism: maxPar,
+			QueueWait:      wait,
+		})
 		release()
 		if err != nil {
 			fail(err)
 			return
 		}
-		s.writeResult(w, r, &resultPayload{Columns: res.Columns, Rows: res.Rows}, start)
+		rows = len(res.Rows)
+		s.writeResult(w, r, &resultPayload{Columns: res.Columns, Rows: res.Rows}, start, traceID)
 	}
 }
 
@@ -308,13 +346,14 @@ type resultPayload struct {
 // writeResult encodes a successful result: NDJSON streaming when the
 // client asked for it (Accept: application/x-ndjson), one JSON object
 // otherwise.
-func (s *Server) writeResult(w http.ResponseWriter, r *http.Request, res *resultPayload, start time.Time) {
+func (s *Server) writeResult(w http.ResponseWriter, r *http.Request, res *resultPayload, start time.Time, traceID string) {
 	if !strings.Contains(r.Header.Get("Accept"), NDJSONContentType) {
 		writeJSON(w, http.StatusOK, QueryResponse{
 			Columns:   res.Columns,
 			Rows:      res.Rows,
 			RowCount:  len(res.Rows),
 			ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+			TraceID:   traceID,
 		})
 		return
 	}
@@ -322,7 +361,7 @@ func (s *Server) writeResult(w http.ResponseWriter, r *http.Request, res *result
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	fl, _ := w.(http.Flusher)
-	if err := enc.Encode(StreamHeader{Columns: res.Columns}); err != nil {
+	if err := enc.Encode(StreamHeader{Columns: res.Columns, TraceID: traceID}); err != nil {
 		return
 	}
 	for i, row := range res.Rows {

@@ -54,6 +54,12 @@ type ShowMetrics struct{}
 
 func (*ShowMetrics) stmt() {}
 
+// ShowTraces lists the recent finished query traces retained by the
+// in-process ring buffer (newest first).
+type ShowTraces struct{}
+
+func (*ShowTraces) stmt() {}
+
 // Explain wraps a SELECT: EXPLAIN prints the optimizer's plan choice
 // with cost estimates; EXPLAIN ANALYZE additionally executes the query
 // and prints the recorded span tree and cache tallies.

@@ -324,8 +324,10 @@ func (p *Parser) parseShow() (Statement, error) {
 		return &ShowTables{}, p.advance()
 	case p.isKw("METRICS"):
 		return &ShowMetrics{}, p.advance()
+	case p.isKw("TRACES"):
+		return &ShowTraces{}, p.advance()
 	default:
-		return nil, fmt.Errorf("sql: expected TABLES or METRICS at %d, got %q", p.tok.Pos, p.tok.Text)
+		return nil, fmt.Errorf("sql: expected TABLES, METRICS or TRACES at %d, got %q", p.tok.Pos, p.tok.Text)
 	}
 }
 

@@ -1,0 +1,82 @@
+package storage
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// IOTally accumulates the blob reads charged to one query: how many
+// read operations, how many bytes, and the summed wall time spent in
+// the store (across concurrent segment scans, so it can exceed the
+// query's elapsed time). The executor attaches one to the query context
+// when tracing and materializes it as the trace's "storage" span; the
+// SegmentReader read paths feed it — exactly one layer, so reads
+// retried inside RetryStore count once. All methods are
+// nil-receiver-safe.
+type IOTally struct {
+	reads atomic.Int64
+	bytes atomic.Int64
+	nanos atomic.Int64
+}
+
+// Add records one read of n bytes taking d.
+func (t *IOTally) Add(n int64, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.reads.Add(1)
+	t.bytes.Add(n)
+	t.nanos.Add(d.Nanoseconds())
+}
+
+// Values reads the tally (zeros on nil).
+func (t *IOTally) Values() (reads, bytes int64, dur time.Duration) {
+	if t == nil {
+		return 0, 0, 0
+	}
+	return t.reads.Load(), t.bytes.Load(), time.Duration(t.nanos.Load())
+}
+
+type ioTallyKey struct{}
+
+// WithIOTally attaches a per-query storage-read tally to ctx.
+func WithIOTally(ctx context.Context, t *IOTally) context.Context {
+	return context.WithValue(ctx, ioTallyKey{}, t)
+}
+
+// IOTallyFrom extracts the storage-read tally from ctx (nil when
+// absent; nil is safe to use).
+func IOTallyFrom(ctx context.Context) *IOTally {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(ioTallyKey{}).(*IOTally)
+	return t
+}
+
+// tallyGet is GetCtx plus per-query IO accounting. When no tally rides
+// the context (untraced queries) it adds nothing but the ctx lookup —
+// no timestamps, no allocations.
+func tallyGet(ctx context.Context, s BlobStore, key string) ([]byte, error) {
+	t := IOTallyFrom(ctx)
+	if t == nil {
+		return GetCtx(ctx, s, key)
+	}
+	start := time.Now()
+	b, err := GetCtx(ctx, s, key)
+	t.Add(int64(len(b)), time.Since(start))
+	return b, err
+}
+
+// tallyGetRange is GetRangeCtx plus per-query IO accounting.
+func tallyGetRange(ctx context.Context, s BlobStore, key string, off, length int64) ([]byte, error) {
+	t := IOTallyFrom(ctx)
+	if t == nil {
+		return GetRangeCtx(ctx, s, key, off, length)
+	}
+	start := time.Now()
+	b, err := GetRangeCtx(ctx, s, key, off, length)
+	t.Add(int64(len(b)), time.Since(start))
+	return b, err
+}

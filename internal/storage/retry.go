@@ -28,11 +28,14 @@ import (
 // The engine publishes its own store's BreakerState() as a callback
 // gauge instead; other instances read Stats()/BreakerState() directly.)
 var (
-	mRetries        = obs.Default().Counter("bh.storage.retries")
-	mRetryExhausted = obs.Default().Counter("bh.storage.retry_exhausted")
-	mBreakerOpens   = obs.Default().Counter("bh.storage.breaker_opens")
-	mBreakerShed    = obs.Default().Counter("bh.storage.breaker_shed")
+	mRetries            = obs.Default().Counter("bh.storage.retries")
+	mRetryExhausted     = obs.Default().Counter("bh.storage.retry_exhausted")
+	mBreakerOpens       = obs.Default().Counter("bh.storage.breaker_opens")
+	mBreakerShed        = obs.Default().Counter("bh.storage.breaker_shed")
+	mBreakerTransitions = obs.Default().Counter("bh.storage.breaker_transitions")
 )
+
+var storageLog = obs.Logger("storage")
 
 // ErrInvalidRange tags range-read validation failures (negative offset
 // or length). It is permanent: retrying the same bad arguments can
@@ -168,6 +171,20 @@ func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
 	return &breaker{cfg: cfg.withDefaults(), now: now}
 }
 
+// transition records one state-machine edge: every edge bumps
+// bh.storage.breaker_transitions and emits a structured log event, so
+// an operator can reconstruct the breaker's full history (not just how
+// often it opened). Called with b.mu held; transitions are rare enough
+// that logging under the lock is harmless.
+func (b *breaker) transition(from, to BreakerState) {
+	mBreakerTransitions.Inc()
+	if to == BreakerOpen {
+		storageLog.Warn("breaker transition", "from", from.String(), "to", to.String(), "fails", b.fails)
+	} else {
+		storageLog.Info("breaker transition", "from", from.String(), "to", to.String())
+	}
+}
+
 // allow reports whether a request may proceed right now.
 func (b *breaker) allow() error {
 	if b.cfg.Disabled {
@@ -184,6 +201,7 @@ func (b *breaker) allow() error {
 		}
 		b.state = BreakerHalfOpen
 		b.probing = true
+		b.transition(BreakerOpen, BreakerHalfOpen)
 		return nil
 	default: // half-open
 		if b.probing {
@@ -201,9 +219,13 @@ func (b *breaker) onSuccess() {
 		return
 	}
 	b.mu.Lock()
+	prev := b.state
 	b.state = BreakerClosed
 	b.fails = 0
 	b.probing = false
+	if prev != BreakerClosed {
+		b.transition(prev, BreakerClosed)
+	}
 	b.mu.Unlock()
 }
 
@@ -234,6 +256,7 @@ func (b *breaker) onFailure() {
 		b.openedAt = b.now()
 		b.probing = false
 		mBreakerOpens.Inc()
+		b.transition(BreakerHalfOpen, BreakerOpen)
 		return
 	}
 	b.fails++
@@ -241,6 +264,7 @@ func (b *breaker) onFailure() {
 		b.state = BreakerOpen
 		b.openedAt = b.now()
 		mBreakerOpens.Inc()
+		b.transition(BreakerClosed, BreakerOpen)
 	}
 }
 
@@ -478,6 +502,9 @@ func (s *RetryStore) do(ctx context.Context, op string, fn func() error) error {
 	}
 	s.exhausted.Add(1)
 	mRetryExhausted.Inc()
+	// ctx may be nil on write paths; slog substitutes Background itself.
+	storageLog.WarnContext(ctx, "retry budget exhausted",
+		"op", op, "attempts", s.cfg.MaxAttempts, "error", lastErr)
 	return fmt.Errorf("storage: %s failed after %d attempts: %w", op, s.cfg.MaxAttempts, lastErr)
 }
 

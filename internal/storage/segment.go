@@ -313,7 +313,7 @@ func (r *SegmentReader) ReadColumnCtx(ctx context.Context, name string) (*Column
 	if err != nil {
 		return nil, err
 	}
-	blob, err := GetCtx(ctx, r.Store, ColumnKey(r.Meta.Table, r.Meta.Name, name))
+	blob, err := tallyGet(ctx, r.Store, ColumnKey(r.Meta.Table, r.Meta.Name, name))
 	if err != nil {
 		return nil, err
 	}
@@ -370,7 +370,7 @@ func (r *SegmentReader) ReadRowsCtx(ctx context.Context, name string, rows []int
 	decoded := map[int]*ColumnData{}
 	for bi := range needed {
 		b := cm.Blocks[bi]
-		blob, err := GetRangeCtx(ctx, r.Store, ColumnKey(r.Meta.Table, r.Meta.Name, name), b.Offset, b.Length)
+		blob, err := tallyGetRange(ctx, r.Store, ColumnKey(r.Meta.Table, r.Meta.Name, name), b.Offset, b.Length)
 		if err != nil {
 			return nil, err
 		}

@@ -24,6 +24,8 @@ var (
 	mFsync       = obs.Default().Histogram("bh.wal.fsync.latency")
 )
 
+var walLog = obs.Logger("wal")
+
 // ErrClosed is returned by Append after Close.
 var ErrClosed = errors.New("wal: log closed")
 
@@ -214,11 +216,15 @@ func (l *Log) commit(batch []*appendReq) {
 		mAppends.Add(int64(len(batch)))
 		mCommitBytes.Add(int64(len(blob)))
 		mLastBatch.Set(int64(len(batch)))
+		walLog.Debug("group commit", "table", l.table, "records", len(batch),
+			"first_lsn", first, "last_lsn", last, "bytes", len(blob))
 		if l.apply != nil {
 			for _, req := range batch {
 				l.apply(req.rec)
 			}
 		}
+	} else {
+		walLog.Error("group commit failed", "table", l.table, "records", len(batch), "error", err)
 	}
 	for _, req := range batch {
 		req.done <- err

@@ -43,6 +43,12 @@ type Options struct {
 	// MaxParallelism overrides per-query segment fan-out (0 = session,
 	// then engine default).
 	MaxParallelism int
+	// TraceID correlates the statement with server-side logs and
+	// /debug/traces ("" = the client mints one per statement). Whatever
+	// ID is used — caller-supplied or minted — is sent as X-BH-Trace-Id
+	// on EVERY retry attempt of the statement, surfaces on the Result,
+	// and rides any returned error (see TraceID).
+	TraceID string
 }
 
 // Config assembles a Client.
@@ -108,7 +114,14 @@ type Result struct {
 	Rows      [][]any  `json:"rows"`
 	RowCount  int      `json:"row_count"`
 	ElapsedMS float64  `json:"elapsed_ms"`
+	// TraceID is the trace ID the server answered with (the one sent in
+	// X-BH-Trace-Id, echoed back).
+	TraceID string `json:"trace_id"`
 }
+
+// traceIDHeader mirrors server.TraceIDHeader (the package stays
+// stdlib-only and does not import the server).
+const traceIDHeader = "X-BH-Trace-Id"
 
 // wire request/response bodies (mirrors internal/server/protocol.go).
 type queryRequest struct {
@@ -121,6 +134,7 @@ type wireError struct {
 	Code      string `json:"code"`
 	Message   string `json:"message"`
 	Retryable bool   `json:"retryable"`
+	TraceID   string `json:"trace_id"`
 }
 
 type errorBody struct {
@@ -164,7 +178,7 @@ func (c *Client) Close() {
 // JSON result (or, with accept set, returns the raw response via
 // streamResp).
 func (c *Client) roundTrip(ctx context.Context, route, query string, opts Options, accept string) (*Result, error) {
-	resp, err := c.doRetry(ctx, route, query, opts, accept)
+	resp, traceID, err := c.doRetry(ctx, route, query, opts, accept)
 	if err != nil {
 		return nil, err
 	}
@@ -173,59 +187,85 @@ func (c *Client) roundTrip(ctx context.Context, route, query string, opts Option
 	dec.UseNumber()
 	var res Result
 	if err := dec.Decode(&res); err != nil {
-		return nil, fmt.Errorf("client: decoding response: %w", err)
+		return nil, withTraceID(fmt.Errorf("client: decoding response: %w", err), traceID)
+	}
+	if res.TraceID == "" {
+		res.TraceID = traceID
 	}
 	return &res, nil
 }
 
 // doRetry runs the POST until success, a terminal error, or retry
-// exhaustion. Only never-executed failures are retried.
-func (c *Client) doRetry(ctx context.Context, route, query string, opts Options, accept string) (*http.Response, error) {
+// exhaustion. Only never-executed failures are retried. One trace ID —
+// opts.TraceID, or one minted here — identifies the statement across
+// every attempt (NOT per attempt), so server-side logs show the
+// retries as one logical query; it is returned alongside the response
+// and attached to every error.
+func (c *Client) doRetry(ctx context.Context, route, query string, opts Options, accept string) (*http.Response, string, error) {
 	req := queryRequest{Query: query, MaxParallelism: opts.MaxParallelism}
 	if opts.Timeout > 0 {
 		req.TimeoutMS = opts.Timeout.Milliseconds()
 	}
+	traceID := opts.TraceID
+	if traceID == "" {
+		traceID = c.newTraceID()
+	}
 	body, err := json.Marshal(req)
 	if err != nil {
-		return nil, fmt.Errorf("client: encoding request: %w", err)
+		return nil, traceID, withTraceID(fmt.Errorf("client: encoding request: %w", err), traceID)
 	}
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
 			if err := c.backoff(ctx, attempt); err != nil {
-				return nil, wrapCtxErr(err)
+				return nil, traceID, withTraceID(wrapCtxErr(err), traceID)
 			}
 		}
-		resp, err := c.post(ctx, route, body, accept)
+		resp, err := c.post(ctx, route, body, accept, traceID)
 		if err != nil {
 			if ctx.Err() != nil {
-				return nil, wrapCtxErr(ctx.Err())
+				return nil, traceID, withTraceID(wrapCtxErr(ctx.Err()), traceID)
 			}
 			if !dialFailure(err) {
-				return nil, fmt.Errorf("client: %w", err)
+				return nil, traceID, withTraceID(fmt.Errorf("client: %w", err), traceID)
 			}
 			lastErr = fmt.Errorf("client: %w", err) // never reached the server: retry
 			continue
 		}
 		if resp.StatusCode == http.StatusOK {
-			return resp, nil
+			return resp, traceID, nil
 		}
 		apiErr := decodeAPIError(resp)
+		if apiErr.TraceID == "" {
+			apiErr.TraceID = traceID
+		}
 		if apiErr.Retryable {
 			lastErr = apiErr
 			continue
 		}
-		return nil, apiErr
+		return nil, traceID, apiErr
 	}
-	return nil, fmt.Errorf("%w (after %d attempts)", lastErr, c.cfg.MaxRetries+1)
+	return nil, traceID, withTraceID(
+		fmt.Errorf("%w (after %d attempts)", lastErr, c.cfg.MaxRetries+1), traceID)
 }
 
-func (c *Client) post(ctx context.Context, route string, body []byte, accept string) (*http.Response, error) {
+// newTraceID mints a 16-hex-char trace ID from the client's rng (the
+// package stays stdlib-only, so it mirrors the server's format rather
+// than importing it).
+func (c *Client) newTraceID() string {
+	c.mu.Lock()
+	v := c.rng.Uint64()
+	c.mu.Unlock()
+	return fmt.Sprintf("%016x", v)
+}
+
+func (c *Client) post(ctx context.Context, route string, body []byte, accept, traceID string) (*http.Response, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+route, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(traceIDHeader, traceID)
 	if accept != "" {
 		hreq.Header.Set("Accept", accept)
 	}
@@ -275,7 +315,8 @@ func dialFailure(err error) bool {
 }
 
 // decodeAPIError drains resp into an *APIError (synthesizing one when
-// the body isn't the standard shape).
+// the body isn't the standard shape). The trace ID comes from the error
+// body, falling back to the response header.
 func decodeAPIError(resp *http.Response) *APIError {
 	defer resp.Body.Close()
 	var eb errorBody
@@ -285,12 +326,18 @@ func decodeAPIError(resp *http.Response) *APIError {
 			StatusCode: resp.StatusCode,
 			Code:       "INTERNAL",
 			Message:    strings.TrimSpace(string(data)),
+			TraceID:    resp.Header.Get(traceIDHeader),
 		}
+	}
+	traceID := eb.Error.TraceID
+	if traceID == "" {
+		traceID = resp.Header.Get(traceIDHeader)
 	}
 	return &APIError{
 		StatusCode: resp.StatusCode,
 		Code:       eb.Error.Code,
 		Message:    eb.Error.Message,
 		Retryable:  eb.Error.Retryable,
+		TraceID:    traceID,
 	}
 }

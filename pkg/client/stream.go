@@ -15,6 +15,7 @@ type Stream struct {
 	resp    *http.Response
 	dec     *json.Decoder
 	columns []string
+	traceID string
 	trailer *streamTrailer
 	err     error
 }
@@ -22,6 +23,7 @@ type Stream struct {
 // wire stream frames (mirrors internal/server/protocol.go).
 type streamHeader struct {
 	Columns []string `json:"columns"`
+	TraceID string   `json:"trace_id"`
 }
 
 type streamTrailer struct {
@@ -35,7 +37,7 @@ type streamTrailer struct {
 // response. Retry semantics match Query (sheds are retried before the
 // stream opens; once rows flow, failures surface on Next).
 func (c *Client) QueryStream(ctx context.Context, query string, opts Options) (*Stream, error) {
-	resp, err := c.doRetry(ctx, "/v1/query", query, opts, "application/x-ndjson")
+	resp, traceID, err := c.doRetry(ctx, "/v1/query", query, opts, "application/x-ndjson")
 	if err != nil {
 		return nil, err
 	}
@@ -44,13 +46,19 @@ func (c *Client) QueryStream(ctx context.Context, query string, opts Options) (*
 	var hdr streamHeader
 	if err := dec.Decode(&hdr); err != nil {
 		resp.Body.Close()
-		return nil, fmt.Errorf("client: decoding stream header: %w", err)
+		return nil, withTraceID(fmt.Errorf("client: decoding stream header: %w", err), traceID)
 	}
-	return &Stream{resp: resp, dec: dec, columns: hdr.Columns}, nil
+	if hdr.TraceID != "" {
+		traceID = hdr.TraceID
+	}
+	return &Stream{resp: resp, dec: dec, columns: hdr.Columns, traceID: traceID}, nil
 }
 
 // Columns returns the result column names.
 func (s *Stream) Columns() []string { return s.columns }
+
+// TraceID returns the statement's trace ID.
+func (s *Stream) TraceID() string { return s.traceID }
 
 // Next returns the next row, or io.EOF after the final row (numeric
 // values are json.Number). Any other error means the stream broke.
@@ -82,8 +90,12 @@ func (s *Stream) Next() ([]any, error) {
 	}
 	s.trailer = &tr
 	if tr.Error != nil {
+		traceID := tr.Error.TraceID
+		if traceID == "" {
+			traceID = s.traceID
+		}
 		s.err = &APIError{StatusCode: http.StatusOK, Code: tr.Error.Code,
-			Message: tr.Error.Message, Retryable: tr.Error.Retryable}
+			Message: tr.Error.Message, Retryable: tr.Error.Retryable, TraceID: traceID}
 		return nil, s.err
 	}
 	return nil, io.EOF
