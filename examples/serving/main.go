@@ -76,7 +76,7 @@ func main() {
 		WHERE topic = 'science'
 		ORDER BY L2Distance(embedding, %s) AS dist LIMIT 5`, vecLit(randVec(rng)))
 	start := time.Now()
-	res, err := c.QueryWith(ctx, query, client.Options{MaxParallelism: 4})
+	res, err := c.Query(ctx, query, client.WithMaxParallelism(4))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func main() {
 
 	// The same result as an NDJSON stream — constant client memory no
 	// matter the result size.
-	st, err := c.QueryStream(ctx, query, client.Options{})
+	st, err := c.QueryStream(ctx, query)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,317 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"blendhouse/internal/bench/dataset"
+	"blendhouse/internal/coord"
+	"blendhouse/internal/core"
+	"blendhouse/internal/server"
+	"blendhouse/internal/storage"
+	"blendhouse/pkg/client"
+)
+
+func init() {
+	register("cluster", "3-shard coordinator scatter-gather vs the single-node serving ceiling, with kill-one-shard chaos (PR 7)", runCluster)
+}
+
+// clusterShards is the cluster size of BENCH_pr7.json.
+const clusterShards = 3
+
+// clusterClients is the client-concurrency level all rows share — the
+// level where the single-node serving bench plateaus at its admission
+// ceiling, so any headroom shown here is real scale-out, not idle
+// slots.
+const clusterClients = 16
+
+// newShardEngine builds one shard-sized engine: identical store model
+// and admission sizing to the single-node serving bench (200µs/op
+// remote store, 4 admission slots), so the only variable across rows
+// is the topology.
+func newShardEngine() (*core.Engine, *server.Server, error) {
+	store := storage.NewRemoteStore(storage.NewMemStore(), storage.RemoteConfig{
+		OpLatency: 200 * time.Microsecond, BytesPerSecond: 1 << 30,
+	})
+	engine, err := core.New(core.Config{Store: store, SegmentRows: 2000})
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := server.New(server.Config{
+		Engine:    engine,
+		Addr:      "127.0.0.1:0",
+		Admission: server.AdmissionConfig{MaxConcurrent: 4, MaxQueue: 64},
+	})
+	if err != nil {
+		engine.Close()
+		return nil, nil, err
+	}
+	if err := srv.Start(); err != nil {
+		engine.Close()
+		return nil, nil, err
+	}
+	return engine, srv, nil
+}
+
+func clusterCreate(dim int) string {
+	return fmt.Sprintf(`CREATE TABLE bench_cluster (
+		id UInt64,
+		attr Int64,
+		embedding Array(Float32),
+		INDEX ann_idx embedding TYPE HNSW('DIM=%d','M=16','EF_CONSTRUCTION=100')
+	) ORDER BY id`, dim)
+}
+
+// ingestVia streams the dataset through fn in bounded SQL batches.
+func ingestVia(ds *dataset.Dataset, fn func(stmt string) error) error {
+	attrs := seqAttrs(ds.Vectors.Rows())
+	var sb strings.Builder
+	for i := 0; i < ds.Vectors.Rows(); i++ {
+		if sb.Len() == 0 {
+			sb.WriteString("INSERT INTO bench_cluster VALUES ")
+		} else {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "(%d, %d, %s)", i, attrs[i], vecSQL(ds.Vectors.Row(i)))
+		if sb.Len() > 4<<20 {
+			if err := fn(sb.String()); err != nil {
+				return err
+			}
+			sb.Reset()
+		}
+	}
+	if sb.Len() > 0 {
+		return fn(sb.String())
+	}
+	return nil
+}
+
+// cluster bundles one running topology: shards, coordinator, front
+// server and a client aimed at it.
+type benchCluster struct {
+	engines   []*core.Engine
+	shardSrvs []*server.Server
+	co        *coord.Coordinator
+	front     *server.Server
+	cli       *client.Client
+	killed    []bool
+}
+
+func startBenchCluster(replicas int) (*benchCluster, error) {
+	bc := &benchCluster{killed: make([]bool, clusterShards)}
+	var addrs []string
+	for i := 0; i < clusterShards; i++ {
+		e, s, err := newShardEngine()
+		if err != nil {
+			bc.close()
+			return nil, err
+		}
+		bc.engines = append(bc.engines, e)
+		bc.shardSrvs = append(bc.shardSrvs, s)
+		addrs = append(addrs, "http://"+s.Addr())
+	}
+	co, err := coord.New(coord.Config{Shards: addrs, Replicas: replicas})
+	if err != nil {
+		bc.close()
+		return nil, err
+	}
+	bc.co = co
+	// The coordinator's own admission is sized above the shard tier so
+	// the fan-out legs, not the front door, are the bottleneck.
+	front, err := server.New(server.Config{
+		Backend:   co,
+		Addr:      "127.0.0.1:0",
+		Admission: server.AdmissionConfig{MaxConcurrent: 32, MaxQueue: 256},
+	})
+	if err != nil {
+		bc.close()
+		return nil, err
+	}
+	if err := front.Start(); err != nil {
+		bc.close()
+		return nil, err
+	}
+	bc.front = front
+	cli, err := client.New(client.Config{BaseURL: "http://" + front.Addr()})
+	if err != nil {
+		bc.close()
+		return nil, err
+	}
+	bc.cli = cli
+	return bc, nil
+}
+
+func (bc *benchCluster) close() {
+	if bc.cli != nil {
+		bc.cli.Close()
+	}
+	if bc.front != nil {
+		_ = bc.front.Drain()
+	}
+	if bc.co != nil {
+		bc.co.Close()
+	}
+	for i, s := range bc.shardSrvs {
+		if !bc.killed[i] {
+			_ = s.Drain()
+		}
+	}
+	for _, e := range bc.engines {
+		e.Close()
+	}
+}
+
+// runCluster regenerates BENCH_pr7.json: the same hybrid top-10
+// workload as the PR 3 serving bench, measured at the concurrency
+// level where a single node plateaus at its admission ceiling, against
+// (a) that single node, (b) a 3-shard cluster at replicas=1 and
+// (c) replicas=2, and (d) the replicas=2 cluster while one shard is
+// abruptly killed mid-run — which must lose zero queries.
+func runCluster(cfg Config) (*Report, error) {
+	ds := prodLike(cfg)
+	ctx := context.Background()
+	lo, hi := selRange(ds.Vectors.Rows(), 0.5)
+	queryFor := func(qi int) string {
+		return fmt.Sprintf(`SELECT id, dist FROM bench_cluster WHERE attr >= %d AND attr <= %d ORDER BY L2Distance(embedding, %s) AS dist LIMIT 10`,
+			lo, hi, vecSQL(ds.Queries.Row(qi%ds.Queries.Rows())))
+	}
+	n := cfg.Queries * 4
+	rep := &Report{
+		ID:      "cluster",
+		Title:   "Scatter-gather cluster throughput vs single node (hybrid top-10, 16 clients)",
+		Headers: []string{"config", "qps", "mean_ms", "p99_ms", "failed"},
+	}
+
+	measure := func(cli *client.Client) (Timing, error) {
+		if _, err := cli.Query(ctx, queryFor(0)); err != nil {
+			return Timing{}, err
+		}
+		return MeasureConcurrent(n, clusterClients, func(qi int) error {
+			_, err := cli.Query(ctx, queryFor(qi))
+			return err
+		})
+	}
+	addRow := func(name string, tm Timing, failed int64) {
+		rep.AddRow(name,
+			fmt.Sprintf("%.1f", tm.QPS),
+			fmt.Sprintf("%.2f", float64(tm.Mean.Microseconds())/1000),
+			fmt.Sprintf("%.2f", float64(tm.P99.Microseconds())/1000),
+			fmt.Sprint(failed))
+	}
+
+	// (a) Single node: the PR 3 serving configuration, the ceiling the
+	// cluster has to beat.
+	engine, srv, err := newShardEngine()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := engine.Exec(ctx, clusterCreate(ds.Spec.Dim)); err != nil {
+		return nil, err
+	}
+	if err := ingestVia(ds, func(stmt string) error {
+		_, err := engine.Exec(ctx, stmt)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	cli, err := client.New(client.Config{BaseURL: "http://" + srv.Addr()})
+	if err != nil {
+		return nil, err
+	}
+	singleTm, err := measure(cli)
+	cli.Close()
+	_ = srv.Drain()
+	engine.Close()
+	if err != nil {
+		return nil, err
+	}
+	addRow("single-node (4 slots)", singleTm, 0)
+
+	// (b)/(c) The cluster at both placement factors. Ingest goes
+	// through the coordinator so the ring, not the bench, decides
+	// placement.
+	var clusterTm Timing
+	for _, replicas := range []int{1, 2} {
+		bc, err := startBenchCluster(replicas)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := bc.cli.Exec(ctx, clusterCreate(ds.Spec.Dim)); err != nil {
+			bc.close()
+			return nil, err
+		}
+		if err := ingestVia(ds, func(stmt string) error {
+			_, err := bc.cli.Exec(ctx, stmt)
+			return err
+		}); err != nil {
+			bc.close()
+			return nil, err
+		}
+		tm, err := measure(bc.cli)
+		bc.close()
+		if err != nil {
+			return nil, err
+		}
+		if replicas == 1 {
+			clusterTm = tm
+		}
+		addRow(fmt.Sprintf("%d shards r=%d", clusterShards, replicas), tm, 0)
+	}
+
+	// (d) Chaos: replicas=2 again, but one shard is killed (abrupt
+	// close, the kill -9 model) a third of the way through the run.
+	// Failures are counted, not propagated — the acceptance bar is
+	// exactly zero.
+	bc, err := startBenchCluster(2)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := bc.cli.Exec(ctx, clusterCreate(ds.Spec.Dim)); err != nil {
+		bc.close()
+		return nil, err
+	}
+	if err := ingestVia(ds, func(stmt string) error {
+		_, err := bc.cli.Exec(ctx, stmt)
+		return err
+	}); err != nil {
+		bc.close()
+		return nil, err
+	}
+	if _, err := bc.cli.Query(ctx, queryFor(0)); err != nil {
+		bc.close()
+		return nil, err
+	}
+	var done, failed atomic.Int64
+	var killOnce atomic.Bool
+	chaosTm, err := MeasureConcurrent(n, clusterClients, func(qi int) error {
+		if done.Add(1) == int64(n/3) && killOnce.CompareAndSwap(false, true) {
+			bc.shardSrvs[1].Kill()
+			bc.killed[1] = true
+		}
+		if _, qerr := bc.cli.Query(ctx, queryFor(qi)); qerr != nil {
+			failed.Add(1)
+		}
+		return nil
+	})
+	bc.close()
+	if err != nil {
+		return nil, err
+	}
+	addRow(fmt.Sprintf("%d shards r=2, kill one mid-run", clusterShards), chaosTm, failed.Load())
+	if failed.Load() != 0 {
+		return nil, fmt.Errorf("bench: %d queries failed during the kill-one-shard phase, want 0", failed.Load())
+	}
+
+	rep.Note("workload and per-shard sizing identical to the PR 3 serving bench (200µs/op remote store, 4 admission slots per node, hybrid 50%%-selectivity top-10 over %d rows); %d queries per row at %d clients",
+		ds.Vectors.Rows(), n, clusterClients)
+	rep.Note("shape check: cluster QPS must clear the single-node admission ceiling (r=1 holds ~1/%d of the rows per shard and the legs run in parallel); r=2 trades some of that headroom for the coverage that makes the chaos row possible",
+		clusterShards)
+	rep.Note("chaos check: killing one of %d shards at replicas=2 must fail zero queries — the breaker routes around the dead shard and every key keeps a live owner (failed column)", clusterShards)
+	if clusterTm.QPS <= singleTm.QPS {
+		rep.Note("WARNING: cluster r=1 QPS (%.1f) did not beat single-node (%.1f) on this box", clusterTm.QPS, singleTm.QPS)
+	}
+	return rep, nil
+}

@@ -1,0 +1,71 @@
+package coord
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b := newBreaker(3, time.Hour)
+	for i := 0; i < 2; i++ {
+		if tripped := b.failure(); tripped {
+			t.Fatalf("tripped after %d failures, threshold is 3", i+1)
+		}
+		if !b.allow() {
+			t.Fatalf("closed after %d failures, threshold is 3", i+1)
+		}
+	}
+	if !b.failure() {
+		t.Fatal("third failure must report the trip")
+	}
+	if b.allow() {
+		t.Fatal("open breaker must not allow")
+	}
+	if !b.open() {
+		t.Fatal("open() must report open")
+	}
+}
+
+func TestBreakerSuccessResets(t *testing.T) {
+	b := newBreaker(3, time.Hour)
+	b.failure()
+	b.failure()
+	b.success()
+	b.failure()
+	b.failure()
+	if b.open() {
+		t.Fatal("success must reset the consecutive-failure count")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := newBreaker(2, 30*time.Millisecond)
+	b.failure()
+	b.failure()
+	if b.allow() {
+		t.Fatal("breaker should be open")
+	}
+	time.Sleep(40 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed: one probe must be allowed")
+	}
+	if b.allow() {
+		t.Fatal("only one half-open probe at a time")
+	}
+	// Probe fails: breaker re-opens for another cooldown.
+	if !b.failure() {
+		t.Fatal("failed probe must report a re-trip")
+	}
+	if b.allow() {
+		t.Fatal("breaker must re-open after a failed probe")
+	}
+	time.Sleep(40 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("second probe after second cooldown")
+	}
+	// Probe succeeds: breaker closes fully.
+	b.success()
+	if !b.allow() || !b.allow() {
+		t.Fatal("successful probe must close the breaker for all callers")
+	}
+}

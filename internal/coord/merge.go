@@ -1,0 +1,284 @@
+package coord
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"blendhouse/internal/exec"
+	"blendhouse/internal/sql"
+	"blendhouse/internal/vec"
+	"blendhouse/pkg/client"
+)
+
+// distAlias is the hidden output column the coordinator injects into a
+// shard-leg SELECT when an ANN query has no user alias: the merge
+// needs each row's distance to sort on, and the alias is how the
+// engine exposes it. Injected columns are stripped from the merged
+// result, so the client sees exactly the single-node projection.
+const distAlias = "__bh_dist"
+
+// mergePlan is how the per-shard results combine into one. It is the
+// coordinator-side counterpart of the PR 2 worker pool's merge
+// discipline: a total, content-based order — sort value first, then
+// the canonical row text as tie-break — so the merged result is
+// byte-identical no matter which shard answered first.
+type mergePlan struct {
+	// sortName is the output column the merge sorts on ("" = no ORDER
+	// BY: rows merge in canonical-text order, which is deterministic
+	// but unspecified, like single-node scan order is unspecified).
+	sortName string
+	// desc inverts the sort: scalar ORDER BY ... DESC, and inner
+	// product, whose output values (un-negated dot products) rank
+	// best-first in descending order.
+	desc bool
+	// strip drops the last output column after merging: it was
+	// injected by buildMergePlan for the merge's benefit and is not
+	// part of the user's projection.
+	strip bool
+	// limit re-applies LIMIT k after the merge (each shard already
+	// applied it locally, so the union holds up to shards×k rows).
+	limit int
+}
+
+// buildMergePlan rewrites sel in place so every shard leg returns the
+// column the merge sorts on, and returns the plan.
+//
+// ANN queries sort on the distance value. If the query has no AS
+// alias, one is injected (distAlias); if the projection is explicit
+// and does not include the alias, the alias is appended to it. Either
+// way the helper column lands last in the shard output and is stripped
+// after the merge. A user-supplied alias that is already projected (or
+// a SELECT *, where the engine appends the alias itself) passes
+// through untouched — the merged output matches single-node output
+// column-for-column.
+//
+// Scalar ORDER BY works the same way with the sort column instead of
+// the distance alias.
+func buildMergePlan(sel *sql.Select) mergePlan {
+	p := mergePlan{limit: sel.Limit}
+	ob := sel.OrderBy
+	if ob == nil {
+		return p
+	}
+	star := false
+	for _, c := range sel.Columns {
+		if c.Star {
+			star = true
+		}
+	}
+	inProjection := func(name string) bool {
+		for _, c := range sel.Columns {
+			if !c.Star && c.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	if ob.Distance != nil {
+		injected := ob.Alias == ""
+		if injected {
+			ob.Alias = distAlias
+		}
+		p.sortName = ob.Alias
+		// The engine sorts by internal distance ascending, but the
+		// output value for inner product is un-negated (higher = more
+		// similar), so the merged order over output values is
+		// descending for IP and ascending for every other metric.
+		if m, err := vec.ParseMetric(ob.Distance.Func); err == nil && m == vec.InnerProduct {
+			p.desc = true
+		}
+		if star {
+			// The engine appends the alias after the schema columns;
+			// strip it only when the user didn't ask for it.
+			p.strip = injected
+		} else if !inProjection(ob.Alias) {
+			sel.Columns = append(sel.Columns, sql.SelectItem{Name: ob.Alias})
+			p.strip = true
+		}
+		return p
+	}
+	p.sortName = ob.Column
+	p.desc = ob.Desc
+	if !star && !inProjection(ob.Column) {
+		sel.Columns = append(sel.Columns, sql.SelectItem{Name: ob.Column})
+		p.strip = true
+	}
+	return p
+}
+
+// mrow is one row staged for merging, with its sort value decomposed
+// and its canonical wire text (the tie-break and dedup key).
+type mrow struct {
+	row   []any
+	key   string // canonical JSON of the full row
+	isNum bool
+	isInt bool
+	i     int64
+	f     float64
+	s     string
+}
+
+// mergeResults combines per-shard results under the plan. dedup
+// collapses identical rows (same canonical text), which is how
+// replicated placement folds back to one copy: replicas hold
+// bit-identical rows, and any node computes bit-identical distances
+// for them, so their wire texts collide exactly.
+func mergeResults(results []*client.Result, p mergePlan, dedup bool) (*exec.Result, error) {
+	cols := results[0].Columns
+	total := 0
+	for _, r := range results {
+		if !equalStrings(r.Columns, cols) {
+			return nil, fmt.Errorf("coord: shard results disagree on columns (%v vs %v) — shard catalogs diverged", cols, r.Columns)
+		}
+		total += len(r.Rows)
+	}
+	sortIdx := -1
+	if p.sortName != "" {
+		for i, c := range cols {
+			if c == p.sortName {
+				sortIdx = i
+				break
+			}
+		}
+		if sortIdx < 0 {
+			return nil, fmt.Errorf("coord: merge column %q missing from shard results %v", p.sortName, cols)
+		}
+	}
+	rows := make([]mrow, 0, total)
+	for _, r := range results {
+		for _, row := range r.Rows {
+			m := mrow{row: row, key: canonicalRow(row)}
+			if sortIdx >= 0 && sortIdx < len(row) {
+				m.isNum, m.isInt, m.i, m.f, m.s = sortFields(row[sortIdx])
+			}
+			rows = append(rows, m)
+		}
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		if sortIdx >= 0 {
+			if c := compareSort(&rows[a], &rows[b]); c != 0 {
+				if p.desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return rows[a].key < rows[b].key
+	})
+	out := &exec.Result{Columns: cols}
+	lastKey := ""
+	for i := range rows {
+		if dedup && i > 0 && rows[i].key == lastKey {
+			continue
+		}
+		lastKey = rows[i].key
+		out.Rows = append(out.Rows, rows[i].row)
+		if p.limit > 0 && len(out.Rows) == p.limit {
+			break
+		}
+	}
+	if p.strip && len(out.Columns) > 0 {
+		out.Columns = out.Columns[:len(out.Columns)-1]
+		for i, row := range out.Rows {
+			if len(row) > 0 {
+				out.Rows[i] = row[:len(row)-1]
+			}
+		}
+	}
+	return out, nil
+}
+
+// compareSort orders two sort values ascending: integers exactly,
+// floats (and int/float mixes) as float64, strings lexically, numbers
+// before non-numbers. 0 means tie (broken by canonical row text).
+func compareSort(a, b *mrow) int {
+	switch {
+	case a.isNum && b.isNum:
+		if a.isInt && b.isInt {
+			switch {
+			case a.i < b.i:
+				return -1
+			case a.i > b.i:
+				return 1
+			}
+			return 0
+		}
+		switch {
+		case a.f < b.f:
+			return -1
+		case a.f > b.f:
+			return 1
+		}
+		return 0
+	case a.isNum:
+		return -1
+	case b.isNum:
+		return 1
+	}
+	switch {
+	case a.s < b.s:
+		return -1
+	case a.s > b.s:
+		return 1
+	}
+	return 0
+}
+
+// sortFields decomposes one sort-column value. Shard results decode
+// numerics as json.Number (pkg/client uses UseNumber), so integer sort
+// keys compare exactly rather than through float64.
+func sortFields(v any) (isNum, isInt bool, i int64, f float64, s string) {
+	switch x := v.(type) {
+	case json.Number:
+		if iv, err := strconv.ParseInt(string(x), 10, 64); err == nil {
+			return true, true, iv, float64(iv), ""
+		}
+		if fv, err := x.Float64(); err == nil {
+			return true, false, 0, fv, ""
+		}
+		return false, false, 0, 0, x.String()
+	case int64:
+		return true, true, x, float64(x), ""
+	case float64:
+		return true, false, 0, x, ""
+	case string:
+		return false, false, 0, 0, x
+	case nil:
+		return false, false, 0, 0, ""
+	default:
+		return false, false, 0, 0, canonicalValue(x)
+	}
+}
+
+// canonicalRow renders a row's canonical wire text: JSON with
+// json.Number values re-emitted verbatim, so two decodings of the same
+// shard bytes — or of two replicas' identical rows — collide exactly.
+func canonicalRow(row []any) string {
+	b, err := json.Marshal(row)
+	if err != nil {
+		return fmt.Sprint(row)
+	}
+	return string(b)
+}
+
+func canonicalValue(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprint(v)
+	}
+	return string(b)
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,334 @@
+package coord
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"blendhouse/internal/sql"
+	"blendhouse/pkg/client"
+)
+
+func num(s string) json.Number { return json.Number(s) }
+
+func parseSelect(t *testing.T, src string) *sql.Select {
+	t.Helper()
+	st, err := sql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	sel, ok := st.(*sql.Select)
+	if !ok {
+		t.Fatalf("parse %q: not a select: %T", src, st)
+	}
+	return sel
+}
+
+func TestBuildMergePlan(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		sortName string
+		desc     bool
+		strip    bool
+		rendered string // leg SQL after the rewrite
+	}{
+		{
+			name:     "no order by",
+			src:      "SELECT id FROM items",
+			sortName: "", strip: false,
+			rendered: "SELECT id FROM items",
+		},
+		{
+			name:     "distance no alias explicit projection",
+			src:      "SELECT id FROM items ORDER BY L2Distance(embedding, [1,2]) LIMIT 5",
+			sortName: distAlias, strip: true,
+			rendered: "SELECT id, __bh_dist FROM items ORDER BY L2Distance(embedding, [1,2]) AS __bh_dist LIMIT 5",
+		},
+		{
+			name:     "distance user alias projected",
+			src:      "SELECT id, d FROM items ORDER BY L2Distance(embedding, [1,2]) AS d LIMIT 5",
+			sortName: "d", strip: false,
+			rendered: "SELECT id, d FROM items ORDER BY L2Distance(embedding, [1,2]) AS d LIMIT 5",
+		},
+		{
+			name:     "distance user alias not projected",
+			src:      "SELECT id FROM items ORDER BY L2Distance(embedding, [1,2]) AS d LIMIT 5",
+			sortName: "d", strip: true,
+			rendered: "SELECT id, d FROM items ORDER BY L2Distance(embedding, [1,2]) AS d LIMIT 5",
+		},
+		{
+			name:     "distance star no alias",
+			src:      "SELECT * FROM items ORDER BY L2Distance(embedding, [1,2]) LIMIT 5",
+			sortName: distAlias, strip: true,
+			rendered: "SELECT * FROM items ORDER BY L2Distance(embedding, [1,2]) AS __bh_dist LIMIT 5",
+		},
+		{
+			name:     "distance star user alias",
+			src:      "SELECT * FROM items ORDER BY L2Distance(embedding, [1,2]) AS d LIMIT 5",
+			sortName: "d", strip: false,
+			rendered: "SELECT * FROM items ORDER BY L2Distance(embedding, [1,2]) AS d LIMIT 5",
+		},
+		{
+			name:     "inner product descends",
+			src:      "SELECT id FROM items ORDER BY InnerProduct(embedding, [1,2]) LIMIT 5",
+			sortName: distAlias, desc: true, strip: true,
+			rendered: "SELECT id, __bh_dist FROM items ORDER BY InnerProduct(embedding, [1,2]) AS __bh_dist LIMIT 5",
+		},
+		{
+			name:     "scalar order projected",
+			src:      "SELECT id, label FROM items ORDER BY id DESC LIMIT 3",
+			sortName: "id", desc: true, strip: false,
+			rendered: "SELECT id, label FROM items ORDER BY id DESC LIMIT 3",
+		},
+		{
+			name:     "scalar order not projected",
+			src:      "SELECT label FROM items ORDER BY id LIMIT 3",
+			sortName: "id", strip: true,
+			rendered: "SELECT label, id FROM items ORDER BY id LIMIT 3",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sel := parseSelect(t, tc.src)
+			p := buildMergePlan(sel)
+			if p.sortName != tc.sortName || p.desc != tc.desc || p.strip != tc.strip {
+				t.Fatalf("plan = %+v, want sortName=%q desc=%v strip=%v", p, tc.sortName, tc.desc, tc.strip)
+			}
+			if p.limit != sel.Limit {
+				t.Fatalf("plan.limit = %d, want %d", p.limit, sel.Limit)
+			}
+			got := renderSelect(sel)
+			if got != tc.rendered {
+				t.Fatalf("rendered leg SQL:\n got  %s\n want %s", got, tc.rendered)
+			}
+			// The rewritten text must stay parseable — it is what the
+			// shards receive.
+			if _, err := sql.Parse(got); err != nil {
+				t.Fatalf("rewritten SQL does not re-parse: %v", err)
+			}
+		})
+	}
+}
+
+// shardResult builds a fake leg response the way pkg/client decodes
+// one: numeric values as json.Number.
+func shardResult(cols []string, rows ...[]any) *client.Result {
+	return &client.Result{Columns: cols, Rows: rows}
+}
+
+// TestMergeDeterministicUnderPermutation: shuffling both the shard
+// arrival order and each shard's row order never changes the merged
+// bytes — the property the PR 2 worker pool established for segments,
+// re-established here for shards.
+func TestMergeDeterministicUnderPermutation(t *testing.T) {
+	cols := []string{"id", "label", "__bh_dist"}
+	allRows := [][]any{
+		{num("1"), "a", num("0.25")},
+		{num("2"), "b", num("0.5")},
+		{num("3"), "c", num("0.5")}, // distance tie with id 2
+		{num("4"), "d", num("1.5")},
+		{num("5"), "e", num("0.125")},
+		{num("6"), "f", num("2.25")},
+		{num("7"), "g", num("0.5")}, // three-way tie
+	}
+	p := mergePlan{sortName: "__bh_dist", strip: true, limit: 5}
+
+	var want []byte
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		rows := append([][]any(nil), allRows...)
+		rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+		// Deal rows round-robin into a random number of shards.
+		n := 1 + rng.Intn(4)
+		results := make([]*client.Result, n)
+		for i := range results {
+			results[i] = shardResult(cols)
+		}
+		for i, r := range rows {
+			results[i%n].Rows = append(results[i%n].Rows, r)
+		}
+		rng.Shuffle(n, func(i, j int) { results[i], results[j] = results[j], results[i] })
+
+		merged, err := mergeResults(results, p, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(merged.Rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = b
+			if len(merged.Rows) != 5 {
+				t.Fatalf("limit not applied: %d rows", len(merged.Rows))
+			}
+			if !reflect.DeepEqual(merged.Columns, []string{"id", "label"}) {
+				t.Fatalf("strip failed: columns %v", merged.Columns)
+			}
+			for _, r := range merged.Rows {
+				if len(r) != 2 {
+					t.Fatalf("strip failed: row %v", r)
+				}
+			}
+			// Ascending by distance, ties by canonical row text:
+			// 0.125(id5), 0.25(id1), then the 0.5 tie in row-text order
+			// [2..< [3..< [7.., then 1.5(id4).
+			wantIDs := []string{"5", "1", "2", "3", "7"}
+			for i, r := range merged.Rows {
+				if id := r[0].(json.Number).String(); id != wantIDs[i] {
+					t.Fatalf("merge order: row %d id %s, want %s (all: %s)", i, id, wantIDs[i], b)
+				}
+			}
+		} else if string(b) != string(want) {
+			t.Fatalf("trial %d merged differently:\n want %s\n got  %s", trial, want, b)
+		}
+	}
+}
+
+func TestMergeDescending(t *testing.T) {
+	cols := []string{"id", "__bh_dist"}
+	results := []*client.Result{
+		shardResult(cols, []any{num("1"), num("0.5")}, []any{num("2"), num("2.5")}),
+		shardResult(cols, []any{num("3"), num("1.5")}),
+	}
+	merged, err := mergeResults(results, mergePlan{sortName: "__bh_dist", desc: true, strip: true}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, r := range merged.Rows {
+		ids = append(ids, r[0].(json.Number).String())
+	}
+	if !reflect.DeepEqual(ids, []string{"2", "3", "1"}) {
+		t.Fatalf("descending merge order = %v", ids)
+	}
+}
+
+func TestMergeDedupReplicas(t *testing.T) {
+	cols := []string{"id", "__bh_dist"}
+	// Two replicas answered with identical copies of rows 1 and 2.
+	results := []*client.Result{
+		shardResult(cols, []any{num("1"), num("0.5")}, []any{num("2"), num("1.5")}),
+		shardResult(cols, []any{num("2"), num("1.5")}, []any{num("1"), num("0.5")}),
+		shardResult(cols, []any{num("3"), num("0.75")}),
+	}
+	merged, err := mergeResults(results, mergePlan{sortName: "__bh_dist", strip: true}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, r := range merged.Rows {
+		ids = append(ids, r[0].(json.Number).String())
+	}
+	if !reflect.DeepEqual(ids, []string{"1", "3", "2"}) {
+		t.Fatalf("deduped merge = %v, want [1 3 2]", ids)
+	}
+	// Without dedup the copies survive (the replicas=1 path never pays
+	// the key comparisons' cost... but must also never drop a row that
+	// merely looks like another).
+	merged, err = mergeResults(results, mergePlan{sortName: "__bh_dist", strip: true}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Rows) != 5 {
+		t.Fatalf("no-dedup merge kept %d rows, want 5", len(merged.Rows))
+	}
+}
+
+func TestMergeIntegerKeysCompareExactly(t *testing.T) {
+	// Adjacent int64 values beyond float64's 2^53 mantissa: a float
+	// comparison would call them equal; json.Number + int path must not.
+	cols := []string{"id"}
+	results := []*client.Result{
+		shardResult(cols, []any{num("9007199254740993")}),
+		shardResult(cols, []any{num("9007199254740992")}),
+	}
+	merged, err := mergeResults(results, mergePlan{sortName: "id"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := merged.Rows[0][0].(json.Number).String(); got != "9007199254740992" {
+		t.Fatalf("integer sort lost precision: first row %s", got)
+	}
+}
+
+func TestMergeColumnMismatch(t *testing.T) {
+	results := []*client.Result{
+		shardResult([]string{"id", "label"}),
+		shardResult([]string{"id", "tag"}),
+	}
+	if _, err := mergeResults(results, mergePlan{}, false); err == nil {
+		t.Fatal("diverged shard columns must be an error, not a silent merge")
+	}
+	if _, err := mergeResults([]*client.Result{shardResult([]string{"id"})}, mergePlan{sortName: "gone"}, false); err == nil {
+		t.Fatal("missing sort column must be an error")
+	}
+}
+
+func TestRenderValueRoundTrip(t *testing.T) {
+	// Each rendered literal must re-parse to the identical Go value —
+	// that is what makes a coordinator-forwarded INSERT produce the
+	// same stored bytes as a direct one.
+	rows := [][]any{
+		{int64(42), "plain", []float32{0.1, 0.25, 1e-7}},
+		{int64(-3), "it's quoted", []float32{3.1415927, 2.7182817}},
+		{int64(0), "", []float32{0, -0.5}},
+	}
+	src := renderInsert("t", rows)
+	st, err := sql.Parse(src)
+	if err != nil {
+		t.Fatalf("rendered INSERT does not parse: %v\n%s", err, src)
+	}
+	ins := st.(*sql.Insert)
+	if len(ins.Rows) != len(rows) {
+		t.Fatalf("row count %d, want %d", len(ins.Rows), len(rows))
+	}
+	for i := range rows {
+		if !reflect.DeepEqual(ins.Rows[i], rows[i]) {
+			t.Fatalf("row %d round-trip: %#v != %#v", i, ins.Rows[i], rows[i])
+		}
+	}
+	// Floats: renderValue must keep float64 columns typed float64.
+	if got := renderValue(float64(5)); got != "5.0" {
+		t.Fatalf("renderValue(5.0) = %q", got)
+	}
+	if got := renderValue(float64(0.1)); got != "0.1" {
+		t.Fatalf("renderValue(0.1) = %q", got)
+	}
+}
+
+func TestRenderDelete(t *testing.T) {
+	if got := renderDelete("t", "id", []int64{7}); got != "DELETE FROM t WHERE id = 7" {
+		t.Fatalf("single-key delete = %q", got)
+	}
+	src := renderDelete("t", "id", []int64{1, 2, 3})
+	st, err := sql.Parse(src)
+	if err != nil {
+		t.Fatalf("rendered DELETE does not parse: %v\n%s", err, src)
+	}
+	del := st.(*sql.Delete)
+	if len(del.Keys) != 3 {
+		t.Fatalf("delete keys = %v", del.Keys)
+	}
+}
+
+func TestRenderSelectRoundTrip(t *testing.T) {
+	// Render(parse(q)) must re-parse to the same AST for the statement
+	// shapes the coordinator forwards.
+	srcs := []string{
+		"SELECT id, label FROM items WHERE label = 'l1' AND id BETWEEN 3 AND 9 ORDER BY L2Distance(embedding, [0.5,0.25]) AS d LIMIT 10",
+		"SELECT * FROM items WHERE id IN (1, 2, 3) ORDER BY id DESC LIMIT 5",
+		"SELECT id FROM items WHERE label LIKE 'l%' ORDER BY CosineDistance(embedding, [1,0]) LIMIT 3 SETTINGS ef_search=64, nprobe=8",
+		"SELECT id FROM items WHERE L2Distance(embedding, [1,1]) < 2.5",
+	}
+	for _, src := range srcs {
+		sel := parseSelect(t, src)
+		re := renderSelect(sel)
+		sel2 := parseSelect(t, re)
+		if !reflect.DeepEqual(sel, sel2) {
+			t.Fatalf("AST changed across render round-trip:\n src  %s\n re   %s\n ast  %#v\n ast2 %#v", src, re, sel, sel2)
+		}
+	}
+}

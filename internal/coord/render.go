@@ -1,0 +1,206 @@
+package coord
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"blendhouse/internal/sql"
+)
+
+// SQL re-rendering: the coordinator forwards most statements to shards
+// verbatim, but three need per-shard rewriting — INSERT (rows split by
+// ring placement), DELETE (keys split by ring placement) and SELECT
+// (a hidden distance/order column injected so the merge has something
+// to sort on). The renderer emits exactly the dialect internal/sql
+// parses, and every literal round-trips: strconv with precision -1
+// guarantees re-parsed floats are bit-identical, so a shard computes
+// the same distances the single-node engine would.
+
+// renderValue renders one INSERT literal.
+func renderValue(v any) string {
+	switch x := v.(type) {
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		s := strconv.FormatFloat(x, 'g', -1, 64)
+		// The parser types a bare "5" as int64; keep float columns float.
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case string:
+		return quoteString(x)
+	case []float32:
+		return renderVector(x)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// quoteString renders a single-quoted SQL string, escaping each quote
+// by doubling it (matching the lexer).
+func quoteString(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+// renderVector renders a [..] vector literal; precision -1 at 32 bits
+// round-trips each float32 exactly through ParseFloat(text, 32).
+func renderVector(v []float32) string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, f := range v {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.FormatFloat(float64(f), 'g', -1, 32))
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// renderInsert renders INSERT INTO table VALUES (...),(...) for one
+// shard's slice of the statement's rows.
+func renderInsert(table string, rows [][]any) string {
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO ")
+	sb.WriteString(table)
+	sb.WriteString(" VALUES ")
+	for ri, row := range rows {
+		if ri > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteByte('(')
+		for ci, v := range row {
+			if ci > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(renderValue(v))
+		}
+		sb.WriteByte(')')
+	}
+	return sb.String()
+}
+
+// renderDelete renders DELETE FROM table WHERE col IN (...) for one
+// shard's slice of the statement's keys.
+func renderDelete(table, col string, keys []int64) string {
+	var sb strings.Builder
+	sb.WriteString("DELETE FROM ")
+	sb.WriteString(table)
+	sb.WriteString(" WHERE ")
+	sb.WriteString(col)
+	if len(keys) == 1 {
+		sb.WriteString(" = ")
+		sb.WriteString(strconv.FormatInt(keys[0], 10))
+		return sb.String()
+	}
+	sb.WriteString(" IN (")
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(strconv.FormatInt(k, 10))
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// renderDistance renders distFunc(col, [vector]).
+func renderDistance(d *sql.DistanceExpr) string {
+	return d.Func + "(" + d.Column + ", " + renderVector(d.Query) + ")"
+}
+
+// renderPredicate renders one WHERE conjunct.
+func renderPredicate(p *sql.Predicate) string {
+	if p.Distance != nil {
+		return renderDistance(p.Distance) + " " + string(p.Op) + " " + renderValue(p.Value)
+	}
+	switch p.Op {
+	case sql.OpBetween:
+		return p.Column + " BETWEEN " + renderValue(p.Value) + " AND " + renderValue(p.Value2)
+	case sql.OpIn:
+		parts := make([]string, len(p.Values))
+		for i, v := range p.Values {
+			parts[i] = renderValue(v)
+		}
+		return p.Column + " IN (" + strings.Join(parts, ", ") + ")"
+	case sql.OpRegexp:
+		return p.Column + " REGEXP " + quoteString(p.Value.(string))
+	case sql.OpLike:
+		return p.Column + " LIKE " + quoteString(p.Value.(string))
+	default:
+		return p.Column + " " + string(p.Op) + " " + renderValue(p.Value)
+	}
+}
+
+// renderSelect renders a (possibly rewritten) SELECT back to dialect
+// text for the shard legs.
+func renderSelect(sel *sql.Select) string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	for i, c := range sel.Columns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if c.Star {
+			sb.WriteByte('*')
+		} else {
+			sb.WriteString(c.Name)
+		}
+	}
+	sb.WriteString(" FROM ")
+	sb.WriteString(sel.Table)
+	if len(sel.Where) > 0 {
+		sb.WriteString(" WHERE ")
+		for i := range sel.Where {
+			if i > 0 {
+				sb.WriteString(" AND ")
+			}
+			sb.WriteString(renderPredicate(&sel.Where[i]))
+		}
+	}
+	if sel.OrderBy != nil {
+		sb.WriteString(" ORDER BY ")
+		if sel.OrderBy.Distance != nil {
+			sb.WriteString(renderDistance(sel.OrderBy.Distance))
+			if sel.OrderBy.Alias != "" {
+				sb.WriteString(" AS ")
+				sb.WriteString(sel.OrderBy.Alias)
+			}
+		} else {
+			sb.WriteString(sel.OrderBy.Column)
+		}
+		if sel.OrderBy.Desc {
+			sb.WriteString(" DESC")
+		}
+	}
+	if sel.Limit > 0 {
+		sb.WriteString(" LIMIT ")
+		sb.WriteString(strconv.Itoa(sel.Limit))
+	}
+	if len(sel.Settings) > 0 {
+		// Deterministic render order for map-held settings.
+		names := make([]string, 0, len(sel.Settings))
+		for k := range sel.Settings {
+			names = append(names, k)
+		}
+		sortStrings(names)
+		sb.WriteString(" SETTINGS ")
+		for i, k := range names {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%s=%d", k, sel.Settings[k])
+		}
+	}
+	return sb.String()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -366,6 +366,11 @@ type QueryOptions struct {
 	// materializes as a "queue" span so tail-latency attribution
 	// (queue vs exec vs storage) works from the span tree alone.
 	QueueWait time.Duration
+	// AllowPartial lets a scatter-gather backend (internal/coord)
+	// return results missing unreachable shards instead of failing the
+	// query (SET allow_partial = on). A single engine ignores it — its
+	// results are never partial.
+	AllowPartial bool
 }
 
 // Exec parses and executes one SQL statement under ctx. DDL and DML

@@ -69,7 +69,8 @@ func mix(x uint64) uint64 {
 }
 
 // Add places a worker on the ring. Adding an existing worker is a
-// no-op.
+// no-op. Like Remove, Add builds a fresh points slice rather than
+// appending into (and re-sorting) the shared backing array.
 func (r *Ring) Add(node string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -78,18 +79,28 @@ func (r *Ring) Add(node string) {
 			return
 		}
 	}
-	r.points = append(r.points, point{hashOf(node, 0xB1E2D), node})
-	sort.Slice(r.points, func(i, j int) bool { return r.points[i].pos < r.points[j].pos })
+	pts := make([]point, 0, len(r.points)+1)
+	pts = append(pts, r.points...)
+	pts = append(pts, point{hashOf(node, 0xB1E2D), node})
+	sort.Slice(pts, func(i, j int) bool { return pts[i].pos < pts[j].pos })
+	r.points = pts
 }
 
 // Remove deletes a worker from the ring. Removing an absent worker is
-// a no-op.
+// a no-op. Once Remove returns, no subsequent lookup (Get/GetN/Assign)
+// can return the removed node: mutation rebuilds the points slice
+// under the write lock instead of shifting the shared backing array in
+// place, so a reader that captured the old slice still sees a
+// consistent pre-removal ring — never a half-shifted one.
 func (r *Ring) Remove(node string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for i, p := range r.points {
 		if p.node == node {
-			r.points = append(r.points[:i], r.points[i+1:]...)
+			pts := make([]point, 0, len(r.points)-1)
+			pts = append(pts, r.points[:i]...)
+			pts = append(pts, r.points[i+1:]...)
+			r.points = pts
 			return
 		}
 	}
@@ -128,6 +139,10 @@ func (r *Ring) successor(pos uint64) int {
 func (r *Ring) Get(key string) string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	return r.getLocked(key)
+}
+
+func (r *Ring) getLocked(key string) string {
 	if len(r.points) == 0 {
 		return ""
 	}
@@ -151,6 +166,10 @@ func (r *Ring) Get(key string) string {
 func (r *Ring) GetN(key string, n int) []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	return r.getNLocked(key, n)
+}
+
+func (r *Ring) getNLocked(key string, n int) []string {
 	if len(r.points) == 0 || n <= 0 {
 		return nil
 	}
@@ -182,11 +201,32 @@ func (r *Ring) GetN(key string, n int) []string {
 }
 
 // Assign maps each key to its worker in one pass — the scheduler's
-// bulk segment-allocation entry point.
+// bulk segment-allocation entry point. The whole pass runs against one
+// consistent ring view: a rebalance (Add/Remove) concurrent with
+// Assign either precedes all placements or follows all of them, never
+// splitting one bulk assignment across two ring generations. (The
+// previous per-key locking let a mid-pass Remove hand the first half
+// of the keys to the old owner set and the second half to the new
+// one — the rebalance edge that loses segments between views.)
 func (r *Ring) Assign(keys []string) map[string]string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make(map[string]string, len(keys))
 	for _, k := range keys {
-		out[k] = r.Get(k)
+		out[k] = r.getLocked(k)
+	}
+	return out
+}
+
+// AssignN maps each key to its n replica workers in one pass, against
+// one consistent ring view (see Assign). The coordinator's bulk
+// insert-placement entry point.
+func (r *Ring) AssignN(keys []string, n int) map[string][]string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string][]string, len(keys))
+	for _, k := range keys {
+		out[k] = r.getNLocked(k, n)
 	}
 	return out
 }

@@ -2,6 +2,8 @@ package hashring
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -156,6 +158,133 @@ func TestGetNDistinct(t *testing.T) {
 	// Request more replicas than workers: clamps.
 	if all := r.GetN("seg", 10); len(all) != 4 {
 		t.Fatalf("GetN(10) = %v", all)
+	}
+}
+
+// TestRemoveUnderLiveLookups pins the rebalance contract the
+// coordinator's shard routing leans on: once Remove(w) returns, no
+// lookup — Get, GetN or a bulk Assign — may return w, even with
+// lookups hammering the ring from many goroutines throughout the
+// removal. Run with -race this also verifies the copy-on-write
+// mutation discipline (Add/Remove build fresh point slices instead of
+// shifting the shared backing array readers may be iterating).
+func TestRemoveUnderLiveLookups(t *testing.T) {
+	const workers = 6
+	r := New(0)
+	for i := 0; i < workers; i++ {
+		r.Add(fmt.Sprintf("w%d", i))
+	}
+	ks := keys(300)
+
+	var removed atomic.Bool // set AFTER Remove returns
+	const victim = "w3"
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := ks[(i*7+g)%len(ks)]
+				// Sample the flag BEFORE the lookup: if the removal
+				// completed before we looked, the removed node must be
+				// invisible. (Sampling after would race the removal
+				// finishing mid-lookup, which is allowed to go either way.)
+				wasRemoved := removed.Load()
+				owner := r.Get(k)
+				reps := r.GetN(k, 2)
+				if wasRemoved {
+					if owner == victim {
+						t.Errorf("Get(%s) returned removed node", k)
+						return
+					}
+					for _, w := range reps {
+						if w == victim {
+							t.Errorf("GetN(%s) returned removed node", k)
+							return
+						}
+					}
+				}
+				if owner == "" || len(reps) == 0 {
+					t.Errorf("lookup returned empty owner with %d nodes live", workers-1)
+					return
+				}
+			}
+		}(g)
+	}
+	// Let lookups get going, then remove the victim.
+	for i := 0; i < 100; i++ {
+		r.Assign(ks[:20])
+	}
+	r.Remove(victim)
+	removed.Store(true)
+	// Bulk assignment after removal: one consistent view, victim absent.
+	for i := 0; i < 50; i++ {
+		for k, w := range r.Assign(ks) {
+			if w == victim {
+				t.Fatalf("Assign(%s) returned removed node", k)
+			}
+		}
+		for k, ws := range r.AssignN(ks[:50], 2) {
+			for _, w := range ws {
+				if w == victim {
+					t.Fatalf("AssignN(%s) returned removed node", k)
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestAssignConsistentUnderRebalance: a bulk Assign must reflect
+// exactly one ring generation — with a concurrent Remove, every key
+// maps either to the pre-removal owner set (victim included) or the
+// post-removal one, but a single Assign result never mixes "moved off
+// the victim" with "still on the victim" for keys the victim owned.
+func TestAssignConsistentUnderRebalance(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		r := New(0)
+		for i := 0; i < 5; i++ {
+			r.Add(fmt.Sprintf("w%d", i))
+		}
+		ks := keys(400)
+		before := r.Assign(ks)
+		const victim = "w2"
+
+		var wg sync.WaitGroup
+		wg.Add(1)
+		results := make(chan map[string]string, 1)
+		go func() {
+			defer wg.Done()
+			results <- r.Assign(ks)
+		}()
+		r.Remove(victim)
+		wg.Wait()
+		got := <-results
+
+		after := r.Assign(ks)
+		preGen, postGen := false, false // evidence the pass saw each ring generation
+		for _, k := range ks {
+			switch got[k] {
+			case before[k], after[k]:
+				if got[k] == victim {
+					preGen = true // still on the removed node: pre-removal view
+				} else if before[k] == victim {
+					postGen = true // moved off the victim: post-removal view
+				}
+			default:
+				t.Fatalf("round %d: key %s assigned to %s, neither pre- (%s) nor post-removal (%s) owner", round, k, got[k], before[k], after[k])
+			}
+		}
+		if preGen && postGen {
+			t.Fatalf("round %d: one Assign pass mixed pre- and post-removal ring generations", round)
+		}
 	}
 }
 

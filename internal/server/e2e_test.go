@@ -50,7 +50,7 @@ func TestEndToEndByteIdentical(t *testing.T) {
 		}
 
 		// The streaming path must be byte-identical too.
-		st, err := c.QueryStream(ctx, q, client.Options{})
+		st, err := c.QueryStream(ctx, q)
 		if err != nil {
 			t.Fatalf("stream %q: %v", q, err)
 		}
@@ -81,7 +81,7 @@ func TestEndToEndClientTimeout(t *testing.T) {
 	_, c := startServer(t, e, Config{})
 
 	start := time.Now()
-	_, err := c.QueryWith(context.Background(), testQuery(), client.Options{Timeout: 30 * time.Millisecond})
+	_, err := c.Query(context.Background(), testQuery(), client.WithTimeout(30*time.Millisecond))
 	elapsed := time.Since(start)
 	if !errors.Is(err, client.ErrTimeout) {
 		t.Fatalf("want client.ErrTimeout, got %v", err)
@@ -130,7 +130,7 @@ func TestPerRequestParallelismOverride(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, par := range []int{1, 4, 16} {
-		res, err := c.QueryWith(ctx, testQuery(), client.Options{MaxParallelism: par})
+		res, err := c.Query(ctx, testQuery(), client.WithMaxParallelism(par))
 		if err != nil {
 			t.Fatalf("par=%d: %v", par, err)
 		}

@@ -3,75 +3,37 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+
+	"blendhouse/pkg/api"
 )
 
-// NDJSONContentType is the streaming response content type of
-// /v1/query. A request opts in by sending "Accept:
-// application/x-ndjson"; the default is one application/json object.
-const NDJSONContentType = "application/x-ndjson"
+// The wire DTOs live in pkg/api — the one place the JSON shapes are
+// declared, shared by this server, pkg/client and internal/coord. The
+// aliases below keep the server-side names that predate the shared
+// package working (they are the same types, not copies).
+type (
+	// QueryRequest is the POST body of /v1/query and /v1/exec.
+	QueryRequest = api.QueryRequest
+	// QueryResponse is the non-streaming (application/json) result.
+	QueryResponse = api.QueryResponse
+	// StreamHeader is the first NDJSON line of a streaming response.
+	StreamHeader = api.StreamHeader
+	// StreamTrailer is the last NDJSON line (row count, or the
+	// post-header error).
+	StreamTrailer = api.StreamTrailer
+	// WireError is the machine-readable error body (see status.go for
+	// the status mapping).
+	WireError = api.WireError
+	// ErrorBody wraps WireError as the top-level JSON error response.
+	ErrorBody = api.ErrorBody
+)
 
-// TraceIDHeader carries the query trace ID in both directions: a
-// client may send one (pkg/client does, keeping it stable across
-// retries) and the server always answers with the ID it used — minted
-// fresh when the request carried none or an invalid one.
-const TraceIDHeader = "X-BH-Trace-Id"
+// NDJSONContentType mirrors api.NDJSONContentType for server-side
+// callers.
+const NDJSONContentType = api.NDJSONContentType
 
-// QueryRequest is the POST body of /v1/query and /v1/exec.
-type QueryRequest struct {
-	// Query is one SQL statement (the shell dialect, plus SET
-	// statement_timeout / max_parallelism handled session-side).
-	Query string `json:"query"`
-	// TimeoutMS bounds this statement (0 = session default). The
-	// deadline propagates into Engine.Query, so expiry cancels segment
-	// scans and remote reads, not just the response.
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-	// MaxParallelism overrides per-query segment fan-out
-	// (0 = session default, then engine default).
-	MaxParallelism int `json:"max_parallelism,omitempty"`
-}
-
-// QueryResponse is the non-streaming (application/json) result.
-type QueryResponse struct {
-	Columns   []string `json:"columns"`
-	Rows      [][]any  `json:"rows"`
-	RowCount  int      `json:"row_count"`
-	ElapsedMS float64  `json:"elapsed_ms"`
-	TraceID   string   `json:"trace_id,omitempty"`
-}
-
-// StreamHeader is the first NDJSON line of a streaming response.
-type StreamHeader struct {
-	Columns []string `json:"columns"`
-	TraceID string   `json:"trace_id,omitempty"`
-}
-
-// StreamTrailer is the last NDJSON line: either Done with the row
-// count, or Error when execution failed after the header was sent
-// (the HTTP status is already 200 by then; the trailer is the only
-// place left to signal failure).
-type StreamTrailer struct {
-	Done      bool       `json:"done"`
-	RowCount  int        `json:"row_count"`
-	ElapsedMS float64    `json:"elapsed_ms"`
-	Error     *WireError `json:"error,omitempty"`
-}
-
-// WireError is the machine-readable error body (see status.go for the
-// code vocabulary and the status mapping).
-type WireError struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-	// Retryable promises the statement never executed, so resending is
-	// safe even for INSERT/DELETE.
-	Retryable bool `json:"retryable"`
-	// TraceID correlates the failure with server-side logs and traces.
-	TraceID string `json:"trace_id,omitempty"`
-}
-
-// ErrorBody wraps WireError as the top-level JSON error response.
-type ErrorBody struct {
-	Error WireError `json:"error"`
-}
+// TraceIDHeader mirrors api.TraceIDHeader for server-side callers.
+const TraceIDHeader = api.TraceIDHeader
 
 // writeJSON writes v with the given status as application/json.
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -29,8 +29,35 @@ import (
 	"time"
 
 	"blendhouse/internal/core"
+	"blendhouse/internal/exec"
 	"blendhouse/internal/obs"
+	"blendhouse/pkg/api"
 )
+
+// Backend executes statements for the server. Two implementations
+// exist: a single core.Engine (the `serve` shard role, wrapped by
+// engineBackend) and the scatter-gather coordinator (internal/coord,
+// the `coordinate` role). The server machinery — sessions, admission,
+// deadlines, tracing, streaming, error mapping — is identical either
+// way; only statement execution differs.
+type Backend interface {
+	// Query parses and executes one statement (core.Engine.Query's
+	// contract: errors match the core taxonomy sentinels).
+	Query(ctx context.Context, stmt string, opts core.QueryOptions) (*exec.Result, error)
+	// Info describes the node for GET /v1/info.
+	Info() api.NodeInfo
+}
+
+// engineBackend adapts a core.Engine to the Backend interface.
+type engineBackend struct{ e *core.Engine }
+
+func (b engineBackend) Query(ctx context.Context, stmt string, opts core.QueryOptions) (*exec.Result, error) {
+	return b.e.Query(ctx, stmt, opts)
+}
+
+func (b engineBackend) Info() api.NodeInfo {
+	return api.NodeInfo{V: api.Version, Role: api.RoleServer, Tables: b.e.Tables()}
+}
 
 // Serving metrics (beyond the bh.server.admission.* family): one
 // request counter + error counter + latency histogram per route, plus
@@ -51,8 +78,12 @@ const maxRequestBody = 64 << 20
 
 // Config assembles a Server.
 type Config struct {
-	// Engine executes the statements. Required.
+	// Engine executes the statements (the single-node `serve` role).
+	// Exactly one of Engine and Backend must be set.
 	Engine *core.Engine
+	// Backend executes the statements when the node is not a plain
+	// engine host (the coordinator role). Takes precedence over Engine.
+	Backend Backend
 	// Addr is the listen address (default "127.0.0.1:8428").
 	Addr string
 	// Admission sizes the admission controller (zero = defaults).
@@ -77,10 +108,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server hosts the query API over one engine.
+// Server hosts the query API over one backend (engine or
+// coordinator).
 type Server struct {
 	cfg      Config
-	engine   *core.Engine
+	backend  Backend
 	adm      *Admission
 	mux      *http.ServeMux
 	draining atomic.Bool
@@ -90,15 +122,20 @@ type Server struct {
 // New builds a server (not yet listening; call Start, or mount
 // Handler on a listener of your own).
 func New(cfg Config) (*Server, error) {
-	if cfg.Engine == nil {
-		return nil, fmt.Errorf("server: Config.Engine is required")
+	backend := cfg.Backend
+	if backend == nil {
+		if cfg.Engine == nil {
+			return nil, fmt.Errorf("server: one of Config.Engine or Config.Backend is required")
+		}
+		backend = engineBackend{cfg.Engine}
 	}
 	cfg = cfg.withDefaults()
-	s := &Server{cfg: cfg, engine: cfg.Engine, adm: NewAdmission(cfg.Admission)}
+	s := &Server{cfg: cfg, backend: backend, adm: NewAdmission(cfg.Admission)}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/query", s.statementHandler("query"))
 	s.mux.HandleFunc("/v1/exec", s.statementHandler("exec"))
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/info", s.handleInfo)
 	return s, nil
 }
 
@@ -168,6 +205,17 @@ func (s *Server) Drain() error {
 // Draining reports whether drain has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
+// Kill closes the listener and every open connection immediately — no
+// drain, no 503s, in-flight statements see their connections reset.
+// It exists so chaos tests and the cluster bench can model a shard
+// dying abruptly (the kill -9 case) without forking a process.
+func (s *Server) Kill() {
+	s.draining.Store(true)
+	if s.lc != nil {
+		s.lc.kill()
+	}
+}
+
 // sessionKey carries the per-connection *Session in request contexts.
 type sessionKey struct{}
 
@@ -192,6 +240,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"in_flight": s.adm.InFlight(),
 		"queued":    s.adm.Queued(),
 	})
+}
+
+// handleInfo answers GET /v1/info with the node's role and catalog —
+// the shard-role endpoint the coordinator (and operators) use to tell
+// what kind of process answers at an address.
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.backend.Info())
 }
 
 // statementHandler builds the handler shared by /v1/query and
@@ -272,6 +327,14 @@ func (s *Server) statementHandler(route string) http.HandlerFunc {
 			badRequest(http.StatusBadRequest, CodeBadRequest, `"query" must be a non-empty SQL statement`)
 			return
 		}
+		// Version gate: 0 (field omitted, every pre-versioned client)
+		// reads as version 1; anything newer than this build is refused
+		// loudly instead of silently dropping fields it can't know about.
+		if req.V > api.Version {
+			badRequest(http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("wire version %d not supported (this server speaks ≤ %d)", req.V, api.Version))
+			return
+		}
 
 		// SET statements mutate the session and never reach the engine
 		// (or the admission queue — they are free).
@@ -309,9 +372,10 @@ func (s *Server) statementHandler(route string) http.HandlerFunc {
 			fail(queueErr(err))
 			return
 		}
-		res, err := s.engine.Query(ctx, req.Query, core.QueryOptions{
+		res, err := s.backend.Query(ctx, req.Query, core.QueryOptions{
 			MaxParallelism: maxPar,
 			QueueWait:      wait,
+			AllowPartial:   sess.AllowPartial(),
 		})
 		release()
 		if err != nil {
@@ -319,7 +383,7 @@ func (s *Server) statementHandler(route string) http.HandlerFunc {
 			return
 		}
 		rows = len(res.Rows)
-		s.writeResult(w, r, &resultPayload{Columns: res.Columns, Rows: res.Rows}, start, traceID)
+		s.writeResult(w, r, &resultPayload{Columns: res.Columns, Rows: res.Rows, Partial: res.Partial}, start, traceID)
 	}
 }
 
@@ -341,6 +405,7 @@ func queueErr(err error) error {
 type resultPayload struct {
 	Columns []string
 	Rows    [][]any
+	Partial bool
 }
 
 // writeResult encodes a successful result: NDJSON streaming when the
@@ -354,6 +419,7 @@ func (s *Server) writeResult(w http.ResponseWriter, r *http.Request, res *result
 			RowCount:  len(res.Rows),
 			ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 			TraceID:   traceID,
+			Partial:   res.Partial,
 		})
 		return
 	}
@@ -376,6 +442,7 @@ func (s *Server) writeResult(w http.ResponseWriter, r *http.Request, res *result
 		Done:      true,
 		RowCount:  len(res.Rows),
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		Partial:   res.Partial,
 	})
 	if fl != nil {
 		fl.Flush()

@@ -225,7 +225,7 @@ func TestSessionSetOverConnection(t *testing.T) {
 
 func TestQueryStreamNDJSON(t *testing.T) {
 	_, c := startServer(t, testEngine(t, 0), Config{})
-	st, err := c.QueryStream(context.Background(), testQuery(), client.Options{})
+	st, err := c.QueryStream(context.Background(), testQuery())
 	if err != nil {
 		t.Fatal(err)
 	}

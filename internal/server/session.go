@@ -19,10 +19,13 @@ import (
 //
 //	SET statement_timeout = <ms>   (0 disables)
 //	SET max_parallelism  = <n>     (0 = engine default)
+//	SET allow_partial    = on|off  (coordinator only: accept results
+//	                                missing unreachable shards)
 type Session struct {
-	mu      sync.Mutex
-	timeout time.Duration
-	maxPar  int
+	mu           sync.Mutex
+	timeout      time.Duration
+	maxPar       int
+	allowPartial bool
 }
 
 // NewSession builds a session with initial defaults (as set by server
@@ -45,13 +48,27 @@ func (s *Session) MaxParallelism() int {
 	return s.maxPar
 }
 
+// AllowPartial reports whether the session accepts partial
+// (shard-coverage-lost) results from a coordinator. Meaningless on a
+// single-engine server, where results are never partial.
+func (s *Session) AllowPartial() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.allowPartial
+}
+
 // Vars renders the current settings (SHOW SESSION, status responses).
 func (s *Session) Vars() map[string]string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	ap := "off"
+	if s.allowPartial {
+		ap = "on"
+	}
 	return map[string]string{
 		"statement_timeout": strconv.FormatInt(s.timeout.Milliseconds(), 10),
 		"max_parallelism":   strconv.Itoa(s.maxPar),
+		"allow_partial":     ap,
 	}
 }
 
@@ -97,7 +114,24 @@ func (s *Session) HandleSet(stmt string) (handled bool, msg string, err error) {
 			return true, "OK: max_parallelism reset to engine default", nil
 		}
 		return true, fmt.Sprintf("OK: max_parallelism set to %d", n), nil
+	case "allow_partial":
+		var on bool
+		switch strings.ToLower(value) {
+		case "on", "1", "true":
+			on = true
+		case "off", "0", "false":
+			on = false
+		default:
+			return true, "", fmt.Errorf("session: allow_partial wants on or off, got %q", value)
+		}
+		s.mu.Lock()
+		s.allowPartial = on
+		s.mu.Unlock()
+		if on {
+			return true, "OK: partial results allowed (queries survive shard loss)", nil
+		}
+		return true, "OK: partial results disallowed (queries fail closed on shard loss)", nil
 	default:
-		return true, "", fmt.Errorf("session: unknown variable %q (supported: statement_timeout, max_parallelism)", name)
+		return true, "", fmt.Errorf("session: unknown variable %q (supported: statement_timeout, max_parallelism, allow_partial)", name)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	"blendhouse/internal/core"
+	"blendhouse/pkg/api"
 )
 
 // ErrDraining is returned to statements arriving after graceful drain
@@ -12,24 +13,33 @@ import (
 // started — but against a different replica: this one is going away.
 var ErrDraining = errors.New("server: draining, not accepting statements")
 
+// ErrUnavailable is the coordinator's "coverage lost" failure: enough
+// shards are unreachable that the result would silently miss rows, and
+// the session did not opt into partial results (SET allow_partial =
+// on). Defined here (not in internal/coord) so StatusFor can map it
+// without the server importing the coordinator.
+var ErrUnavailable = errors.New("server: shard coverage lost")
+
 // StatusClientClosedRequest is nginx's non-standard 499 ("client
 // closed request"), used when the statement died because the caller's
 // context was canceled — no standard 4xx says that, and 5xx would
 // wrongly blame the server.
 const StatusClientClosedRequest = 499
 
-// Machine-readable error codes carried in ErrorBody.Code. Clients
-// branch on these (or on the HTTP status) instead of parsing messages.
+// Machine-readable error codes carried in ErrorBody.Code. The
+// vocabulary is owned by pkg/api (shared with pkg/client and
+// internal/coord); these aliases keep server-side call sites short.
 const (
-	CodeTimeout      = "TIMEOUT"
-	CodeCanceled     = "CANCELED"
-	CodeUnknownTable = "UNKNOWN_TABLE"
-	CodePlan         = "PLAN"
-	CodeShed         = "SHED"
-	CodeDraining     = "DRAINING"
-	CodeBadRequest   = "BAD_REQUEST"
-	CodeSession      = "SESSION"
-	CodeInternal     = "INTERNAL"
+	CodeTimeout      = api.CodeTimeout
+	CodeCanceled     = api.CodeCanceled
+	CodeUnknownTable = api.CodeUnknownTable
+	CodePlan         = api.CodePlan
+	CodeShed         = api.CodeShed
+	CodeDraining     = api.CodeDraining
+	CodeBadRequest   = api.CodeBadRequest
+	CodeSession      = api.CodeSession
+	CodeInternal     = api.CodeInternal
+	CodeUnavailable  = api.CodeUnavailable
 )
 
 // StatusFor maps an error from the serving path to its HTTP status and
@@ -42,6 +52,7 @@ const (
 //	core.ErrPlan         → 400 PLAN          (parse/plan/validation)
 //	ErrShed              → 429 SHED          (admission queue full/timeout)
 //	ErrDraining          → 503 DRAINING      (graceful shutdown under way)
+//	ErrUnavailable       → 502 UNAVAILABLE   (coordinator lost shard coverage)
 //	anything else        → 500 INTERNAL
 func StatusFor(err error) (status int, code string) {
 	switch {
@@ -57,6 +68,8 @@ func StatusFor(err error) (status int, code string) {
 		return http.StatusTooManyRequests, CodeShed
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable, CodeDraining
+	case errors.Is(err, ErrUnavailable):
+		return http.StatusBadGateway, CodeUnavailable
 	default:
 		return http.StatusInternalServerError, CodeInternal
 	}
@@ -66,5 +79,5 @@ func StatusFor(err error) (status int, code string) {
 // never executed, making a retry safe even for DML. This is the
 // server-side contract pkg/client's retry policy leans on.
 func Retryable(code string) bool {
-	return code == CodeShed || code == CodeDraining
+	return api.Retryable(code)
 }

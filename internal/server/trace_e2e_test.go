@@ -100,7 +100,7 @@ func TestEndToEndTracePropagation(t *testing.T) {
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		res, qerr := c.QueryWith(context.Background(), testQuery(), client.Options{TraceID: wantID})
+		res, qerr := c.Query(context.Background(), testQuery(), client.WithTraceID(wantID))
 		done <- outcome{res, qerr}
 	}()
 	time.Sleep(30 * time.Millisecond)
@@ -212,7 +212,7 @@ func TestEndToEndTracePropagation(t *testing.T) {
 	// 4. A failed statement carries the same correlation: the error body
 	// trace ID surfaces through the client error accessor.
 	const badID = "e2e0-dead-0002"
-	_, qerr := c.QueryWith(context.Background(), "SELECT FROM FROM", client.Options{TraceID: badID})
+	_, qerr := c.Query(context.Background(), "SELECT FROM FROM", client.WithTraceID(badID))
 	if qerr == nil {
 		t.Fatal("bad statement should fail")
 	}

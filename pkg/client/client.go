@@ -15,8 +15,12 @@
 //   - NDJSON streaming (QueryStream) for results too large to
 //     materialize a JSON body for.
 //
-// The package deliberately depends only on the standard library — it
-// mirrors the wire types instead of importing the server.
+// Per-statement tuning uses functional options (options.go):
+// Query(ctx, q, client.WithTimeout(...), client.WithTraceID(...)).
+//
+// The package's dependency closure is deliberately stdlib-only plus
+// pkg/api — the shared wire-DTO package the server consumes too, so
+// the two sides cannot drift.
 package client
 
 import (
@@ -32,9 +36,13 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"blendhouse/pkg/api"
 )
 
-// Options tunes one statement.
+// Options is the resolved form of a statement's Option list. Prefer
+// the functional options (WithTimeout, WithMaxParallelism,
+// WithTraceID); the struct remains for QueryWith-era call sites.
 type Options struct {
 	// Timeout bounds the statement server-side (sent as timeout_ms and
 	// enforced inside the engine, queue wait included). 0 = the
@@ -106,47 +114,27 @@ func New(cfg Config) (*Client, error) {
 	return &Client{cfg: cfg, http: hc, rng: rand.New(rand.NewSource(time.Now().UnixNano()))}, nil
 }
 
-// Result is a materialized remote query result. Numeric values decode
-// as json.Number (not float64), preserving the server's exact wire
-// representation.
-type Result struct {
-	Columns   []string `json:"columns"`
-	Rows      [][]any  `json:"rows"`
-	RowCount  int      `json:"row_count"`
-	ElapsedMS float64  `json:"elapsed_ms"`
-	// TraceID is the trace ID the server answered with (the one sent in
-	// X-BH-Trace-Id, echoed back).
-	TraceID string `json:"trace_id"`
-}
+// Result is a materialized remote query result — the wire
+// api.QueryResponse verbatim. Numeric values decode as json.Number
+// (not float64), preserving the server's exact wire representation.
+// TraceID is the ID the server answered with (the one sent in
+// X-BH-Trace-Id, echoed back); Partial marks a coordinator result
+// assembled from a subset of shards under SET allow_partial = on.
+type Result = api.QueryResponse
 
-// traceIDHeader mirrors server.TraceIDHeader (the package stays
-// stdlib-only and does not import the server).
-const traceIDHeader = "X-BH-Trace-Id"
-
-// wire request/response bodies (mirrors internal/server/protocol.go).
-type queryRequest struct {
-	Query          string `json:"query"`
-	TimeoutMS      int64  `json:"timeout_ms,omitempty"`
-	MaxParallelism int    `json:"max_parallelism,omitempty"`
-}
-
-type wireError struct {
-	Code      string `json:"code"`
-	Message   string `json:"message"`
-	Retryable bool   `json:"retryable"`
-	TraceID   string `json:"trace_id"`
-}
-
-type errorBody struct {
-	Error wireError `json:"error"`
-}
+// traceIDHeader is the shared wire header name.
+const traceIDHeader = api.TraceIDHeader
 
 // Query executes one statement and materializes the result.
-func (c *Client) Query(ctx context.Context, query string) (*Result, error) {
-	return c.QueryWith(ctx, query, Options{})
+func (c *Client) Query(ctx context.Context, query string, opts ...Option) (*Result, error) {
+	return c.roundTrip(ctx, "/v1/query", query, resolve(opts), "")
 }
 
-// QueryWith is Query with per-statement options.
+// QueryWith is Query with a resolved Options struct.
+//
+// Deprecated: use Query with functional options — Query(ctx, q,
+// client.WithTimeout(...), ...). This shim remains so pre-redesign
+// call sites keep compiling.
 func (c *Client) QueryWith(ctx context.Context, query string, opts Options) (*Result, error) {
 	return c.roundTrip(ctx, "/v1/query", query, opts, "")
 }
@@ -155,8 +143,8 @@ func (c *Client) QueryWith(ctx context.Context, query string, opts Options) (*Re
 // OPTIMIZE, SET …) and returns its status result. Exec retries under
 // exactly the same never-executed guarantee as Query, so a retried
 // INSERT cannot double-apply.
-func (c *Client) Exec(ctx context.Context, query string) (*Result, error) {
-	return c.roundTrip(ctx, "/v1/exec", query, Options{}, "")
+func (c *Client) Exec(ctx context.Context, query string, opts ...Option) (*Result, error) {
+	return c.roundTrip(ctx, "/v1/exec", query, resolve(opts), "")
 }
 
 // Set adjusts a session variable (SET <name> = <value>) on the
@@ -202,7 +190,7 @@ func (c *Client) roundTrip(ctx context.Context, route, query string, opts Option
 // retries as one logical query; it is returned alongside the response
 // and attached to every error.
 func (c *Client) doRetry(ctx context.Context, route, query string, opts Options, accept string) (*http.Response, string, error) {
-	req := queryRequest{Query: query, MaxParallelism: opts.MaxParallelism}
+	req := api.QueryRequest{V: api.Version, Query: query, MaxParallelism: opts.MaxParallelism}
 	if opts.Timeout > 0 {
 		req.TimeoutMS = opts.Timeout.Milliseconds()
 	}
@@ -319,12 +307,12 @@ func dialFailure(err error) bool {
 // body, falling back to the response header.
 func decodeAPIError(resp *http.Response) *APIError {
 	defer resp.Body.Close()
-	var eb errorBody
+	var eb api.ErrorBody
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err := json.Unmarshal(data, &eb); err != nil || eb.Error.Code == "" {
 		return &APIError{
 			StatusCode: resp.StatusCode,
-			Code:       "INTERNAL",
+			Code:       api.CodeInternal,
 			Message:    strings.TrimSpace(string(data)),
 			TraceID:    resp.Header.Get(traceIDHeader),
 		}

@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"blendhouse/pkg/api"
 )
 
 // fakeServer answers each request with the next scripted response.
@@ -29,7 +31,7 @@ func fakeServer(t *testing.T, script ...func(w http.ResponseWriter)) (*httptest.
 func shedResponse(w http.ResponseWriter) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusTooManyRequests)
-	json.NewEncoder(w).Encode(errorBody{Error: wireError{
+	json.NewEncoder(w).Encode(api.ErrorBody{Error: api.WireError{
 		Code: "SHED", Message: "queue full", Retryable: true,
 	}})
 }
@@ -106,7 +108,7 @@ func TestNoRetryOnNonRetryable(t *testing.T) {
 			srv, calls := fakeServer(t, func(w http.ResponseWriter) {
 				w.Header().Set("Content-Type", "application/json")
 				w.WriteHeader(tc.status)
-				json.NewEncoder(w).Encode(errorBody{Error: wireError{Code: tc.code, Message: tc.name}})
+				json.NewEncoder(w).Encode(api.ErrorBody{Error: api.WireError{Code: tc.code, Message: tc.name}})
 			})
 			c := newTestClient(t, srv.URL, 4)
 			_, err := c.Exec(context.Background(), "INSERT INTO t VALUES (1)")

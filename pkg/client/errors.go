@@ -3,6 +3,8 @@ package client
 import (
 	"errors"
 	"fmt"
+
+	"blendhouse/pkg/api"
 )
 
 // Client-side error taxonomy, mirroring the engine taxonomy of PR 2
@@ -18,6 +20,8 @@ import (
 //	ErrShed         — 429 SHED: admission queue full; retried
 //	                  automatically, surfaced only once retries exhaust
 //	ErrDraining     — 503 DRAINING: server shutting down; also retried
+//	ErrUnavailable  — 502 UNAVAILABLE: a coordinator lost shard
+//	                  coverage and the session didn't allow partials
 var (
 	ErrTimeout      = errors.New("client: query timed out")
 	ErrCanceled     = errors.New("client: query canceled")
@@ -25,6 +29,7 @@ var (
 	ErrPlan         = errors.New("client: planning failed")
 	ErrShed         = errors.New("client: request shed by admission control")
 	ErrDraining     = errors.New("client: server draining")
+	ErrUnavailable  = errors.New("client: shards unavailable")
 )
 
 // APIError is a structured server error response. Unwrap yields the
@@ -54,18 +59,20 @@ func (e *APIError) Error() string {
 // Unwrap maps the wire code onto the client taxonomy.
 func (e *APIError) Unwrap() error {
 	switch e.Code {
-	case "TIMEOUT":
+	case api.CodeTimeout:
 		return ErrTimeout
-	case "CANCELED":
+	case api.CodeCanceled:
 		return ErrCanceled
-	case "UNKNOWN_TABLE":
+	case api.CodeUnknownTable:
 		return ErrUnknownTable
-	case "PLAN", "BAD_REQUEST", "SESSION":
+	case api.CodePlan, api.CodeBadRequest, api.CodeSession:
 		return ErrPlan
-	case "SHED":
+	case api.CodeShed:
 		return ErrShed
-	case "DRAINING":
+	case api.CodeDraining:
 		return ErrDraining
+	case api.CodeUnavailable:
+		return ErrUnavailable
 	}
 	return nil
 }

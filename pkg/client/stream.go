@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"blendhouse/pkg/api"
 )
 
 // Stream iterates an NDJSON streaming result row by row, so arbitrary
@@ -16,34 +18,21 @@ type Stream struct {
 	dec     *json.Decoder
 	columns []string
 	traceID string
-	trailer *streamTrailer
+	trailer *api.StreamTrailer
 	err     error
-}
-
-// wire stream frames (mirrors internal/server/protocol.go).
-type streamHeader struct {
-	Columns []string `json:"columns"`
-	TraceID string   `json:"trace_id"`
-}
-
-type streamTrailer struct {
-	Done      bool       `json:"done"`
-	RowCount  int        `json:"row_count"`
-	ElapsedMS float64    `json:"elapsed_ms"`
-	Error     *wireError `json:"error,omitempty"`
 }
 
 // QueryStream executes one statement with a streaming NDJSON
 // response. Retry semantics match Query (sheds are retried before the
 // stream opens; once rows flow, failures surface on Next).
-func (c *Client) QueryStream(ctx context.Context, query string, opts Options) (*Stream, error) {
-	resp, traceID, err := c.doRetry(ctx, "/v1/query", query, opts, "application/x-ndjson")
+func (c *Client) QueryStream(ctx context.Context, query string, opts ...Option) (*Stream, error) {
+	resp, traceID, err := c.doRetry(ctx, "/v1/query", query, resolve(opts), api.NDJSONContentType)
 	if err != nil {
 		return nil, err
 	}
 	dec := json.NewDecoder(resp.Body)
 	dec.UseNumber()
-	var hdr streamHeader
+	var hdr api.StreamHeader
 	if err := dec.Decode(&hdr); err != nil {
 		resp.Body.Close()
 		return nil, withTraceID(fmt.Errorf("client: decoding stream header: %w", err), traceID)
@@ -83,7 +72,7 @@ func (s *Stream) Next() ([]any, error) {
 		}
 		return row, nil
 	}
-	var tr streamTrailer
+	var tr api.StreamTrailer
 	if err := unmarshalUseNumber(raw, &tr); err != nil {
 		s.err = fmt.Errorf("client: decoding trailer: %w", err)
 		return nil, s.err
@@ -108,6 +97,13 @@ func (s *Stream) RowCount() int {
 		return -1
 	}
 	return s.trailer.RowCount
+}
+
+// Partial reports whether a drained coordinator stream was assembled
+// from a subset of shards (see api.QueryResponse.Partial). Only
+// meaningful after Next returned io.EOF.
+func (s *Stream) Partial() bool {
+	return s.trailer != nil && s.trailer.Partial
 }
 
 // Close releases the connection. Safe after any Next outcome.

@@ -8,6 +8,8 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+
+	"blendhouse/pkg/api"
 )
 
 // traceRecorder wraps a scripted server and records the X-BH-Trace-Id
@@ -68,7 +70,7 @@ func TestTraceIDStableAcrossRetries(t *testing.T) {
 func TestTraceIDCallerSupplied(t *testing.T) {
 	srv, headers := traceRecorder(t, okResponse)
 	c := newTestClient(t, srv.URL, 0)
-	res, err := c.QueryWith(context.Background(), "SELECT 1", Options{TraceID: "my-trace-0001"})
+	res, err := c.Query(context.Background(), "SELECT 1", WithTraceID("my-trace-0001"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +100,7 @@ func TestTraceIDOnErrors(t *testing.T) {
 		srv, _ := traceRecorder(t, func(w http.ResponseWriter) {
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusBadRequest)
-			json.NewEncoder(w).Encode(errorBody{Error: wireError{
+			json.NewEncoder(w).Encode(api.ErrorBody{Error: api.WireError{
 				Code: "PLAN", Message: "nope", TraceID: "server-echoed-id",
 			}})
 		})
@@ -144,7 +146,7 @@ func TestStreamTraceID(t *testing.T) {
 		enc.Encode(map[string]any{"done": true, "row_count": 1})
 	})
 	c := newTestClient(t, srv.URL, 0)
-	st, err := c.QueryStream(context.Background(), "SELECT 1", Options{})
+	st, err := c.QueryStream(context.Background(), "SELECT 1")
 	if err != nil {
 		t.Fatal(err)
 	}
