@@ -56,6 +56,14 @@ func main() {
 		runCoordinate(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "backup" {
+		runBackup(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "restore" {
+		runRestore(os.Args[2:])
+		return
+	}
 	var (
 		dataDir     = flag.String("data", "./bhdata", "blob store directory")
 		oneShot     = flag.String("e", "", "execute one statement and exit")
@@ -74,6 +82,7 @@ func main() {
 		traceSample = flag.Int("trace-sample", 1, "record a span tree for 1-in-N statements into the trace ring (SHOW TRACES, /debug/traces; 0 = off)")
 		slowQuery   = flag.Duration("slow-query", 0, "log statements slower than this at WARN with their trace ID (0 = off)")
 	)
+	sf := registerStoreFlags(flag.CommandLine)
 	flag.Parse()
 	configureLogging(*logLevel, *logFormat)
 
@@ -89,7 +98,7 @@ func main() {
 		defer debug.Drain(time.Second)
 	}
 
-	engine, err := openEngine(*dataDir, *maxPar, walConfig(*useWAL, *flushRows, *flushMS), retryConfig(*retries, *backoff), *chaos, *traceSample, *slowQuery)
+	engine, err := openEngine(*dataDir, *maxPar, walConfig(*useWAL, *flushRows, *flushMS), retryConfig(*retries, *backoff), *chaos, *traceSample, *slowQuery, sf)
 	if err != nil {
 		fatal(err)
 	}
@@ -119,9 +128,10 @@ func main() {
 
 // openEngine builds the standard shell/server engine over a
 // filesystem store, with the storage fault-tolerance layer (and
-// optionally chaos injection) between the engine and the disk.
-func openEngine(dataDir string, maxPar int, wal *lsm.WALConfig, retry *storage.RetryConfig, chaos bool, traceSample int, slowQuery time.Duration) (*core.Engine, error) {
-	store, err := storage.NewFSStore(dataDir)
+// optionally chaos injection) between the engine and the disk, and —
+// when the tier flags are set — the tiered blob cache outermost.
+func openEngine(dataDir string, maxPar int, wal *lsm.WALConfig, retry *storage.RetryConfig, chaos bool, traceSample int, slowQuery time.Duration, sf *storeFlags) (*core.Engine, error) {
+	store, err := sf.openDataStore(dataDir)
 	if err != nil {
 		return nil, err
 	}
@@ -137,6 +147,8 @@ func openEngine(dataDir string, maxPar int, wal *lsm.WALConfig, retry *storage.R
 		Chaos:            chaos,
 		TraceSample:      traceSample,
 		SlowQuery:        slowQuery,
+		Tier:             sf.tierConfig(dataDir),
+		Backup:           core.BackupConfig{Key: sf.backupKey},
 	})
 }
 
@@ -205,10 +217,11 @@ func runServe(args []string) {
 		traceSample  = fs.Int("trace-sample", 1, "record a span tree for 1-in-N statements into the trace ring (SHOW TRACES, /debug/traces; 0 = off)")
 		slowQuery    = fs.Duration("slow-query", 0, "log statements slower than this at WARN with their trace ID (0 = off)")
 	)
+	sf := registerStoreFlags(fs)
 	fs.Parse(args)
 	configureLogging(*logLevel, *logFormat)
 
-	engine, err := openEngine(*dataDir, *maxPar, walConfig(*useWAL, *flushRows, *flushMS), retryConfig(*retries, *backoff), *chaos, *traceSample, *slowQuery)
+	engine, err := openEngine(*dataDir, *maxPar, walConfig(*useWAL, *flushRows, *flushMS), retryConfig(*retries, *backoff), *chaos, *traceSample, *slowQuery, sf)
 	if err != nil {
 		fatal(err)
 	}

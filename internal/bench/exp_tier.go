@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+
+	"blendhouse/internal/baseline/bh"
+	"blendhouse/internal/blobtier"
+	"blendhouse/internal/index"
+	"blendhouse/internal/storage"
+)
+
+func init() {
+	register("tier", "Tiered blob cache: remote reads and QPS with cold compute nodes, direct vs cached store (PR 8)", runTier)
+}
+
+// runTier measures what the storage-proxy cache tier buys a compute
+// node whose local index caches keep getting dropped (the cold-start /
+// rescheduled-pod regime): every query reloads its segment and index
+// blobs through the store, either straight from latency-modeled remote
+// storage or through a TieredStore in front of it. The remote
+// operation counters (storage.RemoteStore) give the exact remote-read
+// collapse; the tier's own counters are reported alongside.
+func runTier(cfg Config) (*Report, error) {
+	cfg = cfg.WithDefaults()
+	ds := cohereLike(cfg)
+	n := ds.Vectors.Rows()
+	rep := &Report{
+		ID:      "tier",
+		Title:   "Remote reads per query pass: direct remote store vs tiered blob cache",
+		Headers: []string{"store", "pass", "remote_gets", "remote_mb_read", "QPS", "mean_ms"},
+	}
+	params := index.SearchParams{Ef: 64}
+
+	type passStats struct {
+		gets int64
+		qps  float64
+	}
+	warm := map[string]passStats{}
+	for _, mode := range []string{"remote-direct", "tiered"} {
+		remote := remoteStore() // 1ms RTT, 1GB/s — same-region object storage
+		var st storage.BlobStore = remote
+		var tier *blobtier.TieredStore
+		if mode == "tiered" {
+			var err error
+			tier, err = blobtier.NewTiered(remote, blobtier.Config{MemBytes: 256 << 20})
+			if err != nil {
+				return nil, err
+			}
+			st = tier
+		}
+		s := bh.New(bh.Config{
+			TableName: "bench", SegmentRows: n/4 + 1,
+			Seed: cfg.Seed, M: 12, EfConstr: 120,
+		}, st)
+		if err := s.Load(ds.Vectors.Data, ds.Spec.Dim, seqAttrs(n)); err != nil {
+			return nil, err
+		}
+		for _, pass := range []string{"cold", "warm"} {
+			before := remote.Snapshot()
+			t, err := MeasureSerial(ds.Queries.Rows(), func(qi int) error {
+				// Cold compute node: local (executor-side) index caches are
+				// gone; every query re-reads its blobs through the store.
+				s.Executor().InvalidateLocalIndexes()
+				_, err := s.Search(ds.Queries.Row(qi), 10, 0, int64(n)-1, params)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			after := remote.Snapshot()
+			gets := after.Gets - before.Gets
+			mb := float64(after.BytesRead-before.BytesRead) / (1 << 20)
+			rep.AddRow(mode, pass, fmt.Sprint(gets), fmt.Sprintf("%.1f", mb),
+				fmtQPS(t.QPS), fmt.Sprintf("%.2f", float64(t.Mean.Microseconds())/1000))
+			if pass == "warm" {
+				warm[mode] = passStats{gets: gets, qps: t.QPS}
+			}
+		}
+		if tier != nil {
+			ts := tier.TierStats()
+			rep.Note("tier stats (bh.storage.tier.*): mem_entries=%d mem_bytes=%d mem_hits=%d mem_misses=%d",
+				ts.MemEntries, ts.MemBytes, ts.MemHits, ts.MemMisses)
+		}
+	}
+	rep.Note("%d rows dim=%d, %d queries per pass, 4 segments, HNSW M=12; write-through puts pre-warm the tier, so even its first pass reads locally",
+		n, ds.Spec.Dim, ds.Queries.Rows())
+	d, ti := warm["remote-direct"], warm["tiered"]
+	rep.Note("shape check: tiered warm pass does <10%% of the direct remote reads (%d vs %d) — %v",
+		ti.gets, d.gets, ti.gets*10 < d.gets)
+	rep.Note("shape check: tiered warm QPS > direct warm QPS (%.1f vs %.1f) — %v", ti.qps, d.qps, ti.qps > d.qps)
+	if ti.gets*10 >= d.gets {
+		return nil, fmt.Errorf("tier: remote reads did not collapse (tiered %d vs direct %d)", ti.gets, d.gets)
+	}
+	return rep, nil
+}

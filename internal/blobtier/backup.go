@@ -1,0 +1,309 @@
+package blobtier
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"blendhouse/internal/obs"
+	"blendhouse/internal/storage"
+	"blendhouse/internal/wal"
+)
+
+var (
+	mBackupRuns    = obs.Default().Counter("bh.backup.runs")
+	mBackupBlobs   = obs.Default().Counter("bh.backup.blobs")
+	mBackupBytes   = obs.Default().Counter("bh.backup.bytes")
+	mBackupRetries = obs.Default().Counter("bh.backup.snapshot_retries")
+	mRestoreRuns   = obs.Default().Counter("bh.restore.runs")
+)
+
+var backupLog = obs.Logger("backup")
+
+// Typed backup/restore failures (user-addressable: wrong path, wrong
+// table, torn destination).
+var (
+	// ErrNoBackup: the source has no complete backup for the table —
+	// either nothing was ever written there or a backup was torn before
+	// its marker landed.
+	ErrNoBackup = errors.New("blobtier: no complete backup found")
+	// ErrCorruptBackup: a blob listed in the backup manifest is missing
+	// or fails its checksum.
+	ErrCorruptBackup = errors.New("blobtier: backup corrupt")
+	// ErrRestoreExists: the restore target already holds blobs for the
+	// table; restore refuses to merge into live state.
+	ErrRestoreExists = errors.New("blobtier: restore target table already exists")
+)
+
+// errSnapshotRaced is internal: a blob named by the manifest vanished
+// mid-copy (compaction retired it). The whole snapshot is retried from
+// a fresh manifest read.
+var errSnapshotRaced = errors.New("blobtier: snapshot raced a compaction")
+
+// snapshotAttempts bounds manifest-race retries. Each retry restarts
+// from a fresh manifest, so only back-to-back compactions extend it.
+const snapshotAttempts = 5
+
+// TruncatePinner is implemented by live table handles (lsm.Table) that
+// can suspend WAL truncation for the duration of a snapshot. A nil
+// pinner means the table is offline (no flusher running), where the
+// WAL cannot be truncated out from under the copy anyway.
+type TruncatePinner interface {
+	// PinWALTruncate suspends WAL truncation; the returned func
+	// releases the pin (idempotent).
+	PinWALTruncate() func()
+}
+
+// BackupBlob is one copied blob with its integrity checksum.
+type BackupBlob struct {
+	Key    string `json:"key"`
+	Size   int64  `json:"size"`
+	SHA256 string `json:"sha256"`
+}
+
+// BackupManifest is the backup marker blob: it is written LAST, after
+// every data blob landed, so its presence certifies a complete backup
+// (a torn backup has no marker and restore refuses it). It lists every
+// blob with a checksum for verification on restore.
+type BackupManifest struct {
+	Version int    `json:"version"`
+	Table   string `json:"table"`
+	// SnapshotLSN is the source manifest's flushed watermark at
+	// snapshot time: every WAL record above it rides along in the
+	// copied tail and is replayed on restore (point-in-time recovery).
+	SnapshotLSN int64        `json:"snapshot_lsn"`
+	Blobs       []BackupBlob `json:"blobs"`
+	Bytes       int64        `json:"bytes"`
+	CreatedUnix int64        `json:"created_unix"`
+}
+
+// MarkerKey is where a table's backup marker lives in the destination
+// store.
+func MarkerKey(table string) string { return "backup/" + table + "/manifest.json" }
+
+// tableManifestKey mirrors the LSM catalog location (lsm keeps its
+// manifestKey unexported; the layout is part of the blob-key contract
+// alongside storage.SegmentsPrefix and wal.Prefix).
+func tableManifestKey(table string) string { return "tables/" + table + "/manifest.json" }
+
+// srcManifest is the subset of the LSM manifest the backup needs: the
+// live segment list and the flushed-LSN watermark.
+type srcManifest struct {
+	Segments   []string `json:"segments"`
+	FlushedLSN int64    `json:"flushed_lsn"`
+}
+
+// BackupTable snapshots one table — manifest, every live segment's
+// blobs, and the WAL tail — from src into dst, consistent at the
+// manifest's flushed watermark even under live writes:
+//
+//   - pin (when the table is live) suspends WAL truncation, so every
+//     record past the watermark survives until it is copied;
+//   - a segment blob that vanishes mid-copy means a compaction retired
+//     it after our manifest read — the snapshot restarts from a fresh
+//     manifest rather than mixing two generations;
+//   - the marker blob is written last; until it lands the destination
+//     holds no restorable backup (absent-or-complete, never torn).
+//
+// Writes racing the snapshot (rows acked after the manifest read) are
+// included when their WAL blobs are listed, and replayed on restore;
+// the guarantee is a consistent point at or after the watermark.
+func BackupTable(ctx context.Context, src storage.BlobStore, table string, pin TruncatePinner, dst storage.BlobStore) (*BackupManifest, error) {
+	if pin != nil {
+		unpin := pin.PinWALTruncate()
+		defer unpin()
+	}
+	var lastErr error
+	for attempt := 1; attempt <= snapshotAttempts; attempt++ {
+		bm, err := tryBackup(ctx, src, table, dst)
+		if err == nil {
+			mBackupRuns.Inc()
+			mBackupBlobs.Add(int64(len(bm.Blobs)))
+			mBackupBytes.Add(bm.Bytes)
+			backupLog.Info("backup complete", "table", table,
+				"blobs", len(bm.Blobs), "bytes", bm.Bytes, "snapshot_lsn", bm.SnapshotLSN)
+			return bm, nil
+		}
+		if !errors.Is(err, errSnapshotRaced) {
+			return nil, err
+		}
+		mBackupRetries.Inc()
+		backupLog.Warn("backup snapshot raced a compaction, retrying",
+			"table", table, "attempt", attempt)
+		lastErr = err
+	}
+	return nil, fmt.Errorf("%w after %d attempts", lastErr, snapshotAttempts)
+}
+
+// tryBackup performs one snapshot attempt against a single manifest
+// read.
+func tryBackup(ctx context.Context, src storage.BlobStore, table string, dst storage.BlobStore) (*BackupManifest, error) {
+	manifestBlob, err := storage.GetCtx(ctx, src, tableManifestKey(table))
+	if err != nil {
+		if storage.IsNotFound(err) {
+			return nil, fmt.Errorf("blobtier: table %q has no manifest (does it exist?)", table)
+		}
+		return nil, err
+	}
+	var m srcManifest
+	if err := json.Unmarshal(manifestBlob, &m); err != nil {
+		return nil, fmt.Errorf("blobtier: parsing manifest of %q: %w", table, err)
+	}
+
+	bm := &BackupManifest{
+		Version:     1,
+		Table:       table,
+		SnapshotLSN: m.FlushedLSN,
+		CreatedUnix: time.Now().Unix(),
+	}
+	copyBlob := func(key string, data []byte) error {
+		if err := dst.Put(key, data); err != nil {
+			return err
+		}
+		sum := sha256.Sum256(data)
+		bm.Blobs = append(bm.Blobs, BackupBlob{
+			Key: key, Size: int64(len(data)), SHA256: hex.EncodeToString(sum[:]),
+		})
+		bm.Bytes += int64(len(data))
+		return nil
+	}
+
+	// Segments named by the manifest. Listing then fetching leaves a
+	// window where compaction deletes a blob; both an empty listing for
+	// a manifest-live segment and a not-found on fetch restart the
+	// snapshot.
+	for _, seg := range m.Segments {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		prefix := storage.SegmentsPrefix(table) + seg + "/"
+		keys, err := src.List(prefix)
+		if err != nil {
+			return nil, err
+		}
+		if len(keys) == 0 {
+			return nil, errSnapshotRaced
+		}
+		for _, k := range keys {
+			data, err := storage.GetCtx(ctx, src, k)
+			if storage.IsNotFound(err) {
+				return nil, errSnapshotRaced
+			}
+			if err != nil {
+				return nil, err
+			}
+			if err := copyBlob(k, data); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// The WAL tail. Truncation is pinned for live tables; a blob that
+	// vanishes anyway provably held only records <= an already-durable
+	// watermark (flushOnce persists the manifest before truncating), so
+	// a vanished fully-below-watermark blob is safely skipped.
+	walKeys, err := src.List(wal.Prefix(table))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(walKeys)
+	for _, k := range walKeys {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		data, err := storage.GetCtx(ctx, src, k)
+		if storage.IsNotFound(err) {
+			if _, last, ok := wal.ParseBlobLSNs(k); ok && last <= m.FlushedLSN {
+				continue
+			}
+			return nil, errSnapshotRaced
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := copyBlob(k, data); err != nil {
+			return nil, err
+		}
+	}
+
+	// Catalog blob second to last, marker strictly last.
+	if err := copyBlob(tableManifestKey(table), manifestBlob); err != nil {
+		return nil, err
+	}
+	markerBlob, err := json.Marshal(bm)
+	if err != nil {
+		return nil, err
+	}
+	if err := dst.Put(MarkerKey(table), markerBlob); err != nil {
+		return nil, err
+	}
+	return bm, nil
+}
+
+// RestoreTable copies a backup's blobs from backup into dst at their
+// original keys, verifying every checksum. It refuses a destination
+// that already holds the table and a source without a complete marker
+// (torn backups are invisible). The caller opens the table afterwards
+// (lsm.Open), which replays the copied WAL tail past SnapshotLSN —
+// the point-in-time recovery step.
+func RestoreTable(ctx context.Context, backup storage.BlobStore, table string, dst storage.BlobStore) (*BackupManifest, error) {
+	markerBlob, err := storage.GetCtx(ctx, backup, MarkerKey(table))
+	if err != nil {
+		if storage.IsNotFound(err) {
+			return nil, fmt.Errorf("%w for table %q", ErrNoBackup, table)
+		}
+		return nil, err
+	}
+	var bm BackupManifest
+	if err := json.Unmarshal(markerBlob, &bm); err != nil {
+		return nil, fmt.Errorf("%w: unreadable marker: %v", ErrCorruptBackup, err)
+	}
+	if bm.Table != table {
+		return nil, fmt.Errorf("%w: marker names table %q", ErrCorruptBackup, bm.Table)
+	}
+	existing, err := dst.List("tables/" + table + "/")
+	if err != nil {
+		return nil, err
+	}
+	if len(existing) > 0 {
+		return nil, fmt.Errorf("%w: %q has %d blobs", ErrRestoreExists, table, len(existing))
+	}
+
+	// Catalog blob last among the copies: a torn restore leaves no
+	// manifest, so the half-written namespace is never opened as a
+	// table.
+	blobs := append([]BackupBlob(nil), bm.Blobs...)
+	sort.SliceStable(blobs, func(i, j int) bool {
+		return !strings.HasSuffix(blobs[i].Key, "/manifest.json") &&
+			strings.HasSuffix(blobs[j].Key, "/manifest.json")
+	})
+	for _, b := range blobs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		data, err := storage.GetCtx(ctx, backup, b.Key)
+		if storage.IsNotFound(err) {
+			return nil, fmt.Errorf("%w: blob %q missing", ErrCorruptBackup, b.Key)
+		}
+		if err != nil {
+			return nil, err
+		}
+		sum := sha256.Sum256(data)
+		if int64(len(data)) != b.Size || hex.EncodeToString(sum[:]) != b.SHA256 {
+			return nil, fmt.Errorf("%w: blob %q fails verification", ErrCorruptBackup, b.Key)
+		}
+		if err := dst.Put(b.Key, data); err != nil {
+			return nil, err
+		}
+	}
+	mRestoreRuns.Inc()
+	backupLog.Info("restore complete", "table", table,
+		"blobs", len(bm.Blobs), "bytes", bm.Bytes, "snapshot_lsn", bm.SnapshotLSN)
+	return &bm, nil
+}

@@ -1,0 +1,354 @@
+package blobtier
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"blendhouse/internal/storage"
+	"blendhouse/internal/wal"
+)
+
+// fakeTable lays out a synthetic table in store at the real blob-key
+// layout: n segments of two blobs each, one WAL tail blob spanning
+// (flushedLSN, flushedLSN+walRecords], and the manifest.
+func fakeTable(t *testing.T, store storage.BlobStore, table string, nSegs, walRecords int, flushedLSN int64) {
+	t.Helper()
+	m := srcManifest{FlushedLSN: flushedLSN}
+	for i := 0; i < nSegs; i++ {
+		seg := fmt.Sprintf("seg%03d", i)
+		m.Segments = append(m.Segments, seg)
+		prefix := storage.SegmentsPrefix(table) + seg + "/"
+		for _, blob := range []string{"columns.bin", "index.hnsw"} {
+			if err := store.Put(prefix+blob, []byte(seg+"/"+blob+" payload")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if walRecords > 0 {
+		key := fmt.Sprintf("%s%016x-%016x.log", wal.Prefix(table), flushedLSN+1, flushedLSN+int64(walRecords))
+		if err := store.Put(key, []byte("wal tail payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(tableManifestKey(table), blob); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// snapshotKeys captures every table blob for byte-identity comparison.
+func snapshotKeys(t *testing.T, store storage.BlobStore, table string) map[string][]byte {
+	t.Helper()
+	keys, err := store.List("tables/" + table + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string][]byte{}
+	for _, k := range keys {
+		data, err := store.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[k] = data
+	}
+	return out
+}
+
+func sameBlobSets(t *testing.T, want, got map[string][]byte, what string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d blobs, want %d", what, len(got), len(want))
+	}
+	for k, v := range want {
+		if !bytes.Equal(got[k], v) {
+			t.Fatalf("%s: blob %q differs", what, k)
+		}
+	}
+}
+
+func TestBackupRestoreRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	src := storage.NewMemStore()
+	fakeTable(t, src, "tt", 3, 5, 40)
+
+	dst := storage.NewMemStore()
+	bm, err := BackupTable(ctx, src, "tt", nil, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.SnapshotLSN != 40 {
+		t.Fatalf("SnapshotLSN = %d, want 40", bm.SnapshotLSN)
+	}
+	// 3 segments * 2 blobs + 1 WAL blob + manifest.
+	if len(bm.Blobs) != 8 {
+		t.Fatalf("backup holds %d blobs, want 8", len(bm.Blobs))
+	}
+
+	out := storage.NewMemStore()
+	rm, err := RestoreTable(ctx, dst, "tt", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.SnapshotLSN != bm.SnapshotLSN || len(rm.Blobs) != len(bm.Blobs) {
+		t.Fatalf("restored manifest mismatch: %+v vs %+v", rm, bm)
+	}
+	sameBlobSets(t, snapshotKeys(t, src, "tt"), snapshotKeys(t, out, "tt"), "restored table")
+}
+
+func TestRestoreRequiresMarker(t *testing.T) {
+	ctx := context.Background()
+	out := storage.NewMemStore()
+	// Empty source: nothing to restore.
+	if _, err := RestoreTable(ctx, storage.NewMemStore(), "tt", out); !errors.Is(err, ErrNoBackup) {
+		t.Fatalf("empty source: err = %v, want ErrNoBackup", err)
+	}
+	// Torn backup: every data blob present but the marker missing —
+	// invisible to restore by design.
+	src := storage.NewMemStore()
+	fakeTable(t, src, "tt", 2, 0, 10)
+	dst := storage.NewMemStore()
+	if _, err := BackupTable(ctx, src, "tt", nil, dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Delete(MarkerKey("tt")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreTable(ctx, dst, "tt", out); !errors.Is(err, ErrNoBackup) {
+		t.Fatalf("markerless backup: err = %v, want ErrNoBackup", err)
+	}
+}
+
+func TestRestoreDetectsCorruption(t *testing.T) {
+	ctx := context.Background()
+	src := storage.NewMemStore()
+	fakeTable(t, src, "tt", 2, 3, 10)
+	dst := storage.NewMemStore()
+	if _, err := BackupTable(ctx, src, "tt", nil, dst); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in one backed-up segment blob.
+	key := storage.SegmentsPrefix("tt") + "seg000/columns.bin"
+	blob, err := dst.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[0] ^= 0xff
+	if err := dst.Put(key, blob); err != nil {
+		t.Fatal(err)
+	}
+	out := storage.NewMemStore()
+	if _, err := RestoreTable(ctx, dst, "tt", out); !errors.Is(err, ErrCorruptBackup) {
+		t.Fatalf("corrupt blob: err = %v, want ErrCorruptBackup", err)
+	}
+	// The table manifest is copied last, so the aborted restore left no
+	// openable table behind.
+	if _, err := out.Get(tableManifestKey("tt")); !storage.IsNotFound(err) {
+		t.Fatalf("aborted restore left a table manifest (err=%v)", err)
+	}
+}
+
+func TestRestoreRefusesExistingTable(t *testing.T) {
+	ctx := context.Background()
+	src := storage.NewMemStore()
+	fakeTable(t, src, "tt", 1, 0, 5)
+	dst := storage.NewMemStore()
+	if _, err := BackupTable(ctx, src, "tt", nil, dst); err != nil {
+		t.Fatal(err)
+	}
+	out := storage.NewMemStore()
+	fakeTable(t, out, "tt", 1, 0, 5) // target already live
+	if _, err := RestoreTable(ctx, dst, "tt", out); !errors.Is(err, ErrRestoreExists) {
+		t.Fatalf("existing target: err = %v, want ErrRestoreExists", err)
+	}
+}
+
+func TestBackupEncryptedDestination(t *testing.T) {
+	ctx := context.Background()
+	src := storage.NewMemStore()
+	fakeTable(t, src, "tt", 2, 4, 20)
+
+	raw := storage.NewMemStore()
+	dst, err := NewEncrypting(raw, KeyFromString("backup secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BackupTable(ctx, src, "tt", nil, dst); err != nil {
+		t.Fatal(err)
+	}
+	// The raw destination holds only ciphertext.
+	segBlob, err := raw.Get(storage.SegmentsPrefix("tt") + "seg000/columns.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(segBlob, []byte("payload")) {
+		t.Fatal("plaintext visible in encrypted backup destination")
+	}
+	// Right key restores byte-identically.
+	out := storage.NewMemStore()
+	if _, err := RestoreTable(ctx, dst, "tt", out); err != nil {
+		t.Fatal(err)
+	}
+	sameBlobSets(t, snapshotKeys(t, src, "tt"), snapshotKeys(t, out, "tt"), "encrypted round trip")
+	// Wrong key cannot even read the marker.
+	wrong, err := NewEncrypting(raw, KeyFromString("not the secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreTable(ctx, wrong, "tt", storage.NewMemStore()); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("wrong key: err = %v, want ErrDecrypt", err)
+	}
+}
+
+// TestBackupFaultLeavesNoTornBackup (chaos satellite): a destination
+// that dies mid-backup yields a failed backup, an untouched source,
+// and a destination with no marker — absent-or-complete, never torn.
+func TestBackupFaultLeavesNoTornBackup(t *testing.T) {
+	ctx := context.Background()
+	src := storage.NewMemStore()
+	fakeTable(t, src, "tt", 3, 5, 30)
+	before := snapshotKeys(t, src, "tt")
+
+	inner := storage.NewMemStore()
+	dst := storage.NewFaultStore(inner, storage.FaultConfig{
+		Seed: 42,
+		Rules: []storage.FaultRule{
+			{Op: storage.FaultOpPut, FailAfter: 3, Permanent: true},
+		},
+	})
+	if _, err := BackupTable(ctx, src, "tt", nil, dst); err == nil {
+		t.Fatal("backup against a failing destination succeeded")
+	}
+	if _, err := inner.Get(MarkerKey("tt")); !storage.IsNotFound(err) {
+		t.Fatalf("failed backup left a marker (err=%v)", err)
+	}
+	if _, err := RestoreTable(ctx, inner, "tt", storage.NewMemStore()); !errors.Is(err, ErrNoBackup) {
+		t.Fatalf("torn destination restorable: err = %v, want ErrNoBackup", err)
+	}
+	sameBlobSets(t, before, snapshotKeys(t, src, "tt"), "source after failed backup")
+}
+
+// compactingStore simulates a compaction racing the snapshot: the
+// first Get of the victim segment blob retires the whole segment
+// (blobs gone, manifest rewritten without it) and reports not-found,
+// forcing BackupTable to restart from the fresh manifest.
+type compactingStore struct {
+	storage.BlobStore
+	t      *testing.T
+	victim string // segment name to retire
+	fired  bool
+}
+
+func (s *compactingStore) Get(key string) ([]byte, error) {
+	if !s.fired && containsSub(key, "/"+s.victim+"/") {
+		s.fired = true
+		keys, err := s.BlobStore.List(storage.SegmentsPrefix("tt") + s.victim + "/")
+		if err != nil {
+			s.t.Fatal(err)
+		}
+		for _, k := range keys {
+			if err := s.BlobStore.Delete(k); err != nil {
+				s.t.Fatal(err)
+			}
+		}
+		blob, err := s.BlobStore.Get(tableManifestKey("tt"))
+		if err != nil {
+			s.t.Fatal(err)
+		}
+		var m srcManifest
+		if err := json.Unmarshal(blob, &m); err != nil {
+			s.t.Fatal(err)
+		}
+		var kept []string
+		for _, seg := range m.Segments {
+			if seg != s.victim {
+				kept = append(kept, seg)
+			}
+		}
+		m.Segments = kept
+		nb, _ := json.Marshal(m)
+		if err := s.BlobStore.Put(tableManifestKey("tt"), nb); err != nil {
+			s.t.Fatal(err)
+		}
+		return nil, &storage.ErrNotFound{Key: key}
+	}
+	return s.BlobStore.Get(key)
+}
+
+func TestBackupRetriesWhenCompactionRaces(t *testing.T) {
+	ctx := context.Background()
+	inner := storage.NewMemStore()
+	fakeTable(t, inner, "tt", 3, 0, 15)
+	src := &compactingStore{BlobStore: inner, t: t, victim: "seg001"}
+
+	dst := storage.NewMemStore()
+	bm, err := BackupTable(ctx, src, "tt", nil, dst)
+	if err != nil {
+		t.Fatalf("backup did not survive a racing compaction: %v", err)
+	}
+	for _, b := range bm.Blobs {
+		if containsSub(b.Key, "/seg001/") {
+			t.Fatalf("retried backup still references the retired segment: %q", b.Key)
+		}
+	}
+	// The retried backup restores cleanly against the compacted source.
+	out := storage.NewMemStore()
+	if _, err := RestoreTable(ctx, dst, "tt", out); err != nil {
+		t.Fatal(err)
+	}
+	sameBlobSets(t, snapshotKeys(t, inner, "tt"), snapshotKeys(t, out, "tt"), "post-compaction restore")
+}
+
+// phantomListStore lists one WAL blob that no longer exists — the
+// shape of a truncation that ran between List and Get. Below the
+// flushed watermark that is provably safe to skip.
+type phantomListStore struct {
+	storage.BlobStore
+	phantom string
+}
+
+func (s *phantomListStore) List(prefix string) ([]string, error) {
+	keys, err := s.BlobStore.List(prefix)
+	if err != nil {
+		return nil, err
+	}
+	if containsSub(s.phantom, prefix) {
+		keys = append([]string{s.phantom}, keys...)
+	}
+	return keys, nil
+}
+
+func TestBackupSkipsVanishedWALBelowWatermark(t *testing.T) {
+	ctx := context.Background()
+	inner := storage.NewMemStore()
+	fakeTable(t, inner, "tt", 1, 5, 20) // real tail: LSNs 21-25
+	phantom := fmt.Sprintf("%s%016x-%016x.log", wal.Prefix("tt"), int64(1), int64(10))
+	src := &phantomListStore{BlobStore: inner, phantom: phantom}
+
+	dst := storage.NewMemStore()
+	bm, err := BackupTable(ctx, src, "tt", nil, dst)
+	if err != nil {
+		t.Fatalf("vanished below-watermark WAL blob failed the backup: %v", err)
+	}
+	for _, b := range bm.Blobs {
+		if b.Key == phantom {
+			t.Fatal("phantom WAL blob recorded in the backup manifest")
+		}
+	}
+	// The real tail blob above the watermark must still be there.
+	found := false
+	for _, b := range bm.Blobs {
+		if containsSub(b.Key, "/wal/") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("real WAL tail missing from the backup")
+	}
+}

@@ -1,0 +1,177 @@
+package blobtier
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"blendhouse/internal/storage"
+)
+
+func newEncrypted(t *testing.T, secret string) (*EncryptingStore, *storage.MemStore) {
+	t.Helper()
+	backing := storage.NewMemStore()
+	es, err := NewEncrypting(backing, KeyFromString(secret))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return es, backing
+}
+
+func TestEncryptRoundTrip(t *testing.T) {
+	es, backing := newEncrypted(t, "correct horse battery staple")
+	plain := []byte("the quick brown fox")
+	if err := es.Put("k", plain); err != nil {
+		t.Fatal(err)
+	}
+	got, err := es.Get("k")
+	if err != nil || !bytes.Equal(got, plain) {
+		t.Fatalf("round trip = %q, %v", got, err)
+	}
+	// The backing holds ciphertext: longer by the fixed overhead and
+	// nowhere containing the plaintext.
+	ct, err := backing.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ct) != len(plain)+encOverhead {
+		t.Fatalf("ciphertext length = %d, want %d", len(ct), len(plain)+encOverhead)
+	}
+	if bytes.Contains(ct, plain) {
+		t.Fatal("plaintext visible in backing store")
+	}
+	// Size reports the plaintext length.
+	if n, err := es.Size("k"); err != nil || n != int64(len(plain)) {
+		t.Fatalf("Size = %d, %v, want %d", n, err, len(plain))
+	}
+}
+
+func TestEncryptEmptyBlob(t *testing.T) {
+	es, _ := newEncrypted(t, "s")
+	if err := es.Put("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := es.Get("empty")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty round trip = %q, %v", got, err)
+	}
+	if n, err := es.Size("empty"); err != nil || n != 0 {
+		t.Fatalf("Size(empty) = %d, %v", n, err)
+	}
+}
+
+func TestEncryptWrongKeyFails(t *testing.T) {
+	backing := storage.NewMemStore()
+	right, err := NewEncrypting(backing, KeyFromString("right key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong, err := NewEncrypting(backing, KeyFromString("wrong key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := right.Put("k", []byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wrong.Get("k"); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("wrong key: err = %v, want ErrDecrypt", err)
+	}
+}
+
+// TestEncryptKeyBinding: the blob key is authenticated data, so a
+// ciphertext copied to a different key fails to open (no splicing a
+// stale segment over a fresh one inside an encrypted store).
+func TestEncryptKeyBinding(t *testing.T) {
+	es, backing := newEncrypted(t, "s")
+	if err := es.Put("a", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := backing.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := backing.Put("b", ct); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := es.Get("b"); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("relocated ciphertext: err = %v, want ErrDecrypt", err)
+	}
+}
+
+func TestEncryptCorruptBlobFails(t *testing.T) {
+	es, backing := newEncrypted(t, "s")
+	if err := es.Put("k", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	ct, _ := backing.Get("k")
+	ct[len(ct)-1] ^= 0xff
+	if err := backing.Put("k", ct); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := es.Get("k"); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("corrupt blob: err = %v, want ErrDecrypt", err)
+	}
+	// Truncated below the fixed overhead is also ErrDecrypt, not a panic.
+	if err := backing.Put("short", []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := es.Get("short"); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("short blob: err = %v, want ErrDecrypt", err)
+	}
+}
+
+func TestEncryptNonceUniqueness(t *testing.T) {
+	es, backing := newEncrypted(t, "s")
+	if err := es.Put("k", []byte("same plaintext")); err != nil {
+		t.Fatal(err)
+	}
+	ct1, _ := backing.Get("k")
+	if err := es.Put("k", []byte("same plaintext")); err != nil {
+		t.Fatal(err)
+	}
+	ct2, _ := backing.Get("k")
+	if bytes.Equal(ct1, ct2) {
+		t.Fatal("re-encrypting the same plaintext produced identical ciphertext (nonce reuse)")
+	}
+}
+
+func TestEncryptGetRange(t *testing.T) {
+	es, _ := newEncrypted(t, "s")
+	if err := es.Put("k", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := es.GetRange("k", 3, 4)
+	if err != nil || !bytes.Equal(got, []byte("3456")) {
+		t.Fatalf("mid range = %q, %v", got, err)
+	}
+	got, err = es.GetRange("k", 8, 100)
+	if err != nil || !bytes.Equal(got, []byte("89")) {
+		t.Fatalf("clamped range = %q, %v", got, err)
+	}
+	got, err = es.GetRange("k", 50, 1)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("past-end range = %q, %v", got, err)
+	}
+	if _, err := es.GetRange("k", -1, 1); !errors.Is(err, storage.ErrInvalidRange) {
+		t.Fatalf("negative range: err = %v, want ErrInvalidRange", err)
+	}
+}
+
+func TestKeyFromString(t *testing.T) {
+	// 32 hex chars = 16 raw bytes: used verbatim (AES-128).
+	if k := KeyFromString("00112233445566778899aabbccddeeff"); len(k) != 16 {
+		t.Fatalf("hex-16 key length = %d, want 16", len(k))
+	}
+	// 64 hex chars = 32 raw bytes (AES-256).
+	if k := KeyFromString("00112233445566778899aabbccddeeff00112233445566778899aabbccddeeff"); len(k) != 32 {
+		t.Fatalf("hex-32 key length = %d, want 32", len(k))
+	}
+	// Anything else is a passphrase stretched to 32 bytes.
+	k1, k2 := KeyFromString("passphrase"), KeyFromString("passphrase")
+	if len(k1) != 32 || !bytes.Equal(k1, k2) {
+		t.Fatalf("passphrase stretching not deterministic 32 bytes: %d", len(k1))
+	}
+	if bytes.Equal(KeyFromString("a"), KeyFromString("b")) {
+		t.Fatal("different passphrases produced the same key")
+	}
+}

@@ -1,0 +1,44 @@
+package blobtier
+
+import "sync"
+
+// singleflight deduplicates concurrent calls per key: one caller (the
+// leader) runs fn, the rest wait and share its result. Hand-rolled —
+// the repo carries no external dependencies.
+type singleflight struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// do runs fn once per concurrently-requested key. shared reports that
+// the caller received another goroutine's result (true for waiters,
+// false for the leader) — callers use it to avoid propagating a
+// leader-specific failure.
+func (g *singleflight) do(key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flight{}
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-f.done
+		return f.val, f.err, true
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.val, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.val, f.err, false
+}

@@ -1,0 +1,383 @@
+// Package blobtier is BlendHouse's storage-proxy layer: BlobStore
+// wrappers that sit between the engine and the (remote) shared store
+// with zero call-site changes — the same composition pattern as the
+// retry/fault stack.
+//
+//   - TieredStore: memory LRU → local-disk spill → backing store.
+//     Write-through puts, read-through fills, per-tier byte budgets,
+//     singleflight fill dedup. Hot segment blobs never pay the remote
+//     round trip twice (the warehouse-side cache of ByteHouse).
+//   - EncryptingStore: AES-GCM at-rest encryption with a per-blob
+//     nonce, composable anywhere in the stack (including as a backup
+//     destination).
+//   - BackupTable/RestoreTable: consistent snapshots of one table
+//     (manifest + segments + WAL tail) into any BlobStore, taken
+//     under live writes, with point-in-time recovery on restore.
+package blobtier
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"blendhouse/internal/cache"
+	"blendhouse/internal/obs"
+	"blendhouse/internal/storage"
+)
+
+// Tier metrics (SHOW METRICS / the /metrics endpoint). Process-global
+// counters like every other subsystem; the per-engine byte gauges are
+// registered as callbacks by core.
+var (
+	mMemHits   = obs.Default().Counter("bh.storage.tier.mem_hits")
+	mDiskHits  = obs.Default().Counter("bh.storage.tier.disk_hits")
+	mMisses    = obs.Default().Counter("bh.storage.tier.misses")
+	mFills     = obs.Default().Counter("bh.storage.tier.fills")
+	mBypass    = obs.Default().Counter("bh.storage.tier.bypass")
+	mEvictMem  = obs.Default().Counter("bh.storage.tier.evict_mem")
+	mEvictDisk = obs.Default().Counter("bh.storage.tier.evict_disk")
+	mSpills    = obs.Default().Counter("bh.storage.tier.spills")
+	mSpillErrs = obs.Default().Counter("bh.storage.tier.spill_errors")
+)
+
+// DefaultSkipSubstrings lists key fragments the tier must never cache:
+// mutable blobs (the table manifest, delete bitmaps) and the WAL,
+// whose blobs are written once and read once on recovery. Caching any
+// of these would either serve stale catalog state or waste budget.
+var DefaultSkipSubstrings = []string{"manifest.json", "/wal/", "delete.bmp"}
+
+// Config sizes the cache tiers.
+type Config struct {
+	// MemBytes budgets the memory tier; <= 0 disables it.
+	MemBytes int64
+	// DiskBytes budgets the local-disk spill tier; <= 0 disables it.
+	DiskBytes int64
+	// DiskDir is where spilled blobs live (required when DiskBytes > 0
+	// unless DiskStore is set).
+	DiskDir string
+	// DiskStore overrides the spill backend (tests inject fault
+	// wrappers here); nil uses an FSStore at DiskDir.
+	DiskStore storage.BlobStore
+	// SkipSubstrings: keys containing any of these are never cached
+	// (reads and writes pass straight through). nil means
+	// DefaultSkipSubstrings; an empty non-nil slice caches everything.
+	SkipSubstrings []string
+}
+
+// TieredStore layers a memory LRU and a local-disk spill tier over a
+// backing BlobStore. It is a full BlobStore (and CtxReader): puts are
+// write-through (backing first — durability never depends on the
+// cache), reads fill on miss, and blobs evicted from memory spill to
+// disk instead of being dropped. Only immutable blobs are cached (see
+// Config.SkipSubstrings), so a cached entry can never go stale.
+type TieredStore struct {
+	backing storage.BlobStore
+	skip    []string
+
+	mem *cache.LRU // key -> []byte
+
+	// Disk tier: the LRU tracks presence/recency/budget (value = size),
+	// diskFS holds the bytes. diskMu serializes every disk-tier
+	// mutation, which also scopes the LRU's eviction callback (fired
+	// inside Put under diskMu) — see cache.LRU.SetOnEvict.
+	diskMu sync.Mutex
+	disk   *cache.LRU
+	diskFS storage.BlobStore
+
+	sf singleflight
+}
+
+// NewTiered builds a TieredStore over backing.
+func NewTiered(backing storage.BlobStore, cfg Config) (*TieredStore, error) {
+	if backing == nil {
+		return nil, fmt.Errorf("blobtier: backing store is required")
+	}
+	s := &TieredStore{
+		backing: backing,
+		skip:    cfg.SkipSubstrings,
+		mem:     cache.NewLRU(cfg.MemBytes),
+	}
+	if s.skip == nil {
+		s.skip = DefaultSkipSubstrings
+	}
+	if cfg.DiskBytes > 0 {
+		s.diskFS = cfg.DiskStore
+		if s.diskFS == nil {
+			if cfg.DiskDir == "" {
+				return nil, fmt.Errorf("blobtier: DiskBytes set but no DiskDir or DiskStore")
+			}
+			fs, err := storage.NewFSStore(cfg.DiskDir)
+			if err != nil {
+				return nil, err
+			}
+			s.diskFS = fs
+		}
+		s.disk = cache.NewLRU(cfg.DiskBytes)
+		s.disk.SetOnEvict(func(key string, _ any) {
+			mEvictDisk.Inc()
+			_ = s.diskFS.Delete(key)
+		})
+	}
+	// Memory evictions cascade to the disk tier rather than vanishing —
+	// the blob is still one local read away instead of a remote fetch.
+	s.mem.SetOnEvict(func(key string, v any) {
+		mEvictMem.Inc()
+		s.spill(key, v.([]byte))
+	})
+	return s, nil
+}
+
+// Stats is a point-in-time view of the tier sizes (the per-engine
+// gauges core registers read these).
+type Stats struct {
+	MemBytes, DiskBytes  int64
+	MemEntries           int
+	DiskEntries          int
+	MemHits, MemMisses   int64
+	DiskHits, DiskMisses int64
+}
+
+// TierStats returns current tier occupancy and hit counters.
+func (s *TieredStore) TierStats() Stats {
+	st := Stats{
+		MemBytes:   s.mem.SizeBytes(),
+		MemEntries: s.mem.Len(),
+	}
+	st.MemHits, st.MemMisses = s.mem.Stats()
+	if s.disk != nil {
+		st.DiskBytes = s.disk.SizeBytes()
+		st.DiskEntries = s.disk.Len()
+		st.DiskHits, st.DiskMisses = s.disk.Stats()
+	}
+	return st
+}
+
+// Backing returns the wrapped store (so callers can reach counters on
+// an inner RemoteStore or the breaker on a RetryStore).
+func (s *TieredStore) Backing() storage.BlobStore { return s.backing }
+
+func (s *TieredStore) cacheable(key string) bool {
+	for _, sub := range s.skip {
+		if sub != "" && containsSub(key, sub) {
+			return false
+		}
+	}
+	return true
+}
+
+func containsSub(key, sub string) bool {
+	// strings.Contains without the import dance in the hot path.
+	for i := 0; i+len(sub) <= len(key); i++ {
+		if key[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func clone(b []byte) []byte { return append([]byte(nil), b...) }
+
+// Put implements BlobStore: write-through. The backing store is
+// written FIRST — durability never depends on the cache — then stale
+// cache copies are invalidated and the new value admitted to memory.
+func (s *TieredStore) Put(key string, data []byte) error {
+	if err := s.backing.Put(key, data); err != nil {
+		return err
+	}
+	if !s.cacheable(key) {
+		return nil
+	}
+	// Remove before re-admit: if the new value is too large for the
+	// budget, Put below rejects it and a stale cached copy must not
+	// survive the overwrite.
+	s.mem.Remove(key)
+	s.invalidateDisk(key)
+	s.mem.Put(key, clone(data), int64(len(data)))
+	return nil
+}
+
+// Get implements BlobStore.
+func (s *TieredStore) Get(key string) ([]byte, error) {
+	return s.GetCtx(nil, key)
+}
+
+// GetCtx implements storage.CtxReader.
+func (s *TieredStore) GetCtx(ctx context.Context, key string) ([]byte, error) {
+	if !s.cacheable(key) {
+		mBypass.Inc()
+		return storage.GetCtx(ctx, s.backing, key)
+	}
+	if v, ok := s.mem.Get(key); ok {
+		mMemHits.Inc()
+		return clone(v.([]byte)), nil
+	}
+	if data, ok := s.diskGet(key); ok {
+		mDiskHits.Inc()
+		s.admit(key, data)
+		return clone(data), nil
+	}
+	mMisses.Inc()
+	return s.fill(ctx, key)
+}
+
+// GetRange implements BlobStore. A range miss fills the WHOLE blob
+// (read-through): segment column reads are ranged but revisit the same
+// blob, so one remote fetch serves every subsequent granule.
+func (s *TieredStore) GetRange(key string, off, length int64) ([]byte, error) {
+	return s.GetRangeCtx(nil, key, off, length)
+}
+
+// GetRangeCtx implements storage.CtxReader.
+func (s *TieredStore) GetRangeCtx(ctx context.Context, key string, off, length int64) ([]byte, error) {
+	if off < 0 || length < 0 {
+		return nil, fmt.Errorf("%w: off=%d len=%d", storage.ErrInvalidRange, off, length)
+	}
+	if !s.cacheable(key) {
+		mBypass.Inc()
+		return storage.GetRangeCtx(ctx, s.backing, key, off, length)
+	}
+	if v, ok := s.mem.Get(key); ok {
+		mMemHits.Inc()
+		return sliceRange(v.([]byte), off, length), nil
+	}
+	if data, ok := s.diskGet(key); ok {
+		mDiskHits.Inc()
+		s.admit(key, data)
+		return sliceRange(data, off, length), nil
+	}
+	mMisses.Inc()
+	data, err := s.fill(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	return sliceRange(data, off, length), nil
+}
+
+// sliceRange applies the BlobStore range contract (past-end clamps,
+// fully-past-end is empty) to an in-memory copy.
+func sliceRange(v []byte, off, length int64) []byte {
+	if off >= int64(len(v)) {
+		return nil
+	}
+	end := off + length
+	if end > int64(len(v)) {
+		end = int64(len(v))
+	}
+	return clone(v[off:end])
+}
+
+// Size implements BlobStore.
+func (s *TieredStore) Size(key string) (int64, error) {
+	if s.cacheable(key) {
+		if v, ok := s.mem.Get(key); ok {
+			return int64(len(v.([]byte))), nil
+		}
+	}
+	return s.backing.Size(key)
+}
+
+// Delete implements BlobStore.
+func (s *TieredStore) Delete(key string) error {
+	if err := s.backing.Delete(key); err != nil {
+		return err
+	}
+	s.mem.Remove(key)
+	s.invalidateDisk(key)
+	return nil
+}
+
+// List implements BlobStore (always authoritative from the backing).
+func (s *TieredStore) List(prefix string) ([]string, error) {
+	return s.backing.List(prefix)
+}
+
+// fill fetches a missing blob from the backing store, deduplicating
+// concurrent misses on the same key through singleflight. A waiter
+// that shared a failed flight retries directly rather than inheriting
+// an error that may be specific to the leader (its context, a
+// transient fault the retry layer below would have absorbed again).
+func (s *TieredStore) fill(ctx context.Context, key string) ([]byte, error) {
+	data, err, shared := s.sf.do(key, func() ([]byte, error) {
+		d, err := storage.GetCtx(ctx, s.backing, key)
+		if err != nil {
+			return nil, err
+		}
+		mFills.Inc()
+		s.admit(key, d)
+		return d, nil
+	})
+	if err != nil && shared {
+		d, derr := storage.GetCtx(ctx, s.backing, key)
+		if derr != nil {
+			return nil, derr
+		}
+		mFills.Inc()
+		s.admit(key, d)
+		return clone(d), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return clone(data), nil
+}
+
+// admit inserts a blob into the memory tier (the caller must not
+// mutate data afterwards; callers always pass freshly-fetched or
+// already-copied bytes).
+func (s *TieredStore) admit(key string, data []byte) {
+	s.mem.Put(key, data, int64(len(data)))
+}
+
+// spill moves a memory-evicted blob to the disk tier. Failures are
+// counted and the blob dropped — the backing store still has it, so a
+// spill failure degrades to a future remote re-fetch, never data loss.
+func (s *TieredStore) spill(key string, data []byte) {
+	if s.disk == nil {
+		return
+	}
+	s.diskMu.Lock()
+	defer s.diskMu.Unlock()
+	if s.disk.Contains(key) {
+		return
+	}
+	if err := s.diskFS.Put(key, data); err != nil {
+		mSpillErrs.Inc()
+		return
+	}
+	if !s.disk.Put(key, int64(len(data)), int64(len(data))) {
+		_ = s.diskFS.Delete(key)
+		return
+	}
+	mSpills.Inc()
+}
+
+// diskGet reads a blob from the disk tier. A file that cannot be read
+// back is dropped from the tier (self-healing: the next Get falls
+// through to the backing store).
+func (s *TieredStore) diskGet(key string) ([]byte, bool) {
+	if s.disk == nil {
+		return nil, false
+	}
+	s.diskMu.Lock()
+	defer s.diskMu.Unlock()
+	if _, ok := s.disk.Get(key); !ok {
+		return nil, false
+	}
+	data, err := s.diskFS.Get(key)
+	if err != nil {
+		s.disk.Remove(key)
+		_ = s.diskFS.Delete(key)
+		return nil, false
+	}
+	return data, true
+}
+
+func (s *TieredStore) invalidateDisk(key string) {
+	if s.disk == nil {
+		return
+	}
+	s.diskMu.Lock()
+	defer s.diskMu.Unlock()
+	s.disk.Remove(key)
+	_ = s.diskFS.Delete(key)
+}

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"blendhouse/internal/blobtier"
 	"blendhouse/internal/cache"
 	"blendhouse/internal/cluster"
 	"blendhouse/internal/exec"
@@ -51,7 +52,7 @@ var coreLog = obs.Logger("core")
 // shared /metrics scrape.
 var stmtKinds = []string{
 	"select", "insert", "delete", "create_table", "drop_table",
-	"show", "explain", "describe", "optimize", "other",
+	"show", "explain", "describe", "optimize", "backup", "restore", "other",
 }
 
 var mStmtLatency = func() map[string]*obs.Histogram {
@@ -84,6 +85,10 @@ func stmtKind(st sql.Statement) string {
 		return "describe"
 	case *sql.Optimize:
 		return "optimize"
+	case *sql.Backup:
+		return "backup"
+	case *sql.Restore:
+		return "restore"
 	}
 	return "other"
 }
@@ -141,7 +146,19 @@ type Config struct {
 	// when every operation can fail. Implies a default Retry when none
 	// is set.
 	Chaos bool
-	Seed  int64
+	// Tier, when non-nil, layers the storage-proxy cache
+	// (blobtier.TieredStore: memory LRU → local-disk spill) over the
+	// fault-tolerance stack, so hot segment blobs never pay the remote
+	// round trip twice. Zero call-site changes: everything the engine
+	// reads or writes goes through it.
+	Tier *blobtier.Config
+	// Backup configures BACKUP/RESTORE statements: Key is the default
+	// destination encryption secret (a per-statement WITH KEY
+	// overrides it), OpenDest resolves a destination string to a blob
+	// store (default: an FSStore rooted at the path; tests inject
+	// shared MemStores).
+	Backup BackupConfig
+	Seed   int64
 	// TraceSample records a full span tree for 1-in-N statements into
 	// the process-wide trace ring (obs.Traces(), /debug/traces, SHOW
 	// TRACES). 0 disables sampling (the zero-overhead default: untraced
@@ -167,6 +184,12 @@ type Engine struct {
 	traceSeq       atomic.Uint64 // 1-in-N trace sampling cursor
 	stopCompaction chan struct{}
 	closeOnce      sync.Once
+
+	// Wrapper handles kept for gauge registration: cfg.Store is the
+	// outermost layer, so the retry store (breaker) and cache tier are
+	// remembered here when configured.
+	retryStore *storage.RetryStore
+	tier       *blobtier.TieredStore
 }
 
 // New builds an engine, reopening any tables already present in the
@@ -188,8 +211,22 @@ func New(cfg Config) (*Engine, error) {
 			cfg.Retry = &rc
 		}
 	}
+	var retryStore *storage.RetryStore
 	if cfg.Retry != nil {
-		cfg.Store = storage.NewRetryStore(cfg.Store, *cfg.Retry)
+		retryStore = storage.NewRetryStore(cfg.Store, *cfg.Retry)
+		cfg.Store = retryStore
+	}
+	// The cache tier sits on top of the whole fault-tolerance stack:
+	// hits bypass retries entirely, and fills/write-throughs inherit
+	// them.
+	var tier *blobtier.TieredStore
+	if cfg.Tier != nil {
+		var err error
+		tier, err = blobtier.NewTiered(cfg.Store, *cfg.Tier)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Store = tier
 	}
 	e := &Engine{
 		cfg:            cfg,
@@ -197,6 +234,8 @@ func New(cfg Config) (*Engine, error) {
 		tables:         map[string]*lsm.Table{},
 		execs:          map[string]*exec.Executor{},
 		stopCompaction: make(chan struct{}),
+		retryStore:     retryStore,
+		tier:           tier,
 	}
 	if cfg.ColumnCache != nil {
 		e.colCache = cache.NewColumnCache(*cfg.ColumnCache)
@@ -250,9 +289,18 @@ func (e *Engine) registerStatGauges() {
 	// Breaker state is published per-engine as a live callback on THIS
 	// engine's store, not as a shared gauge written by every RetryStore
 	// in the process (test stores would make it reflect whichever
-	// instance transitioned last).
-	if rs, ok := e.cfg.Store.(*storage.RetryStore); ok {
+	// instance transitioned last). The tier may wrap the retry store,
+	// so the handle kept at construction is used instead of cfg.Store.
+	rs := e.retryStore
+	if rs == nil {
+		rs, _ = e.cfg.Store.(*storage.RetryStore)
+	}
+	if rs != nil {
 		reg.RegisterFunc("bh.storage.breaker_state", func() int64 { return int64(rs.BreakerState()) })
+	}
+	if ts := e.tier; ts != nil {
+		reg.RegisterFunc("bh.storage.tier.mem_bytes", func() int64 { return ts.TierStats().MemBytes })
+		reg.RegisterFunc("bh.storage.tier.disk_bytes", func() int64 { return ts.TierStats().DiskBytes })
 	}
 }
 
@@ -538,6 +586,10 @@ func (e *Engine) dispatch(ctx context.Context, st sql.Statement, opts QueryOptio
 		return e.delete(ctx, s)
 	case *sql.Optimize:
 		return e.optimize(s.Name)
+	case *sql.Backup:
+		return e.backup(ctx, s)
+	case *sql.Restore:
+		return e.restore(ctx, s)
 	default:
 		return nil, fmt.Errorf("core: unsupported statement %T", st)
 	}

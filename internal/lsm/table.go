@@ -95,6 +95,11 @@ type Table struct {
 	memGen     int64
 	flushedLSN int64
 
+	// walPins counts active PinWALTruncate holders (backups copying
+	// the WAL tail); while nonzero the flusher skips TruncateBelow so
+	// no tail blob vanishes mid-copy. Guarded by t.mu.
+	walPins int
+
 	// walRT holds the WAL runtime (log + flusher); atomic so the hot
 	// insert path can branch without taking t.mu.
 	walRT atomic.Pointer[walState]
@@ -427,6 +432,14 @@ func (t *Table) DeleteBitmapCtx(ctx context.Context, seg string) (*bitset.Bitset
 	t.mu.RUnlock()
 	blob, err := storage.GetCtx(ctx, t.store, storage.DeleteBitmapKey(t.opts.Name, seg))
 	if storage.IsNotFound(err) {
+		// Cache the miss: a segment with no deletions would otherwise pay
+		// a remote round trip per query re-probing a blob that isn't
+		// there. Deletes through this handle overwrite the entry
+		// (markDeleted/compaction), so the negative cache never masks
+		// them.
+		t.mu.Lock()
+		t.deletes[seg] = nil
+		t.mu.Unlock()
 		return nil, nil
 	}
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"blendhouse/internal/obs"
@@ -312,8 +313,16 @@ func (t *Table) flushOnce(ws *walState) error {
 		if err := t.saveManifest(); err != nil {
 			return err
 		}
-		if err := ws.log.TruncateBelow(watermark); err != nil {
-			return err
+		// Skip truncation while a backup pins the tail. The flush itself
+		// proceeds — only log reclamation is deferred; the unpin runs a
+		// catch-up truncate. (A pin landing between this check and the
+		// delete is still safe: truncation only removes blobs at or
+		// below a watermark already durable in the manifest, which any
+		// subsequent backup's manifest read will reflect.)
+		if !t.walTruncatePinned() {
+			if err := ws.log.TruncateBelow(watermark); err != nil {
+				return err
+			}
 		}
 		flushedRows += live.Len()
 	}
@@ -353,6 +362,43 @@ func (t *Table) FlushWAL() error {
 
 // WALEnabled reports whether the real-time write path is active.
 func (t *Table) WALEnabled() bool { return t.walRT.Load() != nil }
+
+// PinWALTruncate suspends WAL truncation until the returned release
+// func runs (idempotent). Backups hold a pin while copying the WAL
+// tail so a concurrent flush can't delete tail blobs mid-copy; flushes
+// themselves keep running, only log reclamation is deferred. Releasing
+// the last pin runs a best-effort catch-up truncation.
+func (t *Table) PinWALTruncate() func() {
+	t.mu.Lock()
+	t.walPins++
+	t.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			t.mu.Lock()
+			t.walPins--
+			stillPinned := t.walPins > 0
+			watermark := t.flushedLSN
+			t.mu.Unlock()
+			if stillPinned {
+				return
+			}
+			if ws := t.walRT.Load(); ws != nil {
+				if err := ws.log.TruncateBelow(watermark); err != nil {
+					lsmLog.Warn("catch-up WAL truncation failed",
+						"table", t.Name(), "error", err)
+				}
+			}
+		})
+	}
+}
+
+// walTruncatePinned reports whether a backup currently pins the tail.
+func (t *Table) walTruncatePinned() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.walPins > 0
+}
 
 // FlushedLSN returns the recovery watermark (tests).
 func (t *Table) FlushedLSN() int64 {

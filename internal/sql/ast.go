@@ -90,6 +90,28 @@ type Optimize struct{ Name string }
 
 func (*Optimize) stmt() {}
 
+// Backup snapshots a table (manifest + segments + WAL tail) into a
+// destination blob store: BACKUP TABLE t TO 'dest' [WITH KEY 'secret'].
+// The optional key encrypts the destination (AES-GCM).
+type Backup struct {
+	Table string
+	Dest  string
+	Key   string
+}
+
+func (*Backup) stmt() {}
+
+// Restore loads a backup into the engine's store and replays the WAL
+// tail past the snapshot watermark (point-in-time recovery):
+// RESTORE TABLE t FROM 'src' [WITH KEY 'secret'].
+type Restore struct {
+	Table  string
+	Source string
+	Key    string
+}
+
+func (*Restore) stmt() {}
+
 // Insert covers both VALUES and CSV INFILE forms.
 type Insert struct {
 	Table string
@@ -193,7 +215,25 @@ func StatementString(s Statement) string {
 			}
 		}
 		return fmt.Sprintf("SELECT %s FROM %s", strings.Join(cols, ","), t.Table)
+	case *Backup:
+		s := fmt.Sprintf("BACKUP TABLE %s TO %s", t.Table, sqlString(t.Dest))
+		if t.Key != "" {
+			s += " WITH KEY " + sqlString(t.Key)
+		}
+		return s
+	case *Restore:
+		s := fmt.Sprintf("RESTORE TABLE %s FROM %s", t.Table, sqlString(t.Source))
+		if t.Key != "" {
+			s += " WITH KEY " + sqlString(t.Key)
+		}
+		return s
 	default:
 		return fmt.Sprintf("%T", s)
 	}
+}
+
+// sqlString renders a SQL single-quoted string literal (embedded
+// quotes double, matching the lexer's escape rule).
+func sqlString(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
 }

@@ -97,6 +97,10 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return p.parseOptimize()
 	case p.isKw("EXPLAIN"):
 		return p.parseExplain()
+	case p.isKw("BACKUP"):
+		return p.parseBackup()
+	case p.isKw("RESTORE"):
+		return p.parseRestore()
 	default:
 		return nil, fmt.Errorf("sql: unexpected statement start %q at %d", p.tok.Text, p.tok.Pos)
 	}
@@ -440,6 +444,81 @@ func (p *Parser) parseOptimize() (Statement, error) {
 		return nil, err
 	}
 	return &Optimize{Name: name}, nil
+}
+
+// parseBackup parses BACKUP TABLE t TO 'dest' [WITH KEY 'secret'].
+func (p *Parser) parseBackup() (Statement, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("TO"); err != nil {
+		return nil, err
+	}
+	dest, err := p.stringLit("BACKUP ... TO")
+	if err != nil {
+		return nil, err
+	}
+	key, err := p.parseWithKey()
+	if err != nil {
+		return nil, err
+	}
+	return &Backup{Table: name, Dest: dest, Key: key}, nil
+}
+
+// parseRestore parses RESTORE TABLE t FROM 'src' [WITH KEY 'secret'].
+func (p *Parser) parseRestore() (Statement, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	src, err := p.stringLit("RESTORE ... FROM")
+	if err != nil {
+		return nil, err
+	}
+	key, err := p.parseWithKey()
+	if err != nil {
+		return nil, err
+	}
+	return &Restore{Table: name, Source: src, Key: key}, nil
+}
+
+// parseWithKey parses the optional WITH KEY 'secret' clause.
+func (p *Parser) parseWithKey() (string, error) {
+	if !p.isKw("WITH") {
+		return "", nil
+	}
+	if err := p.advance(); err != nil {
+		return "", err
+	}
+	if err := p.expectKw("KEY"); err != nil {
+		return "", err
+	}
+	return p.stringLit("WITH KEY")
+}
+
+// stringLit consumes a quoted string token.
+func (p *Parser) stringLit(clause string) (string, error) {
+	if p.tok.Kind != TokString {
+		return "", fmt.Errorf("sql: %s expects a quoted string at %d, got %q", clause, p.tok.Pos, p.tok.Text)
+	}
+	s := p.tok.Text
+	return s, p.advance()
 }
 
 func (p *Parser) parseDrop() (Statement, error) {

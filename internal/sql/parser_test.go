@@ -271,3 +271,40 @@ func TestParseShowDescribeDeleteOptimize(t *testing.T) {
 		}
 	}
 }
+
+func TestParseBackupRestore(t *testing.T) {
+	b := mustParse(t, `BACKUP TABLE images TO './backups/images'`).(*Backup)
+	if b.Table != "images" || b.Dest != "./backups/images" || b.Key != "" {
+		t.Fatalf("backup = %+v", b)
+	}
+	b = mustParse(t, `BACKUP TABLE t TO '/mnt/bk' WITH KEY 'open sesame'`).(*Backup)
+	if b.Table != "t" || b.Dest != "/mnt/bk" || b.Key != "open sesame" {
+		t.Fatalf("backup with key = %+v", b)
+	}
+	r := mustParse(t, `RESTORE TABLE images FROM './backups/images'`).(*Restore)
+	if r.Table != "images" || r.Source != "./backups/images" || r.Key != "" {
+		t.Fatalf("restore = %+v", r)
+	}
+	r = mustParse(t, `RESTORE TABLE t FROM 's' WITH KEY 'k'`).(*Restore)
+	if r.Key != "k" {
+		t.Fatalf("restore with key = %+v", r)
+	}
+	// Round-trip through StatementString reparses to the same statement.
+	rt := mustParse(t, StatementString(b)).(*Backup)
+	if *rt != *b {
+		t.Fatalf("backup round trip = %+v, want %+v", rt, b)
+	}
+	for _, bad := range []string{
+		`BACKUP images TO 'x'`,       // missing TABLE
+		`BACKUP TABLE t 'x'`,         // missing TO
+		`BACKUP TABLE t TO x`,        // destination must be a string
+		`BACKUP TABLE t TO 'x' WITH`, // dangling WITH
+		`BACKUP TABLE t TO 'x' WITH KEY`,
+		`RESTORE TABLE t TO 'x'`, // RESTORE takes FROM
+		`RESTORE TABLE t FROM`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", bad)
+		}
+	}
+}

@@ -1,25 +1,62 @@
-package storage
+// The BlobStore contract suite lives in an external test package so it
+// can hold the blobtier wrappers (which import storage) to the same
+// semantics as the base stores.
+package storage_test
 
 import (
 	"errors"
 	"testing"
+
+	"blendhouse/internal/blobtier"
+	"blendhouse/internal/storage"
 )
 
 // contractStores builds one of every BlobStore implementation,
-// including the fault-tolerance wrappers configured to be transparent,
-// so the whole family is held to identical semantics.
-func contractStores(t *testing.T) map[string]BlobStore {
+// including the fault-tolerance and storage-proxy wrappers configured
+// to be transparent, so the whole family is held to identical
+// semantics.
+func contractStores(t *testing.T) map[string]storage.BlobStore {
 	t.Helper()
-	fs, err := NewFSStore(t.TempDir())
+	fs, err := storage.NewFSStore(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
-	return map[string]BlobStore{
-		"mem":    NewMemStore(),
-		"fs":     fs,
-		"remote": NewRemoteStore(NewMemStore(), RemoteConfig{}),
-		"retry":  NewRetryStore(NewMemStore(), RetryConfig{Seed: 1}),
-		"fault":  NewFaultStore(NewMemStore(), FaultConfig{Seed: 1}),
+	tiered, err := blobtier.NewTiered(storage.NewMemStore(), blobtier.Config{MemBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tieredDisk, err := blobtier.NewTiered(storage.NewMemStore(), blobtier.Config{
+		// A 16-byte memory budget forces every blob through the
+		// spill/promote path, so the contract holds on the disk tier too.
+		MemBytes: 16, DiskBytes: 1 << 20, DiskDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := blobtier.NewEncrypting(storage.NewMemStore(), blobtier.KeyFromString("contract"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exact shape of an encrypted backup destination: ciphertext on
+	// the local filesystem.
+	encFS, err := storage.NewFSStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	backupDest, err := blobtier.NewEncrypting(encFS, blobtier.KeyFromString("backup"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]storage.BlobStore{
+		"mem":         storage.NewMemStore(),
+		"fs":          fs,
+		"remote":      storage.NewRemoteStore(storage.NewMemStore(), storage.RemoteConfig{}),
+		"retry":       storage.NewRetryStore(storage.NewMemStore(), storage.RetryConfig{Seed: 1}),
+		"fault":       storage.NewFaultStore(storage.NewMemStore(), storage.FaultConfig{Seed: 1}),
+		"tiered":      tiered,
+		"tiered-disk": tieredDisk,
+		"encrypting":  enc,
+		"backup-dest": backupDest,
 	}
 }
 
@@ -37,7 +74,7 @@ func TestBlobStoreContract(t *testing.T) {
 			// Negative off / length: ErrInvalidRange, no panic.
 			for _, bad := range [][2]int64{{-1, 4}, {2, -1}, {-3, -3}} {
 				_, err := s.GetRange("c/key", bad[0], bad[1])
-				if !errors.Is(err, ErrInvalidRange) {
+				if !errors.Is(err, storage.ErrInvalidRange) {
 					t.Errorf("GetRange(%d,%d) = %v, want ErrInvalidRange", bad[0], bad[1], err)
 				}
 			}
@@ -64,13 +101,13 @@ func TestBlobStoreContract(t *testing.T) {
 			}
 
 			// Missing keys: typed not-found from every read op.
-			if _, err := s.Get("c/absent"); !IsNotFound(err) {
+			if _, err := s.Get("c/absent"); !storage.IsNotFound(err) {
 				t.Errorf("Get(absent) = %v, want ErrNotFound", err)
 			}
-			if _, err := s.Size("c/absent"); !IsNotFound(err) {
+			if _, err := s.Size("c/absent"); !storage.IsNotFound(err) {
 				t.Errorf("Size(absent) = %v, want ErrNotFound", err)
 			}
-			if _, err := s.GetRange("c/absent", 0, 1); !IsNotFound(err) {
+			if _, err := s.GetRange("c/absent", 0, 1); !storage.IsNotFound(err) {
 				t.Errorf("GetRange(absent) = %v, want ErrNotFound", err)
 			}
 			// ...and even an absent key rejects invalid ranges the same
@@ -92,6 +129,24 @@ func TestBlobStoreContract(t *testing.T) {
 			keys, err := s.List("c/")
 			if err != nil || len(keys) != 1 || keys[0] != "c/key" {
 				t.Errorf("List = %v, %v", keys, err)
+			}
+
+			// Overwrite then delete: reads reflect the latest write (a
+			// caching wrapper must invalidate, not serve stale bytes).
+			if err := s.Put("c/key", []byte("abc")); err != nil {
+				t.Fatal(err)
+			}
+			if got, err := s.Get("c/key"); err != nil || string(got) != "abc" {
+				t.Errorf("Get after overwrite = %q, %v", got, err)
+			}
+			if n, err := s.Size("c/key"); err != nil || n != 3 {
+				t.Errorf("Size after overwrite = %d, %v", n, err)
+			}
+			if err := s.Delete("c/key"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Get("c/key"); !storage.IsNotFound(err) {
+				t.Errorf("Get after delete = %v, want ErrNotFound", err)
 			}
 		})
 	}

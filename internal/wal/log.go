@@ -62,6 +62,14 @@ type appendReq struct {
 // logPrefix is where a table's WAL blobs live.
 func logPrefix(table string) string { return "tables/" + table + "/wal/" }
 
+// Prefix returns the blob-key prefix of a table's WAL — exported for
+// the backup subsystem, which copies the tail without opening a Log.
+func Prefix(table string) string { return logPrefix(table) }
+
+// ParseBlobLSNs recovers the inclusive LSN range encoded in a WAL blob
+// key (the counterpart of the naming scheme in blobKey).
+func ParseBlobLSNs(key string) (first, last int64, ok bool) { return parseBlobKey(key) }
+
 // blobKey names one group commit by its inclusive LSN range, fixed
 // width so lexical listing order is LSN order.
 func blobKey(table string, first, last int64) string {
