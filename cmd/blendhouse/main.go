@@ -37,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"blendhouse/internal/batch"
 	"blendhouse/internal/cache"
 	"blendhouse/internal/coord"
 	"blendhouse/internal/core"
@@ -81,6 +82,10 @@ func main() {
 		logFormat   = flag.String("log-format", "text", "structured log format: text|json")
 		traceSample = flag.Int("trace-sample", 1, "record a span tree for 1-in-N statements into the trace ring (SHOW TRACES, /debug/traces; 0 = off)")
 		slowQuery   = flag.Duration("slow-query", 0, "log statements slower than this at WARN with their trace ID (0 = off)")
+		useBatch    = flag.Bool("batch", false, "multi-query batching: group compatible concurrent SELECTs into shared segment scans (pointless in a single-session shell, hence off)")
+		batchWindow = flag.Duration("batch-window", 0, "batch formation window (0 = default 2ms)")
+		batchGroup  = flag.Int("batch-max-group", 0, "max queries per shared-scan group (0 = default 16)")
+		batchAdapt  = flag.Bool("batch-adaptive", true, "batched-vs-solo per query via the cost model over observed per-segment stats (off = always batch compatible queries)")
 	)
 	sf := registerStoreFlags(flag.CommandLine)
 	flag.Parse()
@@ -98,7 +103,7 @@ func main() {
 		defer debug.Drain(time.Second)
 	}
 
-	engine, err := openEngine(*dataDir, *maxPar, walConfig(*useWAL, *flushRows, *flushMS), retryConfig(*retries, *backoff), *chaos, *traceSample, *slowQuery, sf)
+	engine, err := openEngine(*dataDir, *maxPar, walConfig(*useWAL, *flushRows, *flushMS), retryConfig(*retries, *backoff), *chaos, *traceSample, *slowQuery, batchConfig(*useBatch, *batchWindow, *batchGroup, *batchAdapt), sf)
 	if err != nil {
 		fatal(err)
 	}
@@ -130,7 +135,7 @@ func main() {
 // filesystem store, with the storage fault-tolerance layer (and
 // optionally chaos injection) between the engine and the disk, and —
 // when the tier flags are set — the tiered blob cache outermost.
-func openEngine(dataDir string, maxPar int, wal *lsm.WALConfig, retry *storage.RetryConfig, chaos bool, traceSample int, slowQuery time.Duration, sf *storeFlags) (*core.Engine, error) {
+func openEngine(dataDir string, maxPar int, wal *lsm.WALConfig, retry *storage.RetryConfig, chaos bool, traceSample int, slowQuery time.Duration, batchCfg *batch.Config, sf *storeFlags) (*core.Engine, error) {
 	store, err := sf.openDataStore(dataDir)
 	if err != nil {
 		return nil, err
@@ -147,9 +152,19 @@ func openEngine(dataDir string, maxPar int, wal *lsm.WALConfig, retry *storage.R
 		Chaos:            chaos,
 		TraceSample:      traceSample,
 		SlowQuery:        slowQuery,
+		Batch:            batchCfg,
 		Tier:             sf.tierConfig(dataDir),
 		Backup:           core.BackupConfig{Key: sf.backupKey},
 	})
+}
+
+// batchConfig translates the -batch* flags (nil disables the batching
+// scheduler entirely).
+func batchConfig(enabled bool, window time.Duration, maxGroup int, adaptive bool) *batch.Config {
+	if !enabled {
+		return nil
+	}
+	return &batch.Config{Window: window, MaxGroup: maxGroup, Adaptive: adaptive}
 }
 
 // configureLogging applies the -log-level/-log-format flags
@@ -216,12 +231,16 @@ func runServe(args []string) {
 		logFormat    = fs.String("log-format", "text", "structured log format: text|json")
 		traceSample  = fs.Int("trace-sample", 1, "record a span tree for 1-in-N statements into the trace ring (SHOW TRACES, /debug/traces; 0 = off)")
 		slowQuery    = fs.Duration("slow-query", 0, "log statements slower than this at WARN with their trace ID (0 = off)")
+		useBatch     = fs.Bool("batch", true, "multi-query batching: group compatible concurrent SELECTs into shared segment scans, one admission slot per group (sessions opt out with SET batch = off)")
+		batchWindow  = fs.Duration("batch-window", 0, "batch formation window (0 = default 2ms)")
+		batchGroup   = fs.Int("batch-max-group", 0, "max queries per shared-scan group (0 = default 16)")
+		batchAdapt   = fs.Bool("batch-adaptive", true, "batched-vs-solo per query via the cost model over observed per-segment stats (off = always batch compatible queries)")
 	)
 	sf := registerStoreFlags(fs)
 	fs.Parse(args)
 	configureLogging(*logLevel, *logFormat)
 
-	engine, err := openEngine(*dataDir, *maxPar, walConfig(*useWAL, *flushRows, *flushMS), retryConfig(*retries, *backoff), *chaos, *traceSample, *slowQuery, sf)
+	engine, err := openEngine(*dataDir, *maxPar, walConfig(*useWAL, *flushRows, *flushMS), retryConfig(*retries, *backoff), *chaos, *traceSample, *slowQuery, batchConfig(*useBatch, *batchWindow, *batchGroup, *batchAdapt), sf)
 	if err != nil {
 		fatal(err)
 	}
@@ -460,6 +479,7 @@ func (sess *session) runStatement(stmt string) error {
 	res, err := sess.engine.Query(context.Background(), stmt, core.QueryOptions{
 		Timeout:        sess.vars.Timeout(),
 		MaxParallelism: sess.vars.MaxParallelism(),
+		DisableBatch:   !sess.vars.Batch(),
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,55 @@
+package batch
+
+import (
+	"sync"
+	"time"
+
+	"blendhouse/internal/obs"
+)
+
+// tableStats tracks per-table arrival behaviour: the inter-arrival gap
+// and the admission gate wait, both EWMAs over observed values. From
+// them the scheduler projects how many compatible queries a formation
+// window is likely to collect — the ExpectedGroup input of
+// plan.ChooseBatch — so the batched-vs-solo decision tracks the live
+// arrival rate instead of a static guess.
+type tableStats struct {
+	mu       sync.Mutex
+	last     time.Time
+	gap      obs.EWMA // seconds between consecutive submits
+	gateWait obs.EWMA // seconds a group spent queued at the gate
+}
+
+func (ts *tableStats) noteArrival(now time.Time) {
+	ts.mu.Lock()
+	if !ts.last.IsZero() {
+		if d := now.Sub(ts.last).Seconds(); d >= 0 {
+			ts.gap.Observe(d)
+		}
+	}
+	ts.last = now
+	ts.mu.Unlock()
+}
+
+func (ts *tableStats) noteGateWait(d time.Duration) {
+	ts.gateWait.Observe(d.Seconds())
+}
+
+// expectedGroup projects the group size a window-plus-gate-wait pause
+// would collect at the observed arrival rate: 1 (the submitter) plus
+// one member per inter-arrival gap that fits in the pause, capped at
+// the group ceiling. Unobserved or idle tables project 1.
+func (ts *tableStats) expectedGroup(window float64, maxGroup int) float64 {
+	ts.mu.Lock()
+	gapN := ts.gap.Count()
+	gap := ts.gap.Value()
+	ts.mu.Unlock()
+	if gapN == 0 || gap <= 0 {
+		return 1
+	}
+	eg := 1 + (window+ts.gateWait.Value())/gap
+	if max := float64(maxGroup); eg > max {
+		eg = max
+	}
+	return eg
+}

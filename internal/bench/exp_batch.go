@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"blendhouse/internal/batch"
+	"blendhouse/internal/core"
+	"blendhouse/internal/obs"
+	"blendhouse/internal/server"
+	"blendhouse/pkg/client"
+)
+
+func init() {
+	register("batch", "Multi-query batching: 16-client QPS with shared-scan groups vs per-statement execution (PR 9)", runBatch)
+}
+
+// batchClients is the client concurrency of the experiment; the
+// admission gate stays at 4 slots so batching's one-slot-per-group
+// accounting is what lets grouped queries overlap.
+const batchClients = 16
+
+// runBatch measures the batching subsystem end to end: the same
+// dataset, admission sizing and 16-client closed loop through the HTTP
+// tier, once with the scheduler off (every statement is its own
+// admission slot and segment pass) and once with it on (compatible
+// statements share one pass and one slot per group). Batched per-query
+// results are asserted byte-identical to solo execution on the same
+// engine, and the run hard-fails unless batching delivers materially
+// higher throughput — the whole point of the subsystem.
+func runBatch(cfg Config) (*Report, error) {
+	ds := prodLike(cfg)
+	ctx := context.Background()
+	// A selective filter (2% of rows qualify) puts the workload on
+	// plan A/B, where the per-segment scan work — predicate column,
+	// bitset, qualifying vectors — is member-independent and therefore
+	// shared across the group. Wide filters land on post-filter plans,
+	// which share nothing and stay out of the scheduler by design.
+	lo, hi := selRange(ds.Vectors.Rows(), 0.02)
+	queryFor := func(qi int) string {
+		return fmt.Sprintf(`SELECT id, dist FROM bench_batch WHERE attr >= %d AND attr <= %d ORDER BY L2Distance(embedding, %s) AS dist LIMIT 10`,
+			lo, hi, vecSQL(ds.Queries.Row(qi%ds.Queries.Rows())))
+	}
+
+	build := func(bc *batch.Config) (*core.Engine, *server.Server, error) {
+		// The standard 1ms-RTT remote store: per-statement wall time is
+		// dominated by per-segment column reads, i.e. exactly the work a
+		// shared scan pays once per group instead of once per query.
+		store := remoteStore()
+		engine, err := core.New(core.Config{Store: store, SegmentRows: 1000, Batch: bc})
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := engine.Exec(ctx, fmt.Sprintf(`CREATE TABLE bench_batch (
+			id UInt64,
+			attr Int64,
+			embedding Array(Float32),
+			INDEX ann_idx embedding TYPE HNSW('DIM=%d','M=16','EF_CONSTRUCTION=100')
+		) ORDER BY id`, ds.Spec.Dim)); err != nil {
+			engine.Close()
+			return nil, nil, err
+		}
+		attrs := seqAttrs(ds.Vectors.Rows())
+		var sb strings.Builder
+		for i := 0; i < ds.Vectors.Rows(); i++ {
+			if sb.Len() == 0 {
+				sb.WriteString("INSERT INTO bench_batch VALUES ")
+			} else {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "(%d, %d, %s)", i, attrs[i], vecSQL(ds.Vectors.Row(i)))
+			if sb.Len() > 4<<20 {
+				if _, err := engine.Exec(ctx, sb.String()); err != nil {
+					engine.Close()
+					return nil, nil, err
+				}
+				sb.Reset()
+			}
+		}
+		if sb.Len() > 0 {
+			if _, err := engine.Exec(ctx, sb.String()); err != nil {
+				engine.Close()
+				return nil, nil, err
+			}
+		}
+		srv, err := server.New(server.Config{
+			Engine:    engine,
+			Addr:      "127.0.0.1:0",
+			Admission: server.AdmissionConfig{MaxConcurrent: 4, MaxQueue: 64},
+		})
+		if err != nil {
+			engine.Close()
+			return nil, nil, err
+		}
+		if err := srv.Start(); err != nil {
+			engine.Close()
+			return nil, nil, err
+		}
+		return engine, srv, nil
+	}
+
+	mGroups := obs.Default().Counter("bh.batch.groups")
+	mGrouped := obs.Default().Counter("bh.batch.grouped_queries")
+	n := cfg.Queries * 8
+
+	type passResult struct {
+		tm      Timing
+		groups  int64
+		grouped int64
+	}
+	runPass := func(bc *batch.Config) (passResult, error) {
+		engine, srv, err := build(bc)
+		if err != nil {
+			return passResult{}, err
+		}
+		defer engine.Close()
+		defer srv.Drain()
+		c, err := client.New(client.Config{BaseURL: "http://" + srv.Addr()})
+		if err != nil {
+			return passResult{}, err
+		}
+		defer c.Close()
+		if _, err := c.Query(ctx, queryFor(0)); err != nil {
+			return passResult{}, err
+		}
+		groupsBefore, groupedBefore := mGroups.Value(), mGrouped.Value()
+		tm, err := MeasureConcurrent(n, batchClients, func(qi int) error {
+			_, err := c.Query(ctx, queryFor(qi))
+			return err
+		})
+		if err != nil {
+			return passResult{}, err
+		}
+		if bc != nil {
+			// Byte-identity spot check on the measuring engine: a grouped
+			// burst must answer exactly like solo execution.
+			stmts := make([]string, batchClients)
+			for i := range stmts {
+				stmts[i] = queryFor(i)
+			}
+			results, errs := c.Queries(ctx, stmts)
+			for i := range stmts {
+				if errs[i] != nil {
+					return passResult{}, fmt.Errorf("verify member %d: %w", i, errs[i])
+				}
+				want, err := engine.Query(ctx, stmts[i], core.QueryOptions{DisableBatch: true})
+				if err != nil {
+					return passResult{}, err
+				}
+				gotJSON, _ := json.Marshal(results[i].Rows)
+				wantJSON, _ := json.Marshal(want.Rows)
+				if string(gotJSON) != string(wantJSON) {
+					return passResult{}, fmt.Errorf("batched result %d differs from solo execution:\nbatched: %s\nsolo:    %s", i, gotJSON, wantJSON)
+				}
+			}
+		}
+		return passResult{
+			tm:      tm,
+			groups:  mGroups.Value() - groupsBefore,
+			grouped: mGrouped.Value() - groupedBefore,
+		}, nil
+	}
+
+	off, err := runPass(nil)
+	if err != nil {
+		return nil, err
+	}
+	// Adaptive off: the experiment quantifies the mechanism's ceiling;
+	// the cost model's routing is exercised by its own unit tests.
+	on, err := runPass(&batch.Config{Window: 2 * time.Millisecond, MaxGroup: 16})
+	if err != nil {
+		return nil, err
+	}
+	if on.grouped == 0 {
+		return nil, fmt.Errorf("batching pass formed no multi-query groups (grouped_queries delta = 0; groups=%d solo=%d ungroup=%d s1=%d)", on.groups,
+			obs.Default().Counter("bh.batch.solo").Value(), obs.Default().Counter("bh.batch.ungroupable").Value(), obs.Default().Counter("bh.batch.group_size.1").Value())
+	}
+	if on.tm.QPS <= off.tm.QPS*1.2 {
+		return nil, fmt.Errorf("batching did not pay: %.1f QPS batched vs %.1f unbatched (need >1.2x)", on.tm.QPS, off.tm.QPS)
+	}
+
+	rep := &Report{
+		ID:      "batch",
+		Title:   "Multi-query batching throughput at 16 clients through the HTTP serving tier",
+		Headers: []string{"mode", "qps", "mean_ms", "p99_ms", "groups", "grouped_queries"},
+	}
+	rep.AddRow("batch-off",
+		fmt.Sprintf("%.1f", off.tm.QPS),
+		fmt.Sprintf("%.2f", float64(off.tm.Mean.Microseconds())/1000),
+		fmt.Sprintf("%.2f", float64(off.tm.P99.Microseconds())/1000),
+		"0", "0")
+	rep.AddRow("batch-on",
+		fmt.Sprintf("%.1f", on.tm.QPS),
+		fmt.Sprintf("%.2f", float64(on.tm.Mean.Microseconds())/1000),
+		fmt.Sprintf("%.2f", float64(on.tm.P99.Microseconds())/1000),
+		fmt.Sprint(on.groups), fmt.Sprint(on.grouped))
+	rep.Note("end-to-end: %d clients → HTTP/JSON → admission (4 slots, queue 64); %d queries per pass over a 1ms-RTT remote store; batching window 2ms, max group 16, one admission slot per group", batchClients, n)
+	rep.Note("speedup: %.2fx QPS batched vs unbatched; per-query results asserted byte-identical to solo execution (hard failure otherwise)", on.tm.QPS/off.tm.QPS)
+	return rep, nil
+}

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"blendhouse/internal/batch"
 	"blendhouse/internal/blobtier"
 	"blendhouse/internal/cache"
 	"blendhouse/internal/cluster"
@@ -169,6 +170,12 @@ type Config struct {
 	// WARN (with its trace ID) and bumps bh.query.slow — independent of
 	// trace sampling.
 	SlowQuery time.Duration
+	// Batch, when non-nil, enables the multi-query batching subsystem:
+	// compatible queued SELECTs form shared-scan groups inside a short
+	// formation window and walk each segment once for the whole group,
+	// with results fanned back byte-identical to isolated execution.
+	// See internal/batch.
+	Batch *batch.Config
 }
 
 // Engine is a BlendHouse instance.
@@ -190,6 +197,9 @@ type Engine struct {
 	// remembered here when configured.
 	retryStore *storage.RetryStore
 	tier       *blobtier.TieredStore
+
+	// batcher is the multi-query batching scheduler (nil = disabled).
+	batcher *batch.Scheduler
 }
 
 // New builds an engine, reopening any tables already present in the
@@ -261,6 +271,9 @@ func New(cfg Config) (*Engine, error) {
 			return nil, fmt.Errorf("core: recovering table %q: %w", name, err)
 		}
 	}
+	if cfg.Batch != nil {
+		e.batcher = batch.New(*cfg.Batch, e.runBatchGroup)
+	}
 	e.registerStatGauges()
 	return e, nil
 }
@@ -320,6 +333,7 @@ func (e *Engine) registerTable(t *lsm.Table) error {
 		Table: t, VW: e.cfg.VW, ColCache: e.colCache,
 		SemanticFraction: frac, MinSegments: e.cfg.MinSegments,
 		MaxParallelism: e.cfg.MaxParallelism,
+		Stats:          &obs.ScanStats{},
 	}
 	e.mu.Unlock()
 	if e.cfg.VW != nil {
@@ -355,6 +369,9 @@ func (e *Engine) registerTable(t *lsm.Table) error {
 // back to the synchronous segment path).
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() {
+		if e.batcher != nil {
+			e.batcher.Close() // drain in-flight groups before WAL teardown
+		}
 		close(e.stopCompaction)
 		e.mu.RLock()
 		tables := make([]*lsm.Table, 0, len(e.tables))
@@ -419,6 +436,11 @@ type QueryOptions struct {
 	// query (SET allow_partial = on). A single engine ignores it — its
 	// results are never partial.
 	AllowPartial bool
+	// DisableBatch bypasses the batching scheduler for this statement.
+	// The server sets it when it already admitted the statement itself
+	// (session batching off, or batching disabled), so a query is never
+	// gated twice.
+	DisableBatch bool
 }
 
 // Exec parses and executes one SQL statement under ctx. DDL and DML
@@ -687,6 +709,9 @@ func (e *Engine) query(ctx context.Context, sel *sql.Select, opts QueryOptions) 
 	ph, err := e.planner.Plan(sel, t)
 	if err != nil {
 		return nil, planErr(err)
+	}
+	if e.batcher != nil && !opts.DisableBatch {
+		return e.batchSubmit(ctx, t, ph, opts)
 	}
 	return e.runTraced(ctx, sel.Table, ph, opts)
 }

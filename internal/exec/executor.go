@@ -53,6 +53,12 @@ type Executor struct {
 	// MaxParallelism bounds the per-query segment fan-out (0 =
 	// GOMAXPROCS). Individual runs can override it via RunOptions.
 	MaxParallelism int
+	// Stats, when non-nil, accumulates observed per-segment scan
+	// latency and predicate selectivity — the live inputs of the
+	// batched-vs-solo decision (plan.ChooseBatch). Fed by every scan,
+	// solo and shared alike, so the averages stay fresh regardless of
+	// which path the scheduler picks.
+	Stats *obs.ScanStats
 
 	localIdx sync.Map // segment name -> index.Index
 }
@@ -358,6 +364,9 @@ func (e *Executor) predicateBitset(ctx context.Context, meta *storage.SegmentMet
 			}
 		}
 	}
+	if e.Stats != nil && len(preds) > 0 && meta.Rows > 0 {
+		e.Stats.Selectivity.Observe(float64(bs.Count()) / float64(meta.Rows))
+	}
 	if del != nil {
 		bs.AndNot(del)
 	}
@@ -628,15 +637,7 @@ func (e *Executor) postFilterSegment(ctx context.Context, lg *plan.Logical, pred
 // --- range search ---------------------------------------------------------------
 
 func (e *Executor) runRange(ctx context.Context, lg *plan.Logical, preds []compiledPred, metas []*storage.SegmentMeta, par int, params index.SearchParams, mem []*wal.MemSnapshot, sp *obs.Span, tr *obs.Trace) ([]hit, error) {
-	radius := lg.Range.Radius
-	// Internal distances: IP is negated, L2 is squared — translate the
-	// user-facing radius into index space.
-	switch lg.Metric {
-	case vec.L2:
-		radius = radius * radius
-	case vec.InnerProduct:
-		radius = -radius
-	}
+	radius := internalRadius(lg)
 	// Range results are unbounded (k = 0): every in-radius hit must
 	// survive the merge before the final truncation.
 	all, err := e.scanSegments(ctx, metas, 0, par, sp, func(ctx context.Context, m *storage.SegmentMeta, ssp *obs.Span) ([]hit, error) {
@@ -683,6 +684,19 @@ func (e *Executor) runRange(ctx context.Context, lg *plan.Logical, preds []compi
 		all = all[:lg.K]
 	}
 	return all, nil
+}
+
+// internalRadius translates a user-facing range radius into index
+// space: internal distances negate IP and square L2.
+func internalRadius(lg *plan.Logical) float32 {
+	radius := lg.Range.Radius
+	switch lg.Metric {
+	case vec.L2:
+		radius = radius * radius
+	case vec.InnerProduct:
+		radius = -radius
+	}
+	return radius
 }
 
 func (e *Executor) ownerOf(m *storage.SegmentMeta) string {

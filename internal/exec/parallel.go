@@ -168,9 +168,13 @@ func (e *Executor) scanSegments(ctx context.Context, metas []*storage.SegmentMet
 		defer func() { slot <- g }()
 		m := metas[i]
 		ssp := sp.Child("segment " + m.Name)
+		segStart := obs.Now()
 		hits, err := fn(ctx, m, ssp)
 		ssp.End()
 		segWall.Add(int64(ssp.Duration()))
+		if e.Stats != nil {
+			e.Stats.SegLatency.Observe(time.Since(segStart).Seconds())
+		}
 		if err != nil {
 			return err
 		}

@@ -177,6 +177,70 @@ func Choose(in CostInputs, p CostParams) (Strategy, float64) {
 	return best, cost
 }
 
+// BatchInputs summarize the *observed* state feeding the batched-vs-
+// solo decision for one query. Unlike CostInputs these are not static
+// estimates: SegLatency and Selectivity come from the executor's
+// obs.ScanStats EWMAs, ExpectedGroup from the scheduler's measured
+// arrival rate and admission wait. All times are seconds.
+type BatchInputs struct {
+	// SegLatency is the observed average wall time of one shared
+	// per-segment scan (0 = no observations yet).
+	SegLatency float64
+	// Segments is the table's current segment count.
+	Segments int
+	// Selectivity is the observed qualifying fraction of filtered
+	// segments (0 = unobserved; treated as 1, the conservative case
+	// where the ANN traversal dominates and sharing saves the least).
+	Selectivity float64
+	// ExpectedGroup is the group size the scheduler expects to form
+	// within the window at the current arrival rate (>= 1).
+	ExpectedGroup float64
+	// Window is the formation window the query would wait.
+	Window float64
+}
+
+// batchOverheadFloor is the fixed per-group coordination cost
+// (scheduling, fan-out/fan-in) a group must amortize beyond the
+// formation window before batching pays.
+const batchOverheadFloor = 100e-6
+
+// ChooseBatch decides whether a query should wait for a shared-scan
+// group or run solo, returning the decision and the estimated wall
+// seconds the expected group saves versus isolated execution.
+//
+// Per extra member, a shared scan saves the fraction of per-segment
+// work that is member-independent: the predicate bitset build, the
+// delete-bitmap and column reads, and the index load. The ANN
+// traversal itself stays per-member, so the shared fraction shrinks as
+// selectivity rises (more qualifying rows → the per-member search
+// dominates) and grows as the predicate gets tighter. Batching wins
+// when the expected saving exceeds the formation window plus the fixed
+// coordination floor.
+//
+// With no latency observations yet the decision is to batch: the
+// exploration cost is one formation window, and the resulting shared
+// scan produces the very observations later decisions run on.
+func ChooseBatch(in BatchInputs) (bool, float64) {
+	if in.SegLatency <= 0 {
+		return true, 0
+	}
+	segs := in.Segments
+	if segs < 1 {
+		segs = 1
+	}
+	eg := in.ExpectedGroup
+	if eg < 1 {
+		eg = 1
+	}
+	sel := in.Selectivity
+	if sel <= 0 || sel > 1 {
+		sel = 1
+	}
+	sharedFrac := 0.5 + 0.5*(1-sel)
+	saved := (eg - 1) * sharedFrac * in.SegLatency * float64(segs)
+	return saved > in.Window+batchOverheadFloor, saved
+}
+
 // VisitFractions derives β and γ from search parameters and the table
 // shape: graph indexes visit ~ef of n; IVF visits nprobe/nlist of the
 // lists. γ adds the traversal overhead of skipping blocked entries.

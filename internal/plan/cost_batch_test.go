@@ -1,0 +1,66 @@
+package plan
+
+import "testing"
+
+func TestChooseBatchExploresWithoutObservations(t *testing.T) {
+	ok, saved := ChooseBatch(BatchInputs{Segments: 10, ExpectedGroup: 1, Window: 0.002})
+	if !ok {
+		t.Fatal("unobserved latency must explore (batch) to produce observations")
+	}
+	if saved != 0 {
+		t.Fatalf("exploration reports no estimated saving, got %v", saved)
+	}
+}
+
+func TestChooseBatchSoloWhenNoCompanyExpected(t *testing.T) {
+	// A lone client: expected group 1 → nothing to share, the window is
+	// pure added latency.
+	ok, saved := ChooseBatch(BatchInputs{
+		SegLatency: 500e-6, Segments: 25, Selectivity: 0.5,
+		ExpectedGroup: 1, Window: 0.002,
+	})
+	if ok {
+		t.Fatal("expected-group 1 must choose solo")
+	}
+	if saved != 0 {
+		t.Fatalf("saved = %v, want 0 at group size 1", saved)
+	}
+}
+
+func TestChooseBatchBatchesUnderConcurrency(t *testing.T) {
+	// The bench shape: ~25 segments at ~500µs each over a remote store,
+	// several queries expected per window — savings dwarf the window.
+	ok, saved := ChooseBatch(BatchInputs{
+		SegLatency: 500e-6, Segments: 25, Selectivity: 0.5,
+		ExpectedGroup: 4, Window: 0.002,
+	})
+	if !ok {
+		t.Fatalf("high-concurrency shape must batch (estimated saving %v s)", saved)
+	}
+	if saved <= 0.002 {
+		t.Fatalf("saving %v should exceed the 2ms window", saved)
+	}
+}
+
+func TestChooseBatchSoloOnTinyTables(t *testing.T) {
+	// One fast segment: even a big group can't amortize the window.
+	ok, _ := ChooseBatch(BatchInputs{
+		SegLatency: 20e-6, Segments: 1, Selectivity: 1,
+		ExpectedGroup: 8, Window: 0.002,
+	})
+	if ok {
+		t.Fatal("one 20µs segment must not pay a 2ms window")
+	}
+}
+
+func TestChooseBatchSelectivityRaisesSharedFraction(t *testing.T) {
+	base := BatchInputs{SegLatency: 400e-6, Segments: 10, ExpectedGroup: 3, Window: 0.002}
+	tight, loose := base, base
+	tight.Selectivity = 0.01
+	loose.Selectivity = 1.0
+	_, savedTight := ChooseBatch(tight)
+	_, savedLoose := ChooseBatch(loose)
+	if savedTight <= savedLoose {
+		t.Fatalf("tighter predicates share more per-segment work: tight=%v loose=%v", savedTight, savedLoose)
+	}
+}

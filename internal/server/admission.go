@@ -101,9 +101,23 @@ func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
 // included, so the histogram's quantiles reflect what a typical
 // statement actually waited, not just the queued minority.
 func (a *Admission) AcquireTimed(ctx context.Context) (release func(), wait time.Duration, err error) {
+	// An already-fired context must never be granted a slot: the caller
+	// is gone, nothing would run the statement or call release.
+	if err := ctx.Err(); err != nil {
+		mAdmCtxAbandoned.Inc()
+		return nil, 0, err
+	}
 	// Fast path: free slot, no queueing.
 	select {
 	case a.slots <- struct{}{}:
+		if err := ctx.Err(); err != nil {
+			// ctx fired in the same instant the slot was taken: give the
+			// slot straight back (unblocking any queued sender) instead of
+			// leaking it behind a release() nobody will call.
+			<-a.slots
+			mAdmCtxAbandoned.Inc()
+			return nil, 0, err
+		}
 		mAdmQueueWait.Observe(0)
 		return a.admit(), 0, nil
 	default:
@@ -135,6 +149,14 @@ func (a *Admission) AcquireTimed(ctx context.Context) (release func(), wait time
 	select {
 	case a.slots <- struct{}{}:
 		wait = time.Since(start)
+		if err := ctx.Err(); err != nil {
+			// The select granted the slot in the same instant the waiter's
+			// context fired. The caller would discard the grant, so the
+			// abandoned-while-granted window must not leak the slot.
+			<-a.slots
+			mAdmCtxAbandoned.Inc()
+			return nil, wait, err
+		}
 		mAdmQueueWait.Observe(wait)
 		return a.admit(), wait, nil
 	case <-timeout:

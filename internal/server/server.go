@@ -117,6 +117,11 @@ type Server struct {
 	mux      *http.ServeMux
 	draining atomic.Bool
 	lc       *httpLifecycle
+
+	// batchEngine is non-nil when the engine runs a batching scheduler:
+	// SELECTs then skip per-statement admission (the scheduler acquires
+	// one slot per formed group through the gate wired in New).
+	batchEngine *core.Engine
 }
 
 // New builds a server (not yet listening; call Start, or mount
@@ -131,6 +136,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg, backend: backend, adm: NewAdmission(cfg.Admission)}
+	if cfg.Backend == nil && cfg.Engine != nil && cfg.Engine.Batcher() != nil {
+		// Batching mode: the scheduler admits groups, not statements, so
+		// it gets the admission controller as its gate and the handler
+		// routes SELECTs around the per-statement Acquire.
+		s.batchEngine = cfg.Engine
+		cfg.Engine.Batcher().SetGate(s.adm)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/query", s.statementHandler("query"))
 	s.mux.HandleFunc("/v1/exec", s.statementHandler("exec"))
@@ -366,18 +378,32 @@ func (s *Server) statementHandler(route string) http.HandlerFunc {
 			defer cancel()
 		}
 
-		release, wait, err := s.adm.AcquireTimed(ctx)
-		queueWait = wait
-		if err != nil {
-			fail(queueErr(err))
-			return
+		// Batching: routed SELECTs skip per-statement admission — the
+		// scheduler acquires one slot per formed group, so a group of N
+		// queries occupies one engine slot, the throughput-multiplier
+		// contract. Everything else (DML, DDL, SHOW, sessions that SET
+		// batch = off) is admitted here as before.
+		gated := s.batchEngine != nil && sess.Batch() && s.batchEngine.BatchRoutes(req.Query)
+		var release func()
+		var wait time.Duration
+		if !gated {
+			var err error
+			release, wait, err = s.adm.AcquireTimed(ctx)
+			queueWait = wait
+			if err != nil {
+				fail(queueErr(err))
+				return
+			}
 		}
 		res, err := s.backend.Query(ctx, req.Query, core.QueryOptions{
 			MaxParallelism: maxPar,
 			QueueWait:      wait,
 			AllowPartial:   sess.AllowPartial(),
+			DisableBatch:   !gated,
 		})
-		release()
+		if release != nil {
+			release()
+		}
 		if err != nil {
 			fail(err)
 			return

@@ -21,17 +21,28 @@ import (
 //	SET max_parallelism  = <n>     (0 = engine default)
 //	SET allow_partial    = on|off  (coordinator only: accept results
 //	                                missing unreachable shards)
+//	SET batch            = on|off  (opt this session's SELECTs out of
+//	                                the multi-query batching scheduler)
 type Session struct {
 	mu           sync.Mutex
 	timeout      time.Duration
 	maxPar       int
 	allowPartial bool
+	batchOff     bool
 }
 
 // NewSession builds a session with initial defaults (as set by server
 // or shell flags).
 func NewSession(timeout time.Duration, maxParallelism int) *Session {
 	return &Session{timeout: timeout, maxPar: maxParallelism}
+}
+
+// Batch reports whether the session participates in multi-query
+// batching (default on; only meaningful on servers that enable it).
+func (s *Session) Batch() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.batchOff
 }
 
 // Timeout returns the session statement timeout (0 = none).
@@ -65,10 +76,15 @@ func (s *Session) Vars() map[string]string {
 	if s.allowPartial {
 		ap = "on"
 	}
+	b := "on"
+	if s.batchOff {
+		b = "off"
+	}
 	return map[string]string{
 		"statement_timeout": strconv.FormatInt(s.timeout.Milliseconds(), 10),
 		"max_parallelism":   strconv.Itoa(s.maxPar),
 		"allow_partial":     ap,
+		"batch":             b,
 	}
 }
 
@@ -131,7 +147,24 @@ func (s *Session) HandleSet(stmt string) (handled bool, msg string, err error) {
 			return true, "OK: partial results allowed (queries survive shard loss)", nil
 		}
 		return true, "OK: partial results disallowed (queries fail closed on shard loss)", nil
+	case "batch":
+		var on bool
+		switch strings.ToLower(value) {
+		case "on", "1", "true":
+			on = true
+		case "off", "0", "false":
+			on = false
+		default:
+			return true, "", fmt.Errorf("session: batch wants on or off, got %q", value)
+		}
+		s.mu.Lock()
+		s.batchOff = !on
+		s.mu.Unlock()
+		if on {
+			return true, "OK: multi-query batching enabled for this session", nil
+		}
+		return true, "OK: multi-query batching disabled for this session", nil
 	default:
-		return true, "", fmt.Errorf("session: unknown variable %q (supported: statement_timeout, max_parallelism, allow_partial)", name)
+		return true, "", fmt.Errorf("session: unknown variable %q (supported: statement_timeout, max_parallelism, allow_partial, batch)", name)
 	}
 }

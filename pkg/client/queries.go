@@ -1,0 +1,35 @@
+package client
+
+import (
+	"context"
+	"sync"
+)
+
+// Queries issues a batch of statements concurrently over the client's
+// pooled connections and returns the results positionally. It exists
+// for the server's multi-query batching subsystem: statements that
+// arrive together can be grouped into shared-scan batches server-side,
+// so issuing a related set through Queries (instead of a sequential
+// loop) is what lets the scheduler turn them into one segment pass.
+//
+// Each statement is an independent request with independent retries
+// and its own trace ID; opts apply to every statement (a caller-set
+// WithTraceID is ignored so the IDs stay distinguishable). Failures
+// are per-statement: results[i] is nil exactly when errs[i] is
+// non-nil, and one statement failing never affects the others.
+func (c *Client) Queries(ctx context.Context, queries []string, opts ...Option) (results []*Result, errs []error) {
+	results = make([]*Result, len(queries))
+	errs = make([]error, len(queries))
+	resolved := resolve(opts)
+	resolved.TraceID = "" // one minted ID per statement, not one shared
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q string) {
+			defer wg.Done()
+			results[i], errs[i] = c.roundTrip(ctx, "/v1/query", q, resolved, "")
+		}(i, q)
+	}
+	wg.Wait()
+	return results, errs
+}
