@@ -165,12 +165,18 @@ func (b *Bitset) NextSet(i int) int {
 
 // Ones returns the indices of all set bits.
 func (b *Bitset) Ones() []int {
-	out := make([]int, 0, b.Count())
+	return b.AppendOnes(make([]int, 0, b.Count()))
+}
+
+// AppendOnes appends the indices of all set bits to dst and returns
+// the extended slice — the allocation-free form of Ones for callers
+// with a reusable buffer.
+func (b *Bitset) AppendOnes(dst []int) []int {
 	b.ForEach(func(i int) bool {
-		out = append(out, i)
+		dst = append(dst, i)
 		return true
 	})
-	return out
+	return dst
 }
 
 // MarshalBinary serializes the bitset (length-prefixed words).

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"blendhouse/internal/exec"
+	"blendhouse/internal/plan"
+	"blendhouse/internal/sql"
+	"blendhouse/internal/vec"
+)
+
+// A query vector whose length differs from the column's declared
+// dimension is the statement's fault: the SQL path must answer with
+// the plan class (→ 4xx at the server), never a slice-bounds panic
+// from a distance kernel.
+func TestDimMismatchIsPlanError(t *testing.T) {
+	e := newEngine(t, Config{})
+	defer e.Close()
+	seedImages(t, e)
+
+	for _, src := range []string{
+		"SELECT id FROM images ORDER BY L2Distance(embedding, [1.0, 2.0]) LIMIT 5",
+		"SELECT id FROM images ORDER BY L2Distance(embedding, [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]) LIMIT 5",
+	} {
+		_, err := e.Query(context.Background(), src, QueryOptions{})
+		if !errors.Is(err, ErrPlan) {
+			t.Fatalf("%s: err = %v, want ErrPlan", src, err)
+		}
+		if !strings.Contains(err.Error(), "dim") {
+			t.Fatalf("%s: error should name the dimension mismatch: %v", src, err)
+		}
+	}
+}
+
+// Plans constructed directly (bypassing the planner's validation) must
+// hit the executor's own dimension check. Before that check existed,
+// an over-long query vector panicked inside the kernels instead of
+// returning an error.
+func TestDirectPlanDimMismatchNoPanic(t *testing.T) {
+	e := newEngine(t, Config{})
+	defer e.Close()
+	seedImages(t, e)
+
+	for _, strat := range []plan.Strategy{plan.BruteForce, plan.PreFilter, plan.PostFilter} {
+		badQ := make([]float32, eDim+4) // longer than the column dim
+		lg := &plan.Logical{
+			Table:        "images",
+			Projection:   []string{"id"},
+			Distance:     &sql.DistanceExpr{Func: "L2Distance", Column: "embedding", Query: badQ},
+			Metric:       vec.L2,
+			K:            5,
+			VectorColumn: "embedding",
+		}
+		_, err := e.Executor("images").Run(context.Background(), &plan.Physical{Logical: lg, Strategy: strat})
+		if !errors.Is(err, exec.ErrInvalidQuery) {
+			t.Fatalf("strategy %v: err = %v, want exec.ErrInvalidQuery", strat, err)
+		}
+	}
+}
+
+// Steady-state vector queries must not allocate proportionally to the
+// scanned rows: the top-k heaps, candidate buffers and row-offset
+// scratch are pooled, so per-query allocations stay at a small fixed
+// overhead (parse, plan, result assembly). The budget has headroom
+// over the measured count — it exists to catch the hot path regressing
+// to per-row or per-segment allocation, not to pin an exact number.
+func TestVectorQueryAllocsBounded(t *testing.T) {
+	e := newEngine(t, Config{})
+	defer e.Close()
+	ds := seedImages(t, e)
+
+	ctx := context.Background()
+	src := "SELECT id FROM images ORDER BY L2Distance(embedding, " + vecLit(ds.Queries.Row(0)) + ") LIMIT 10"
+	// Warm the segment index/column caches and the scratch pools.
+	for i := 0; i < 3; i++ {
+		if _, err := e.Query(ctx, src, QueryOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := e.Query(ctx, src, QueryOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// eN rows across segments: unpooled execution allocated O(rows).
+	const budget = 250
+	if allocs > budget {
+		t.Fatalf("steady-state vector query allocates %v, budget %v — scan scratch is no longer pooled", allocs, budget)
+	}
+}

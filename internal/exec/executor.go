@@ -163,6 +163,13 @@ func (e *Executor) RunWith(ctx context.Context, ph *plan.Physical, opts RunOptio
 	if !lg.IsVectorQuery() {
 		return e.runScalar(ctx, lg, preds, par, view, tr)
 	}
+	// Defense in depth: the planner validates query dimension on every
+	// SQL path, but plans can also be constructed directly. A mismatch
+	// here would otherwise surface as a slice-bounds panic deep inside
+	// the distance kernels.
+	if err := e.checkVectorDim(lg); err != nil {
+		return nil, err
+	}
 	mVecQueries.Inc()
 	switch ph.Strategy {
 	case plan.BruteForce:
@@ -276,6 +283,27 @@ func sortHits(hits []hit) {
 		}
 		return hits[i].offset < hits[j].offset
 	})
+}
+
+// checkVectorDim rejects query vectors whose length differs from the
+// vector column's declared dimension, as a statement fault
+// (ErrInvalidQuery → 4xx), before any kernel sees the data.
+func (e *Executor) checkVectorDim(lg *plan.Logical) error {
+	if lg.Distance == nil {
+		return nil
+	}
+	col := lg.VectorColumn
+	if col == "" {
+		col = lg.Distance.Column
+	}
+	_, def := e.Table.Schema().Col(col)
+	if def == nil {
+		return fmt.Errorf("%w: unknown vector column %q", ErrInvalidQuery, col)
+	}
+	if len(lg.Distance.Query) != def.Dim {
+		return fmt.Errorf("%w: query vector dim %d != column dim %d", ErrInvalidQuery, len(lg.Distance.Query), def.Dim)
+	}
+	return nil
 }
 
 // pruneSegments applies partition, min/max and semantic pruning to
@@ -401,46 +429,71 @@ func (e *Executor) InvalidateLocalIndexes() {
 // --- plan A: brute force -----------------------------------------------------
 
 func (e *Executor) runBruteForce(ctx context.Context, lg *plan.Logical, preds []compiledPred, metas []*storage.SegmentMeta, k, par int, sp *obs.Span, tr *obs.Trace) ([]hit, error) {
-	return e.scanSegments(ctx, metas, k, par, sp, func(ctx context.Context, m *storage.SegmentMeta, ssp *obs.Span) ([]hit, error) {
+	return e.scanSegments(ctx, metas, k, par, sp, func(ctx context.Context, m *storage.SegmentMeta, ssp *obs.Span, emit func(hit)) error {
 		ssp.SetInt("rows", int64(m.Rows))
 		mSegScans.Inc()
 		bs, err := e.predicateBitset(ctx, m, preds, tr)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		var rows []int
+		s := getScratch()
+		defer putScratch(s)
 		if bs == nil {
-			rows = make([]int, m.Rows)
-			for i := range rows {
-				rows[i] = i
+			for i := 0; i < m.Rows; i++ {
+				s.rows = append(s.rows, i)
 			}
 		} else {
-			rows = bs.Ones()
+			s.rows = bs.AppendOnes(s.rows)
 		}
+		rows := s.rows
 		ssp.SetInt("filtered_rows", int64(len(rows)))
 		if len(rows) == 0 {
-			return nil, nil
+			return nil
 		}
 		rd, err := e.Table.Reader(m.Name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		vcol, err := e.readRows(ctx, rd, lg.VectorColumn, rows, len(rows), tr)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t := index.NewTopK(k)
-		for i := range rows {
-			d := vec.Distance(lg.Metric, lg.Distance.Query, vcol.Vector(i))
-			t.Push(index.Candidate{ID: int64(rows[i]), Dist: d})
+		// The fetched rows are compacted contiguously in vcol.Vecs, so
+		// the blocked kernels apply directly; L2 additionally abandons
+		// rows early against the running top-k worst (kept candidates
+		// are bitwise identical to a per-row scan — see internal/vec).
+		t := index.GetTopK(k)
+		defer index.PutTopK(t)
+		q := lg.Distance.Query
+		dim := vcol.Def.Dim
+		data := vcol.Vecs
+		var dists [scanBlock]float32
+		n := len(rows)
+		for base := 0; base < n; base += scanBlock {
+			br := n - base
+			if br > scanBlock {
+				br = scanBlock
+			}
+			block := data[base*dim : (base+br)*dim]
+			if lg.Metric == vec.L2 {
+				thr := float32(math.MaxFloat32)
+				if w, ok := t.Worst(); ok {
+					thr = w
+				}
+				vec.L2SquaredBatchThreshold(q, block, dim, dists[:br], thr)
+			} else {
+				vec.DistancesTo(lg.Metric, q, block, dim, dists[:br])
+			}
+			for j := 0; j < br; j++ {
+				t.Push(index.Candidate{ID: int64(rows[base+j]), Dist: dists[j]})
+			}
 		}
-		res := t.Results()
-		out := make([]hit, len(res))
-		for i, c := range res {
-			out[i] = hit{meta: m, offset: int(c.ID), dist: c.Dist}
+		s.cands = t.AppendResults(s.cands[:0])
+		for _, c := range s.cands {
+			emit(hit{meta: m, offset: int(c.ID), dist: c.Dist})
 		}
-		ssp.SetInt("candidates", int64(len(res)))
-		return out, nil
+		ssp.SetInt("candidates", int64(len(s.cands)))
+		return nil
 	})
 }
 
@@ -484,30 +537,29 @@ func (e *Executor) runPreFilter(ctx context.Context, lg *plan.Logical, preds []c
 	}
 	// Local mode: fuse structured scan + ANN scan per segment on the
 	// worker pool.
-	return e.scanSegments(ctx, metas, k, par, sp, func(ctx context.Context, m *storage.SegmentMeta, ssp *obs.Span) ([]hit, error) {
+	return e.scanSegments(ctx, metas, k, par, sp, func(ctx context.Context, m *storage.SegmentMeta, ssp *obs.Span, emit func(hit)) error {
 		bs, err := e.predicateBitset(ctx, m, preds, tr)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if bs != nil && !bs.Any() {
-			return nil, nil // nothing qualifies in this segment
+			return nil // nothing qualifies in this segment
 		}
 		ssp.SetInt("rows", int64(m.Rows))
 		mSegScans.Inc()
 		ix, err := e.segmentIndex(ctx, m, tr)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cands, err := ix.SearchWithFilter(lg.Distance.Query, k, bs, params)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out := make([]hit, len(cands))
-		for i, c := range cands {
-			out[i] = hit{meta: m, offset: int(c.ID), dist: c.Dist}
+		for _, c := range cands {
+			emit(hit{meta: m, offset: int(c.ID), dist: c.Dist})
 		}
 		ssp.SetInt("candidates", int64(len(cands)))
-		return out, nil
+		return nil
 	})
 }
 
@@ -528,15 +580,18 @@ func metaIndex(metas []*storage.SegmentMeta) map[string]*storage.SegmentMeta {
 // + partial-top-k-before-filter pipeline. Segments run concurrently on
 // the worker pool.
 func (e *Executor) runPostFilter(ctx context.Context, lg *plan.Logical, preds []compiledPred, metas []*storage.SegmentMeta, k, par int, params index.SearchParams, sp *obs.Span, tr *obs.Trace) ([]hit, error) {
-	return e.scanSegments(ctx, metas, k, par, sp, func(ctx context.Context, m *storage.SegmentMeta, ssp *obs.Span) ([]hit, error) {
+	return e.scanSegments(ctx, metas, k, par, sp, func(ctx context.Context, m *storage.SegmentMeta, ssp *obs.Span, emit func(hit)) error {
 		ssp.SetInt("rows", int64(m.Rows))
 		mSegScans.Inc()
 		hits, err := e.postFilterSegment(ctx, lg, preds, m, k, params, ssp, tr)
 		if err != nil {
-			return nil, err
+			return err
+		}
+		for _, h := range hits {
+			emit(h)
 		}
 		ssp.SetInt("candidates", int64(len(hits)))
-		return hits, nil
+		return nil
 	})
 }
 
@@ -640,13 +695,13 @@ func (e *Executor) runRange(ctx context.Context, lg *plan.Logical, preds []compi
 	radius := internalRadius(lg)
 	// Range results are unbounded (k = 0): every in-radius hit must
 	// survive the merge before the final truncation.
-	all, err := e.scanSegments(ctx, metas, 0, par, sp, func(ctx context.Context, m *storage.SegmentMeta, ssp *obs.Span) ([]hit, error) {
+	all, err := e.scanSegments(ctx, metas, 0, par, sp, func(ctx context.Context, m *storage.SegmentMeta, ssp *obs.Span, emit func(hit)) error {
 		bs, err := e.predicateBitset(ctx, m, preds, tr)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if bs != nil && !bs.Any() {
-			return nil, nil
+			return nil
 		}
 		ssp.SetInt("rows", int64(m.Rows))
 		mSegScans.Inc()
@@ -654,26 +709,25 @@ func (e *Executor) runRange(ctx context.Context, lg *plan.Logical, preds []compi
 		if e.VW != nil {
 			owner := e.VW.Worker(e.ownerOf(m))
 			if owner == nil {
-				return nil, fmt.Errorf("exec: no worker for segment %s", m.Name)
+				return fmt.Errorf("exec: no worker for segment %s", m.Name)
 			}
 			ssp.Set("worker", owner.ID)
 			cands, err = owner.RangeSegment(ctx, e.Table, m, lg.Distance.Query, radius, params, bs)
 		} else {
 			ix, ierr := e.segmentIndex(ctx, m, tr)
 			if ierr != nil {
-				return nil, ierr
+				return ierr
 			}
 			cands, err = ix.SearchWithRange(lg.Distance.Query, radius, bs, params)
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out := make([]hit, len(cands))
-		for i, c := range cands {
-			out[i] = hit{meta: m, offset: int(c.ID), dist: c.Dist}
+		for _, c := range cands {
+			emit(hit{meta: m, offset: int(c.ID), dist: c.Dist})
 		}
 		ssp.SetInt("candidates", int64(len(cands)))
-		return out, nil
+		return nil
 	})
 	if err != nil {
 		return nil, err

@@ -37,13 +37,17 @@ func memPass(preds []compiledPred, snap *wal.MemSnapshot, row int) bool {
 // candidate source).
 func memTopK(lg *plan.Logical, preds []compiledPred, snaps []*wal.MemSnapshot, k int) []hit {
 	var out []hit
+	t := index.GetTopK(k)
+	defer index.PutTopK(t)
+	s := getScratch()
+	defer putScratch(s)
 	for _, snap := range snaps {
 		vcol := snap.Col(lg.VectorColumn)
 		if vcol == nil {
 			continue
 		}
 		mMemScans.Inc()
-		t := index.NewTopK(k)
+		t.Reset(k)
 		for row := 0; row < snap.Rows(); row++ {
 			if !snap.Alive(row) || !memPass(preds, snap, row) {
 				continue
@@ -51,7 +55,8 @@ func memTopK(lg *plan.Logical, preds []compiledPred, snaps []*wal.MemSnapshot, k
 			d := vec.Distance(lg.Metric, lg.Distance.Query, vcol.Vector(row))
 			t.Push(index.Candidate{ID: int64(row), Dist: d})
 		}
-		for _, c := range t.Results() {
+		s.cands = t.AppendResults(s.cands[:0])
+		for _, c := range s.cands {
 			out = append(out, hit{meta: snap.Meta, offset: int(c.ID), dist: c.Dist})
 		}
 	}

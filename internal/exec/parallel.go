@@ -142,14 +142,16 @@ func gatherSegments[T any](ctx context.Context, metas []*storage.SegmentMeta, pa
 }
 
 // scanSegments runs a hit-producing scan over each segment on the
-// worker pool. Each goroutine accumulates into its own bounded top-k
-// heap (k <= 0 keeps everything, for range scans); the heaps are
+// worker pool. Each scan emits hits through a callback bound to its
+// goroutine's bounded top-k heap (k <= 0 keeps everything, for range
+// scans) — hits never materialize as a per-segment slice, which is
+// what lets the scans run on pooled scratch buffers. The heaps are
 // concatenated at the barrier and the caller re-sorts with the full
 // deterministic order. Every segment gets its own child span under sp,
 // created inside its goroutine, so EXPLAIN ANALYZE keeps working under
 // concurrency; sp is annotated with the parallelism degree and the
 // per-segment wall overlap (sum of segment spans / elapsed wall).
-func (e *Executor) scanSegments(ctx context.Context, metas []*storage.SegmentMeta, k, par int, sp *obs.Span, fn func(ctx context.Context, m *storage.SegmentMeta, ssp *obs.Span) ([]hit, error)) ([]hit, error) {
+func (e *Executor) scanSegments(ctx context.Context, metas []*storage.SegmentMeta, k, par int, sp *obs.Span, fn func(ctx context.Context, m *storage.SegmentMeta, ssp *obs.Span, emit func(hit)) error) ([]hit, error) {
 	if par > len(metas) {
 		par = len(metas)
 	}
@@ -167,21 +169,16 @@ func (e *Executor) scanSegments(ctx context.Context, metas []*storage.SegmentMet
 		g := <-slot
 		defer func() { slot <- g }()
 		m := metas[i]
+		emit := func(h hit) { heaps[g].push(h, k) }
 		ssp := sp.Child("segment " + m.Name)
 		segStart := obs.Now()
-		hits, err := fn(ctx, m, ssp)
+		err := fn(ctx, m, ssp, emit)
 		ssp.End()
 		segWall.Add(int64(ssp.Duration()))
 		if e.Stats != nil {
 			e.Stats.SegLatency.Observe(time.Since(segStart).Seconds())
 		}
-		if err != nil {
-			return err
-		}
-		for _, h := range hits {
-			heaps[g].push(h, k)
-		}
-		return nil
+		return err
 	})
 	if sp != nil {
 		sp.SetInt("parallelism", int64(par))

@@ -66,36 +66,109 @@ func (ix *Index) MemoryBytes() int64 {
 	return int64(4*len(ix.data) + 8*len(ix.ids))
 }
 
+// scanBlock is the number of rows the fused scans process per blocked
+// kernel call: big enough to amortize the heap-threshold lookup, small
+// enough to live in a stack buffer.
+const scanBlock = 64
+
 // SearchWithFilter scans every stored vector (skipping filtered-out
-// IDs) and returns the exact k nearest.
+// IDs) and returns the exact k nearest. Unfiltered scans run on the
+// blocked kernels; L2 scans additionally abandon rows early against
+// the current top-k worst (sound because squared-L2 partial sums are
+// monotone, and abandoned rows can never enter the heap — kept
+// candidates are bitwise identical to a full per-row scan).
 func (ix *Index) SearchWithFilter(q []float32, k int, filter index.Filter, _ index.SearchParams) ([]index.Candidate, error) {
 	if len(q) != ix.params.Dim {
 		return nil, fmt.Errorf("flat: query dim %d != index dim %d", len(q), ix.params.Dim)
 	}
-	t := index.NewTopK(k)
+	t := index.GetTopK(k)
+	defer index.PutTopK(t)
 	dim := ix.params.Dim
+	if filter == nil {
+		var dists [scanBlock]float32
+		n := len(ix.ids)
+		for base := 0; base < n; base += scanBlock {
+			rows := n - base
+			if rows > scanBlock {
+				rows = scanBlock
+			}
+			block := ix.data[base*dim : (base+rows)*dim]
+			if ix.params.Metric == vec.L2 {
+				thr := float32(math.MaxFloat32)
+				if w, ok := t.Worst(); ok {
+					thr = w
+				}
+				vec.L2SquaredBatchThreshold(q, block, dim, dists[:rows], thr)
+			} else {
+				vec.DistancesTo(ix.params.Metric, q, block, dim, dists[:rows])
+			}
+			for j := 0; j < rows; j++ {
+				t.Push(index.Candidate{ID: ix.ids[base+j], Dist: dists[j]})
+			}
+		}
+		return t.AppendResults(nil), nil
+	}
 	for i, id := range ix.ids {
-		if filter != nil && (id >= int64(filter.Len()) || !filter.Test(int(id))) {
+		if id >= int64(filter.Len()) || !filter.Test(int(id)) {
 			continue
 		}
-		d := vec.Distance(ix.params.Metric, q, ix.data[i*dim:i*dim+dim])
+		var d float32
+		if ix.params.Metric == vec.L2 {
+			thr := float32(math.MaxFloat32)
+			if w, ok := t.Worst(); ok {
+				thr = w
+			}
+			d = vec.L2SquaredThreshold(q, ix.data[i*dim:i*dim+dim], thr)
+		} else {
+			d = vec.Distance(ix.params.Metric, q, ix.data[i*dim:i*dim+dim])
+		}
 		t.Push(index.Candidate{ID: id, Dist: d})
 	}
-	return t.Results(), nil
+	return t.AppendResults(nil), nil
 }
 
 // SearchWithRange returns all candidates within radius, closest first.
+// L2 scans abandon rows against the fixed radius: an abandoned partial
+// is already > radius, so the row is correctly excluded.
 func (ix *Index) SearchWithRange(q []float32, radius float32, filter index.Filter, _ index.SearchParams) ([]index.Candidate, error) {
 	if len(q) != ix.params.Dim {
 		return nil, fmt.Errorf("flat: query dim %d != index dim %d", len(q), ix.params.Dim)
 	}
 	var out []index.Candidate
 	dim := ix.params.Dim
+	if filter == nil {
+		var dists [scanBlock]float32
+		n := len(ix.ids)
+		for base := 0; base < n; base += scanBlock {
+			rows := n - base
+			if rows > scanBlock {
+				rows = scanBlock
+			}
+			block := ix.data[base*dim : (base+rows)*dim]
+			if ix.params.Metric == vec.L2 {
+				vec.L2SquaredBatchThreshold(q, block, dim, dists[:rows], radius)
+			} else {
+				vec.DistancesTo(ix.params.Metric, q, block, dim, dists[:rows])
+			}
+			for j := 0; j < rows; j++ {
+				if dists[j] <= radius {
+					out = append(out, index.Candidate{ID: ix.ids[base+j], Dist: dists[j]})
+				}
+			}
+		}
+		index.SortCandidates(out)
+		return out, nil
+	}
 	for i, id := range ix.ids {
-		if filter != nil && (id >= int64(filter.Len()) || !filter.Test(int(id))) {
+		if id >= int64(filter.Len()) || !filter.Test(int(id)) {
 			continue
 		}
-		d := vec.Distance(ix.params.Metric, q, ix.data[i*dim:i*dim+dim])
+		var d float32
+		if ix.params.Metric == vec.L2 {
+			d = vec.L2SquaredThreshold(q, ix.data[i*dim:i*dim+dim], radius)
+		} else {
+			d = vec.Distance(ix.params.Metric, q, ix.data[i*dim:i*dim+dim])
+		}
 		if d <= radius {
 			out = append(out, index.Candidate{ID: id, Dist: d})
 		}
@@ -105,15 +178,17 @@ func (ix *Index) SearchWithRange(q []float32, radius float32, filter index.Filte
 }
 
 // SearchIterator returns a native exact iterator: it computes and
-// sorts all distances once, then streams them in order.
+// sorts all distances once (on the blocked kernels), then streams them
+// in order.
 func (ix *Index) SearchIterator(q []float32, _ index.SearchParams) (index.Iterator, error) {
 	if len(q) != ix.params.Dim {
 		return nil, fmt.Errorf("flat: query dim %d != index dim %d", len(q), ix.params.Dim)
 	}
+	dists := make([]float32, len(ix.ids))
+	vec.DistancesTo(ix.params.Metric, q, ix.data, ix.params.Dim, dists)
 	all := make([]index.Candidate, len(ix.ids))
-	dim := ix.params.Dim
 	for i, id := range ix.ids {
-		all[i] = index.Candidate{ID: id, Dist: vec.Distance(ix.params.Metric, q, ix.data[i*dim:i*dim+dim])}
+		all[i] = index.Candidate{ID: id, Dist: dists[i]}
 	}
 	index.SortCandidates(all)
 	return &flatIterator{rest: all}, nil

@@ -2,6 +2,8 @@ package flat
 
 import (
 	"bytes"
+	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -137,6 +139,112 @@ func TestIteratorIsExactOrder(t *testing.T) {
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+// The fused blocked/early-abandoning scan must return byte-identical
+// candidates to a naive per-row vec.Distance scan feeding the same
+// top-k heap, across metrics, odd sizes, and filtered variants.
+func TestFusedScanMatchesReferenceBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, metric := range []vec.Metric{vec.L2, vec.InnerProduct, vec.Cosine} {
+		for _, n := range []int{0, 1, 7, 63, 64, 65, 200} {
+			for _, dim := range []int{3, 8, 96} {
+				ix, err := New(index.BuildParams{Dim: dim, Metric: metric}.WithDefaults())
+				if err != nil {
+					t.Fatal(err)
+				}
+				data := make([]float32, n*dim)
+				ids := make([]int64, n)
+				for i := range data {
+					data[i] = rng.Float32()*2 - 1
+				}
+				for i := range ids {
+					ids[i] = int64(i)
+				}
+				if n > 0 {
+					if err := ix.AddWithIDs(data, ids); err != nil {
+						t.Fatal(err)
+					}
+				}
+				q := make([]float32, dim)
+				for i := range q {
+					q[i] = rng.Float32()*2 - 1
+				}
+				k := 10
+
+				ref := index.NewTopK(k)
+				for i := range ids {
+					ref.Push(index.Candidate{ID: ids[i], Dist: vec.Distance(metric, q, data[i*dim:(i+1)*dim])})
+				}
+				want := ref.Results()
+
+				got, err := ix.SearchWithFilter(q, k, nil, index.SearchParams{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%v n=%d dim=%d: len %d != %d", metric, n, dim, len(got), len(want))
+				}
+				for i := range got {
+					if got[i].ID != want[i].ID || math.Float32bits(got[i].Dist) != math.Float32bits(want[i].Dist) {
+						t.Fatalf("%v n=%d dim=%d: got[%d]=%v want %v", metric, n, dim, i, got[i], want[i])
+					}
+				}
+
+				// Filtered variant: keep every third id.
+				if n > 0 {
+					bs := bitset.New(n)
+					for i := 0; i < n; i += 3 {
+						bs.Set(i)
+					}
+					refF := index.NewTopK(k)
+					for i := range ids {
+						if i%3 != 0 {
+							continue
+						}
+						refF.Push(index.Candidate{ID: ids[i], Dist: vec.Distance(metric, q, data[i*dim:(i+1)*dim])})
+					}
+					wantF := refF.Results()
+					gotF, err := ix.SearchWithFilter(q, k, bs, index.SearchParams{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(gotF) != len(wantF) {
+						t.Fatalf("%v filtered n=%d dim=%d: len %d != %d", metric, n, dim, len(gotF), len(wantF))
+					}
+					for i := range gotF {
+						if gotF[i].ID != wantF[i].ID || math.Float32bits(gotF[i].Dist) != math.Float32bits(wantF[i].Dist) {
+							t.Fatalf("%v filtered: gotF[%d]=%v want %v", metric, i, gotF[i], wantF[i])
+						}
+					}
+				}
+
+				// Range variant at a mid-scan radius.
+				if n > 0 && metric == vec.L2 {
+					radius := want[len(want)/2].Dist
+					gotR, err := ix.SearchWithRange(q, radius, nil, index.SearchParams{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					var wantR []index.Candidate
+					for i := range ids {
+						if d := vec.L2Squared(q, data[i*dim:(i+1)*dim]); d <= radius {
+							wantR = append(wantR, index.Candidate{ID: ids[i], Dist: d})
+						}
+					}
+					index.SortCandidates(wantR)
+					if len(gotR) != len(wantR) {
+						t.Fatalf("range n=%d dim=%d: len %d != %d", n, dim, len(gotR), len(wantR))
+					}
+					for i := range gotR {
+						if gotR[i] != wantR[i] {
+							t.Fatalf("range: gotR[%d]=%v want %v", i, gotR[i], wantR[i])
+						}
+					}
+				}
+			}
 		}
 	}
 }

@@ -12,7 +12,6 @@
 package hnsw
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
@@ -165,7 +164,7 @@ func (ix *Index) insert(v []float32, id int64) {
 		startLayer = ix.maxLevel
 	}
 	for l := startLayer; l >= 0; l-- {
-		cands := ix.searchLayer(distTo, ep, l, ix.params.EfConstruction, nil, nil)
+		cands := ix.searchLayer(distTo, ep, l, ix.params.EfConstruction, nil)
 		selected := ix.selectHeuristic(cands, ix.params.M)
 		ix.nodes[ni].neighbors[l] = make([]uint32, 0, len(selected))
 		for _, c := range selected {
@@ -283,49 +282,49 @@ func (ix *Index) greedyStep(distTo func(int) float32, ep int, epDist float32, l 
 
 // searchLayer is the ef-bounded best-first search at one layer.
 // filter (over external IDs) restricts the *result* set; filtered-out
-// nodes are still traversed so the graph stays navigable. visited may
-// be supplied by a resumable iterator; pass nil otherwise. Results are
-// sorted ascending.
-func (ix *Index) searchLayer(distTo func(int) float32, ep, l, ef int, filter index.Filter, visited map[int]bool) []scored {
-	if visited == nil {
-		visited = make(map[int]bool, ef*4)
-	}
-	candidates := &minHeap{}
-	results := &maxHeap{}
+// nodes are still traversed so the graph stays navigable. Runs on
+// pooled scratch (heaps + visited table); only the sorted-ascending
+// result slice is allocated.
+func (ix *Index) searchLayer(distTo func(int) float32, ep, l, ef int, filter index.Filter) []scored {
+	s := searchPool.Get().(*searchScratch)
+	defer searchPool.Put(s)
+	s.visited.reset(len(ix.nodes))
+	s.candidates = s.candidates[:0]
+	s.results = s.results[:0]
+	candidates, results := &s.candidates, &s.results
 	d0 := distTo(ep)
-	visited[ep] = true
-	heap.Push(candidates, scored{ep, d0})
+	s.visited.tryVisit(ep)
+	candidates.push(scored{ep, d0})
 	if passes(filter, ix.nodes[ep].id) {
-		heap.Push(results, scored{ep, d0})
+		results.push(scored{ep, d0})
 	}
-	for candidates.Len() > 0 {
-		c := heap.Pop(candidates).(scored)
-		if results.Len() >= ef {
+	for len(*candidates) > 0 {
+		c := candidates.pop()
+		if len(*results) >= ef {
 			if worst := (*results)[0].dist; c.dist > worst {
 				break
 			}
 		}
 		for _, nb := range ix.nodes[c.node].neighbors[l] {
 			ni := int(nb)
-			if visited[ni] {
+			if !s.visited.tryVisit(ni) {
 				continue
 			}
-			visited[ni] = true
 			d := distTo(ni)
-			if results.Len() < ef || d < (*results)[0].dist {
-				heap.Push(candidates, scored{ni, d})
+			if len(*results) < ef || d < (*results)[0].dist {
+				candidates.push(scored{ni, d})
 				if passes(filter, ix.nodes[ni].id) {
-					heap.Push(results, scored{ni, d})
-					if results.Len() > ef {
-						heap.Pop(results)
+					results.push(scored{ni, d})
+					if len(*results) > ef {
+						results.pop()
 					}
 				}
 			}
 		}
 	}
-	out := make([]scored, results.Len())
+	out := make([]scored, len(*results))
 	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(results).(scored)
+		out[i] = results.pop()
 	}
 	return out
 }
@@ -355,7 +354,7 @@ func (ix *Index) SearchWithFilter(q []float32, k int, filter index.Filter, p ind
 		ep, epDist = ix.greedyStep(distTo, ep, epDist, l)
 	}
 	_ = epDist
-	res := ix.searchLayer(distTo, ep, 0, p.Ef, filter, nil)
+	res := ix.searchLayer(distTo, ep, 0, p.Ef, filter)
 	if len(res) > k {
 		res = res[:k]
 	}
@@ -391,7 +390,7 @@ func (ix *Index) SearchWithRange(q []float32, radius float32, filter index.Filte
 			ep, epDist = ix.greedyStep(distTo, ep, epDist, l)
 		}
 		_ = epDist
-		res := ix.searchLayer(distTo, ep, 0, ef, filter, nil)
+		res := ix.searchLayer(distTo, ep, 0, ef, filter)
 		ix.mu.RUnlock()
 		if len(res) < ef || res[len(res)-1].dist > radius || ef >= n {
 			var out []index.Candidate
@@ -431,7 +430,7 @@ func (ix *Index) SearchIterator(q []float32, p index.SearchParams) (index.Iterat
 		ep, epDist = ix.greedyStep(it.distTo, ep, epDist, l)
 	}
 	it.visited[ep] = true
-	heap.Push(it.frontier, scored{ep, epDist})
+	it.frontier.push(scored{ep, epDist})
 	return it, nil
 }
 
@@ -459,8 +458,8 @@ func (it *iterator) Next(n int) ([]index.Candidate, error) {
 	ix.mu.RLock()
 	// Expand until the buffer holds n emittable candidates plus the
 	// lookahead margin (or the graph is exhausted).
-	for len(it.buf) < n+it.lookahead && it.frontier.Len() > 0 {
-		c := heap.Pop(it.frontier).(scored)
+	for len(it.buf) < n+it.lookahead && len(*it.frontier) > 0 {
+		c := it.frontier.pop()
 		it.buf = append(it.buf, index.Candidate{ID: ix.nodes[c.node].id, Dist: c.dist})
 		for _, nb := range ix.nodes[c.node].neighbors[0] {
 			ni := int(nb)
@@ -468,10 +467,10 @@ func (it *iterator) Next(n int) ([]index.Candidate, error) {
 				continue
 			}
 			it.visited[ni] = true
-			heap.Push(it.frontier, scored{ni, it.distTo(ni)})
+			it.frontier.push(scored{ni, it.distTo(ni)})
 		}
 	}
-	if it.frontier.Len() == 0 {
+	if len(*it.frontier) == 0 {
 		it.exhausted = true
 	}
 	ix.mu.RUnlock()
@@ -493,33 +492,91 @@ func (it *iterator) Close() error {
 	return nil
 }
 
-// minHeap orders scored ascending by distance (frontier).
+// minHeap orders scored ascending by distance (frontier). Native sift
+// loops, no container/heap: the interface boxing there allocated per
+// push, which made graph traversal allocate per node visited.
 type minHeap []scored
 
-func (h minHeap) Len() int            { return len(h) }
-func (h minHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
-func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(scored)) }
-func (h *minHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *minHeap) push(s scored) {
+	*h = append(*h, s)
+	a := *h
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if a[p].dist <= a[i].dist {
+			break
+		}
+		a[i], a[p] = a[p], a[i]
+		i = p
+	}
+}
+
+func (h *minHeap) pop() scored {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a = a[:n]
+	*h = a
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && a[r].dist < a[l].dist {
+			m = r
+		}
+		if a[i].dist <= a[m].dist {
+			break
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
+	}
+	return top
 }
 
 // maxHeap orders scored descending by distance (result set, worst on
 // top).
 type maxHeap []scored
 
-func (h maxHeap) Len() int            { return len(h) }
-func (h maxHeap) Less(i, j int) bool  { return h[i].dist > h[j].dist }
-func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(scored)) }
-func (h *maxHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *maxHeap) push(s scored) {
+	*h = append(*h, s)
+	a := *h
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if a[p].dist >= a[i].dist {
+			break
+		}
+		a[i], a[p] = a[p], a[i]
+		i = p
+	}
+}
+
+func (h *maxHeap) pop() scored {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a = a[:n]
+	*h = a
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && a[r].dist > a[l].dist {
+			m = r
+		}
+		if a[i].dist >= a[m].dist {
+			break
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
+	}
+	return top
 }

@@ -1,6 +1,8 @@
 package hnsw
 
 import (
+	"bytes"
+	"math"
 	"sync"
 	"testing"
 
@@ -268,6 +270,93 @@ func TestCosineAndIPVariants(t *testing.T) {
 			}
 			if r := dataset.Recall(truth, got); r < 0.7 {
 				t.Errorf("metric %v quantized=%v recall = %.3f", metric, quantized, r)
+			}
+		}
+	}
+}
+
+// The SQ IP/Cosine fast paths depend on per-node code sums that are
+// derived state: they are not serialized and must be rebuilt on Load.
+// A reloaded index must answer queries identically to the original.
+func TestSQSaveLoadPreservesFastPathResults(t *testing.T) {
+	for _, metric := range []vec.Metric{vec.L2, vec.InnerProduct, vec.Cosine} {
+		ds := dataset.Small(400, 8, 21)
+		p := index.BuildParams{Dim: 8, Metric: metric, M: 8, EfConstruction: 60, Seed: 5}.WithDefaults()
+		ix, err := New(p, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]int64, 400)
+		for i := range ids {
+			ids[i] = int64(i)
+		}
+		if err := ix.AddWithIDs(ds.Vectors.Data, ids); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := ix.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := New(p, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.Load(&buf); err != nil {
+			t.Fatal(err)
+		}
+		for qi := 0; qi < ds.Queries.Rows(); qi++ {
+			q := ds.Queries.Row(qi)
+			want, err := ix.SearchWithFilter(q, 5, nil, index.SearchParams{Ef: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := fresh.SearchWithFilter(q, 5, nil, index.SearchParams{Ef: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("metric %v query %d: %d results after reload, want %d", metric, qi, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].ID != want[i].ID || got[i].Dist != want[i].Dist {
+					t.Fatalf("metric %v query %d: reloaded result %d = %+v, want %+v", metric, qi, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// Constant vectors train a degenerate quantizer (step 0). Every metric
+// must still return finite distances — regression for the Step==0 /
+// zero-norm guards in the SQ fast paths.
+func TestSQConstantVectorsFinite(t *testing.T) {
+	for _, metric := range []vec.Metric{vec.L2, vec.InnerProduct, vec.Cosine} {
+		const n, dim = 50, 6
+		data := make([]float32, n*dim)
+		for i := range data {
+			data[i] = 2.5
+		}
+		ix, err := New(index.BuildParams{Dim: dim, Metric: metric, M: 8, EfConstruction: 40, Seed: 7}.WithDefaults(), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]int64, n)
+		for i := range ids {
+			ids[i] = int64(i)
+		}
+		if err := ix.AddWithIDs(data, ids); err != nil {
+			t.Fatal(err)
+		}
+		res, err := ix.SearchWithFilter(data[:dim], 3, nil, index.SearchParams{Ef: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) == 0 {
+			t.Fatalf("metric %v: no results", metric)
+		}
+		for _, c := range res {
+			if math.IsNaN(float64(c.Dist)) || math.IsInf(float64(c.Dist), 0) {
+				t.Fatalf("metric %v: non-finite distance %v", metric, c.Dist)
 			}
 		}
 	}

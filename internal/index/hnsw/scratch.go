@@ -1,0 +1,51 @@
+package hnsw
+
+import "sync"
+
+// Per-search scratch. HNSW search state (frontier heap, result heap,
+// visited marks) used to be allocated per call — with interface boxing
+// on every heap push/pop, the graph traversal allocated per *node
+// visited*. The heaps are now native []scored sift loops and the
+// visited set is an epoch-stamped table (faiss's VisitedTable trick:
+// clearing is one counter bump, not an O(n) memset), all pooled so
+// steady-state search allocates only its result slice. Pooled scratch
+// must never escape the search that borrowed it.
+type searchScratch struct {
+	visited    visitedTable
+	candidates minHeap
+	results    maxHeap
+}
+
+var searchPool = sync.Pool{New: func() any { return new(searchScratch) }}
+
+// visitedTable marks visited node indices. A node is visited iff its
+// tag equals the current epoch, so reset is O(1) amortized.
+type visitedTable struct {
+	tags  []uint32
+	epoch uint32
+}
+
+func (v *visitedTable) reset(n int) {
+	if cap(v.tags) < n {
+		v.tags = make([]uint32, n)
+		v.epoch = 0
+	}
+	v.tags = v.tags[:n]
+	v.epoch++
+	if v.epoch == 0 { // epoch wrapped: stale tags could collide, clear
+		for i := range v.tags {
+			v.tags[i] = 0
+		}
+		v.epoch = 1
+	}
+}
+
+// tryVisit marks node i, reporting true the first time it is seen this
+// epoch.
+func (v *visitedTable) tryVisit(i int) bool {
+	if v.tags[i] == v.epoch {
+		return false
+	}
+	v.tags[i] = v.epoch
+	return true
+}

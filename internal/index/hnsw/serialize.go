@@ -178,8 +178,13 @@ func (ix *Index) loadStore(br *bufio.Reader, kind uint8) error {
 			return fmt.Errorf("hnsw: unreasonable code size %d", cn)
 		}
 		ss.codes = make([]byte, cn)
-		_, err = io.ReadFull(br, ss.codes)
-		return err
+		if _, err := io.ReadFull(br, ss.codes); err != nil {
+			return err
+		}
+		// The on-disk format carries only codes; the fast-path code
+		// sums are derived state and are rebuilt here.
+		ss.rebuildStats()
+		return nil
 	}
 	return fmt.Errorf("hnsw: unknown store kind %d", kind)
 }

@@ -68,12 +68,17 @@ func (s *floatStore) train([]float32) error { return nil }
 
 // sqStore keeps SQ8 codes — 1 byte per dimension (HNSWSQ), quantized
 // uniformly so code-to-code L2 is an integer kernel. Queries are
-// encoded once per search.
+// encoded once per search. Per-node code sums (Σc, Σc²) are maintained
+// at add time so the uniform IP/Cosine fast paths reduce each node
+// visit to one integer dot product — search never decodes a node back
+// to float32 on any metric.
 type sqStore struct {
 	dim    int
 	metric vec.Metric
 	sq     *quant.ScalarQuantizer
 	codes  []byte
+	sums   []int32 // Σ code[d] per node
+	sumSqs []int32 // Σ code[d]² per node
 }
 
 func newSQStore(dim int, m vec.Metric) *sqStore {
@@ -86,21 +91,40 @@ func (s *sqStore) add(v []float32) {
 	}
 	off := len(s.codes)
 	s.codes = append(s.codes, make([]byte, s.dim)...)
-	s.sq.Encode(v, s.codes[off:off+s.dim])
+	code := s.codes[off : off+s.dim]
+	s.sq.Encode(v, code)
+	sum, sumSq := quant.CodeStats(code)
+	s.sums = append(s.sums, sum)
+	s.sumSqs = append(s.sumSqs, sumSq)
 }
 
 func (s *sqStore) code(i int) []byte { return s.codes[i*s.dim : i*s.dim+s.dim] }
 
+// rebuildStats recomputes the per-node code sums from raw codes —
+// called after deserialization, which persists only the codes.
+func (s *sqStore) rebuildStats() {
+	n := s.count()
+	s.sums = make([]int32, n)
+	s.sumSqs = make([]int32, n)
+	for i := 0; i < n; i++ {
+		s.sums[i], s.sumSqs[i] = quant.CodeStats(s.code(i))
+	}
+}
+
 func (s *sqStore) queryDist(q []float32) func(int) float32 {
 	switch s.metric {
 	case vec.InnerProduct:
-		return func(i int) float32 { return -s.sq.DotToCode(q, s.code(i)) }
-	case vec.Cosine:
-		scratch := make([]float32, s.dim)
-		return func(i int) float32 {
-			s.sq.Decode(s.code(i), scratch)
-			return vec.CosineDistance(q, scratch)
+		if sym, ok := s.sq.NewSymQuery(q); ok {
+			return func(i int) float32 { return -sym.DotDecoded(s.code(i), s.sums[i]) }
 		}
+		w, bias := s.sq.DotTable(q)
+		return func(i int) float32 { return -quant.DotWithTable(w, bias, s.code(i)) }
+	case vec.Cosine:
+		if sym, ok := s.sq.NewSymQuery(q); ok {
+			return func(i int) float32 { return sym.CosineDecoded(s.code(i), s.sums[i], s.sumSqs[i]) }
+		}
+		qn := vec.Dot(q, q)
+		return func(i int) float32 { return s.sq.CosineToCode(q, s.code(i), qn) }
 	default:
 		// Encode the query once; traversal runs on the integer kernel.
 		qc := make([]byte, s.dim)
@@ -139,6 +163,7 @@ func (s *sqStore) count() int {
 
 func (s *sqStore) memoryBytes() int64 {
 	n := int64(len(s.codes))
+	n += int64(8 * len(s.sums)) // per-node Σc / Σc² fast-path tables
 	if s.sq != nil {
 		n += int64(8 * s.dim) // min/step tables
 	}

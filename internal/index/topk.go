@@ -1,15 +1,23 @@
 package index
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
-// TopK maintains the k smallest-distance candidates seen so far using
-// a bounded binary max-heap (the root is the current worst kept
-// candidate, so a new candidate only enters if it beats the root).
+// TopK maintains the k smallest candidates seen so far using a bounded
+// binary max-heap ordered by (Dist, ID) — the root is the current
+// worst kept candidate, so a new candidate only enters if it beats the
+// root under that order. Ordering by the full (Dist, ID) key (not Dist
+// alone) makes the kept SET deterministic at distance ties: among
+// equal-distance candidates the smaller IDs survive, exactly matching
+// SortCandidates' tie-break, so any insertion order and any
+// merge/parallelism degree converge on the same k candidates.
 // It is the shared top-k machinery of every index implementation and
 // the exec package's partial/global top-k operators.
 type TopK struct {
 	k    int
-	heap []Candidate // max-heap by Dist
+	heap []Candidate // max-heap by (Dist, ID)
 }
 
 // NewTopK returns a collector for the k closest candidates. k must be
@@ -21,6 +29,25 @@ func NewTopK(k int) *TopK {
 	return &TopK{k: k, heap: make([]Candidate, 0, k)}
 }
 
+// Reset reinitializes the collector for a new search with capacity k,
+// retaining the backing array — the reuse hook behind GetTopK/PutTopK.
+func (t *TopK) Reset(k int) {
+	if k <= 0 {
+		k = 1
+	}
+	t.k = k
+	t.heap = t.heap[:0]
+}
+
+// candWorse reports whether a ranks strictly after b in the
+// deterministic (Dist, ID) candidate order.
+func candWorse(a, b Candidate) bool {
+	if a.Dist != b.Dist {
+		return a.Dist > b.Dist
+	}
+	return a.ID > b.ID
+}
+
 // Push offers a candidate. It returns true if the candidate was kept.
 func (t *TopK) Push(c Candidate) bool {
 	if len(t.heap) < t.k {
@@ -28,7 +55,7 @@ func (t *TopK) Push(c Candidate) bool {
 		t.up(len(t.heap) - 1)
 		return true
 	}
-	if c.Dist >= t.heap[0].Dist {
+	if !candWorse(t.heap[0], c) {
 		return false
 	}
 	t.heap[0] = c
@@ -36,10 +63,14 @@ func (t *TopK) Push(c Candidate) bool {
 	return true
 }
 
-// WouldAccept reports whether a candidate at dist would currently be
+// WouldAccept reports whether a candidate at dist could currently be
 // kept — lets scans skip heap operations (and exact re-ranks) early.
+// At dist == worst the answer is true: a candidate with a smaller ID
+// than the current worst still displaces it under the (Dist, ID)
+// order, which is what keeps merge early-breaks from dropping tie
+// candidates at the k boundary.
 func (t *TopK) WouldAccept(dist float32) bool {
-	return len(t.heap) < t.k || dist < t.heap[0].Dist
+	return len(t.heap) < t.k || dist <= t.heap[0].Dist
 }
 
 // Worst returns the distance of the worst kept candidate, or +Inf-like
@@ -55,7 +86,8 @@ func (t *TopK) Worst() (float32, bool) {
 func (t *TopK) Len() int { return len(t.heap) }
 
 // Results extracts the kept candidates sorted ascending by distance
-// (ties broken by ID for determinism). The collector is left empty.
+// (ties broken by ID for determinism). The collector is left empty and
+// ownership of the returned slice passes to the caller.
 func (t *TopK) Results() []Candidate {
 	out := t.heap
 	t.heap = nil
@@ -63,10 +95,20 @@ func (t *TopK) Results() []Candidate {
 	return out
 }
 
+// AppendResults appends the kept candidates in sorted order to dst and
+// empties the collector, RETAINING the heap's backing array — the
+// allocation-free alternative to Results for pooled collectors.
+func (t *TopK) AppendResults(dst []Candidate) []Candidate {
+	SortCandidates(t.heap)
+	dst = append(dst, t.heap...)
+	t.heap = t.heap[:0]
+	return dst
+}
+
 func (t *TopK) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if t.heap[parent].Dist >= t.heap[i].Dist {
+		if !candWorse(t.heap[i], t.heap[parent]) {
 			return
 		}
 		t.heap[parent], t.heap[i] = t.heap[i], t.heap[parent]
@@ -78,18 +120,37 @@ func (t *TopK) down(i int) {
 	n := len(t.heap)
 	for {
 		l, r := 2*i+1, 2*i+2
-		largest := i
-		if l < n && t.heap[l].Dist > t.heap[largest].Dist {
-			largest = l
+		worst := i
+		if l < n && candWorse(t.heap[l], t.heap[worst]) {
+			worst = l
 		}
-		if r < n && t.heap[r].Dist > t.heap[largest].Dist {
-			largest = r
+		if r < n && candWorse(t.heap[r], t.heap[worst]) {
+			worst = r
 		}
-		if largest == i {
+		if worst == i {
 			return
 		}
-		t.heap[i], t.heap[largest] = t.heap[largest], t.heap[i]
-		i = largest
+		t.heap[i], t.heap[worst] = t.heap[worst], t.heap[i]
+		i = worst
+	}
+}
+
+// topkPool recycles TopK collectors (and their heap arrays) across
+// searches. Pooled collectors must not escape the search that acquired
+// them: extract results with AppendResults, then PutTopK.
+var topkPool = sync.Pool{New: func() any { return NewTopK(1) }}
+
+// GetTopK returns a pooled collector reset to capacity k.
+func GetTopK(k int) *TopK {
+	t := topkPool.Get().(*TopK)
+	t.Reset(k)
+	return t
+}
+
+// PutTopK returns a collector to the pool.
+func PutTopK(t *TopK) {
+	if t != nil {
+		topkPool.Put(t)
 	}
 }
 
@@ -107,9 +168,14 @@ func SortCandidates(cs []Candidate) {
 // MergeTopK merges several already-sorted candidate lists into the
 // global k best — the final merge of partial per-segment results
 // (paper §II-C "merges the partial top-k results from multiple
-// workers").
+// workers"). Equivalent to SortCandidates(concat(lists))[:k],
+// including the ID tie-break at the k boundary: WouldAccept is
+// non-strict at dist == worst, so a later list's tie candidate with a
+// smaller ID still displaces the kept one instead of being dropped by
+// the early break.
 func MergeTopK(k int, lists ...[]Candidate) []Candidate {
-	t := NewTopK(k)
+	t := GetTopK(k)
+	defer PutTopK(t)
 	for _, l := range lists {
 		for _, c := range l {
 			if !t.WouldAccept(c.Dist) {
@@ -118,5 +184,5 @@ func MergeTopK(k int, lists ...[]Candidate) []Candidate {
 			t.Push(c)
 		}
 	}
-	return t.Results()
+	return t.AppendResults(nil)
 }

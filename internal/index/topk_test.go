@@ -118,6 +118,97 @@ func TestMergeTopK(t *testing.T) {
 	}
 }
 
+// Regression: a later list's candidate with Dist == worst but a
+// smaller ID must displace the kept candidate (SortCandidates breaks
+// distance ties by ID). The pre-fix strict WouldAccept broke out of
+// the list early and kept {11, 5} instead of {3, 5}.
+func TestMergeTopKTieAtBoundary(t *testing.T) {
+	a := []Candidate{{ID: 10, Dist: 1}, {ID: 11, Dist: 5}}
+	b := []Candidate{{ID: 3, Dist: 5}, {ID: 20, Dist: 9}}
+	merged := MergeTopK(2, a, b)
+	var union []Candidate
+	union = append(union, a...)
+	union = append(union, b...)
+	SortCandidates(union)
+	want := union[:2]
+	if len(merged) != 2 || merged[0] != want[0] || merged[1] != want[1] {
+		t.Fatalf("merged = %v, want %v", merged, want)
+	}
+	if merged[1].ID != 3 {
+		t.Fatalf("tie at k boundary kept ID %d, want 3", merged[1].ID)
+	}
+}
+
+// With heavily quantized distances (many exact ties) a parallel-style
+// merge must still equal the global sort — the determinism contract
+// of the (Dist, ID) heap order.
+func TestMergeTopKTiesEquivalentToGlobalSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		var lists [][]Candidate
+		var all []Candidate
+		id := int64(0)
+		for l := 0; l < 4; l++ {
+			var list []Candidate
+			for i := 0; i < 30; i++ {
+				c := Candidate{ID: id, Dist: float32(rng.Intn(5))} // only 5 distinct distances
+				id++
+				list = append(list, c)
+				all = append(all, c)
+			}
+			SortCandidates(list)
+			lists = append(lists, list)
+		}
+		merged := MergeTopK(10, lists...)
+		SortCandidates(all)
+		for i := 0; i < 10; i++ {
+			if merged[i] != all[i] {
+				t.Fatalf("trial %d: merge diverges at %d: %v != %v", trial, i, merged[i], all[i])
+			}
+		}
+	}
+}
+
+// TopK itself must keep the smaller IDs at distance ties regardless of
+// insertion order.
+func TestTopKTieBreakByID(t *testing.T) {
+	perm := []Candidate{{ID: 7, Dist: 2}, {ID: 1, Dist: 2}, {ID: 4, Dist: 2}, {ID: 2, Dist: 2}, {ID: 9, Dist: 1}}
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		tk := NewTopK(3)
+		for _, c := range perm {
+			tk.Push(c)
+		}
+		res := tk.Results()
+		if res[0].ID != 9 || res[1].ID != 1 || res[2].ID != 2 {
+			t.Fatalf("trial %d: res = %v, want IDs 9,1,2", trial, res)
+		}
+	}
+}
+
+func TestTopKResetAndAppendResults(t *testing.T) {
+	tk := GetTopK(2)
+	tk.Push(Candidate{ID: 1, Dist: 3})
+	tk.Push(Candidate{ID: 2, Dist: 1})
+	tk.Push(Candidate{ID: 3, Dist: 2})
+	got := tk.AppendResults(nil)
+	if len(got) != 2 || got[0].ID != 2 || got[1].ID != 3 {
+		t.Fatalf("AppendResults = %v", got)
+	}
+	if tk.Len() != 0 {
+		t.Fatalf("collector not emptied: len=%d", tk.Len())
+	}
+	// Reuse after reset: prior contents must not leak through.
+	tk.Reset(1)
+	tk.Push(Candidate{ID: 9, Dist: 7})
+	got = tk.AppendResults(got[:0])
+	if len(got) != 1 || got[0].ID != 9 {
+		t.Fatalf("after Reset: %v", got)
+	}
+	PutTopK(tk)
+}
+
 func TestMergeTopKEquivalentToGlobalSort(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	var lists [][]Candidate

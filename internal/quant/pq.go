@@ -126,14 +126,18 @@ func (pq *ProductQuantizer) BuildADC(m vec.Metric, q []float32) *ADCTable {
 	t := &ADCTable{pq: pq, Tab: make([]float32, pq.M*pq.Ksub)}
 	for mi := 0; mi < pq.M; mi++ {
 		sub := q[mi*pq.Dsub : (mi+1)*pq.Dsub]
-		for k := 0; k < pq.Ksub; k++ {
-			c := pq.centroid(mi, k)
-			switch m {
-			case vec.InnerProduct:
-				t.Tab[mi*pq.Ksub+k] = -vec.Dot(sub, c)
-			default: // L2 and Cosine both scan on L2 of (normalized) vectors
-				t.Tab[mi*pq.Ksub+k] = vec.L2Squared(sub, c)
+		// Each subquantizer's Ksub centroids are contiguous, so one
+		// blocked kernel call fills the whole table row.
+		cents := pq.Cents[mi*pq.Ksub*pq.Dsub : (mi+1)*pq.Ksub*pq.Dsub]
+		row := t.Tab[mi*pq.Ksub : (mi+1)*pq.Ksub]
+		switch m {
+		case vec.InnerProduct:
+			vec.DotBatch(sub, cents, pq.Dsub, row)
+			for k := range row {
+				row[k] = -row[k]
 			}
+		default: // L2 and Cosine both scan on L2 of (normalized) vectors
+			vec.L2SquaredBatch(sub, cents, pq.Dsub, row)
 		}
 	}
 	return t

@@ -363,3 +363,26 @@ func TestBadRequests(t *testing.T) {
 		}
 	}
 }
+
+// TestDimMismatchMapsToPlanError: a query vector of the wrong length
+// is a statement fault — the wire answer must be 400 PLAN (not a 500
+// from a kernel panic), via the planner's dimension validation.
+func TestDimMismatchMapsToPlanError(t *testing.T) {
+	s, _ := startServer(t, testEngine(t, 0), Config{})
+	base := "http://" + s.Addr()
+
+	body := `{"query": "SELECT id FROM items ORDER BY L2Distance(embedding, [1.0, 2.0]) LIMIT 3"}`
+	resp, err := http.Post(base+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb ErrorBody
+	_ = json.NewDecoder(resp.Body).Decode(&eb)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || eb.Error.Code != CodePlan {
+		t.Fatalf("dim mismatch → %d %q, want 400 PLAN (%s)", resp.StatusCode, eb.Error.Code, eb.Error.Message)
+	}
+	if !strings.Contains(eb.Error.Message, "dim") {
+		t.Fatalf("error message should name the dimension mismatch: %q", eb.Error.Message)
+	}
+}

@@ -185,22 +185,19 @@ func Copy(a []float32) []float32 {
 // DistancesTo computes the distance from query q to each row of the
 // flat matrix data (len(data) = rows*dim) and writes the results into
 // out, which must have length rows. It is the hot loop of brute-force
-// scans and the IVF coarse quantizer.
+// scans and the IVF coarse quantizer, and runs on the blocked kernels
+// of batch.go — bitwise identical to a per-row Distance loop.
 func DistancesTo(m Metric, q []float32, data []float32, dim int, out []float32) {
-	rows := len(out)
 	switch m {
 	case L2:
-		for r := 0; r < rows; r++ {
-			out[r] = L2Squared(q, data[r*dim:r*dim+dim])
-		}
+		L2SquaredBatch(q, data, dim, out)
 	case InnerProduct:
-		for r := 0; r < rows; r++ {
-			out[r] = -Dot(q, data[r*dim:r*dim+dim])
+		DotBatch(q, data, dim, out)
+		for r := range out {
+			out[r] = -out[r]
 		}
 	case Cosine:
-		for r := 0; r < rows; r++ {
-			out[r] = CosineDistance(q, data[r*dim:r*dim+dim])
-		}
+		CosineBatch(q, data, dim, out)
 	default:
 		panic("vec: invalid metric")
 	}
